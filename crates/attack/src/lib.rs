@@ -1,0 +1,37 @@
+//! # btc-attack
+//!
+//! The attack framework of the reproduced paper: Bitcoin-Message-based DoS
+//! (BM-DoS) flooding with its three ban-score-evading vectors, the
+//! pre-/post-connection Defamation attacks of §IV, the network-layer ICMP
+//! flooding baseline, the attacker-side socket model, and the real-hardware
+//! impact-cost meter that regenerates Table II.
+//!
+//! All attackers are [`btc_netsim::App`]s and run inside the simulator
+//! against real [`btc_node::Node`] victims; none of them require (or get)
+//! any cooperation from the victim's code.
+//!
+//! ```
+//! use btc_attack::payload::FloodPayload;
+//!
+//! // Vector 1: PING has no ban-score rule — it can never be punished.
+//! assert!(!FloodPayload::Ping.is_punishable());
+//! // Vector 2: a corrupted checksum drops the frame before tracking.
+//! assert!(!FloodPayload::BogusChecksumBlock { payload_bytes: 1_000_000 }.is_punishable());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod defamation;
+pub mod evasive;
+pub mod flood;
+pub mod meter;
+pub mod payload;
+pub mod reset;
+pub mod socket_model;
+
+pub use defamation::{DefamationPayload, PostConnDefamer, PreConnDefamer};
+pub use evasive::{EvasiveConfig, EvasiveFlooder};
+pub use flood::{FloodConfig, Flooder, IcmpFlooder};
+pub use payload::FloodPayload;
+pub use reset::TcpResetAttacker;
+pub use socket_model::SocketModel;

@@ -1,0 +1,146 @@
+//! The TCP reset attack of §IV-A — the baseline the paper contrasts
+//! Defamation against.
+//!
+//! A reset attacker needs the same sniffing capability as post-connection
+//! Defamation (the live 4-tuple and sequence state), but it merely injects
+//! a forged RST. The comparison the paper draws: *"using TCP reset attack
+//! can only terminate a connection but can not ban a peer identifier for
+//! 24 hours"* — the victim reconnects immediately, so the damage is a
+//! blip, not a day-long blacklisting.
+
+use btc_netsim::packet::{make_segment, PacketBody, SockAddr, TcpFlags};
+use btc_netsim::sim::{App, Ctx, TapHandle};
+use btc_netsim::time::{Nanos, MILLIS};
+use bytes::Bytes;
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// One forged reset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResetRecord {
+    /// Injection time.
+    pub time: Nanos,
+    /// The connection endpoint that was impersonated.
+    pub spoofed: SockAddr,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ConnState {
+    next_seq: u32,
+    target_endpoint: SockAddr,
+    reset_done: bool,
+}
+
+/// Sniffs victim connections (like [`crate::PostConnDefamer`]) and injects
+/// forged RST segments instead of misbehaving messages.
+pub struct TcpResetAttacker {
+    /// The node whose connections get reset (`i`).
+    pub target: SockAddr,
+    /// IPs whose connections to the target are attacked.
+    pub victim_ips: Vec<[u8; 4]>,
+    /// The promiscuous tap.
+    pub tap: TapHandle,
+    /// Sniffer poll interval.
+    pub poll: Nanos,
+    /// Keep resetting re-established connections.
+    pub persistent: bool,
+    /// Forged resets injected.
+    pub records: Vec<ResetRecord>,
+    conns: BTreeMap<SockAddr, ConnState>,
+}
+
+impl TcpResetAttacker {
+    /// Creates a reset attacker.
+    pub fn new(target: SockAddr, victim_ips: Vec<[u8; 4]>, tap: TapHandle) -> Self {
+        TcpResetAttacker {
+            target,
+            victim_ips,
+            tap,
+            poll: 10 * MILLIS,
+            persistent: false,
+            records: Vec::new(),
+            conns: BTreeMap::new(),
+        }
+    }
+
+    fn ingest(&mut self) {
+        for cap in self.tap.drain() {
+            let p = &cap.packet;
+            let PacketBody::Tcp(seg) = &p.body else {
+                continue;
+            };
+            if p.dst.ip != self.target.ip || !self.victim_ips.contains(&p.src.ip) {
+                continue;
+            }
+            let entry = self.conns.entry(p.src).or_insert(ConnState {
+                next_seq: 0,
+                target_endpoint: p.dst,
+                reset_done: false,
+            });
+            entry.target_endpoint = p.dst;
+            if seg.flags.has(TcpFlags::SYN) {
+                // A fresh connection: the first sighting is always fair
+                // game; re-established connections are only re-attacked in
+                // persistent mode.
+                let first_sighting = entry.next_seq == 0;
+                if self.persistent || first_sighting {
+                    *entry = ConnState {
+                        next_seq: seg.seq.wrapping_add(1),
+                        target_endpoint: p.dst,
+                        reset_done: false,
+                    };
+                }
+            } else if !seg.payload.is_empty() {
+                entry.next_seq = seg.seq.wrapping_add(seg.payload.len() as u32);
+            }
+        }
+    }
+
+    fn strike(&mut self, ctx: &mut Ctx<'_>) {
+        let ready: Vec<SockAddr> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| !c.reset_done && c.next_seq != 0)
+            .map(|(a, _)| *a)
+            .collect();
+        for spoofed in ready {
+            let c = self.conns.get_mut(&spoofed).expect("present");
+            c.reset_done = true;
+            let (seq, endpoint) = (c.next_seq, c.target_endpoint);
+            ctx.inject(make_segment(
+                spoofed,
+                endpoint,
+                seq,
+                0,
+                TcpFlags::RST,
+                Bytes::new(),
+            ));
+            self.records.push(ResetRecord {
+                time: ctx.now(),
+                spoofed,
+            });
+        }
+    }
+}
+
+impl App for TcpResetAttacker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.poll, 1);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        self.ingest();
+        self.strike(ctx);
+        ctx.set_timer(self.poll, 1);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// Behaviour is exercised end-to-end in tests/reset_vs_defamation.rs.

@@ -1,0 +1,489 @@
+//! End-to-end attack validation: every attack of the paper, run inside the
+//! simulator against an unmodified [`btc_node::Node`] victim.
+
+use btc_attack::defamation::{DefamationPayload, PostConnDefamer, PreConnDefamer};
+use btc_attack::flood::{FloodConfig, Flooder, IcmpFlooder};
+use btc_attack::payload::FloodPayload;
+use btc_netsim::packet::SockAddr;
+use btc_netsim::sim::{HostConfig, SimConfig, Simulator, TapFilter};
+use btc_netsim::time::{MILLIS, SECS};
+use btc_node::node::{Node, NodeConfig};
+
+const TARGET: [u8; 4] = [10, 0, 0, 1];
+const ATTACKER: [u8; 4] = [10, 0, 0, 66];
+const INNOCENT: [u8; 4] = [10, 0, 0, 9];
+
+fn target_addr() -> SockAddr {
+    SockAddr::new(TARGET, 8333)
+}
+
+fn sim_with_target(node_config: NodeConfig) -> Simulator {
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_host(TARGET, Box::new(Node::new(node_config)), HostConfig::default());
+    sim
+}
+
+#[test]
+fn vector1_ping_flood_is_never_punished() {
+    let mut sim = sim_with_target(NodeConfig::default());
+    sim.add_host(
+        ATTACKER,
+        Box::new(Flooder::new(FloodConfig {
+            target: target_addr(),
+            payload: FloodPayload::Ping,
+            ..FloodConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    sim.run_for(3 * SECS);
+    let attacker: &Flooder = sim.app(ATTACKER).unwrap();
+    // ~1000 msg/s for nearly 3 s of flooding.
+    assert!(attacker.stats.messages_sent > 2000, "sent {}", attacker.stats.messages_sent);
+    assert!(attacker.stats.bans.is_empty(), "ping flood must never be banned");
+    let node: &Node = sim.app(TARGET).unwrap();
+    assert_eq!(node.telemetry.bans, 0);
+    assert!(node.banman.is_empty());
+    // The victim really processed the pings (they reached the app layer).
+    let ping_id = btc_node::metrics::msg_type_id("ping").unwrap();
+    let counts = node.telemetry.counts_in_window(0, 3 * SECS);
+    assert!(counts[ping_id as usize] > 2000);
+    // And the ban-score of the attacker's identifier never moved.
+    assert_eq!(node.tracker.tracked_peers(), 0);
+}
+
+#[test]
+fn vector2_bogus_checksum_block_bypasses_misbehavior_tracking() {
+    let mut sim = sim_with_target(NodeConfig::default());
+    sim.add_host(
+        ATTACKER,
+        Box::new(Flooder::new(FloodConfig {
+            target: target_addr(),
+            payload: FloodPayload::BogusChecksumBlock {
+                payload_bytes: 100_000,
+            },
+            ..FloodConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    let cpu_before = sim.host_cpu(TARGET).cum_busy();
+    sim.run_for(3 * SECS);
+    let node: &Node = sim.app(TARGET).unwrap();
+    // Frames were received and dropped at the checksum stage...
+    assert!(node.telemetry.bad_checksum_frames > 50, "dropped {}", node.telemetry.bad_checksum_frames);
+    // ...before any misbehavior tracking: no score, no ban.
+    assert_eq!(node.tracker.tracked_peers(), 0);
+    assert!(node.banman.is_empty());
+    let attacker: &Flooder = sim.app(ATTACKER).unwrap();
+    assert!(attacker.stats.bans.is_empty());
+    // Yet the victim paid real processing cost (checksum over 100 kB each).
+    let cpu_spent = sim.host_cpu(TARGET).cum_busy() - cpu_before;
+    assert!(cpu_spent > 100_000_000, "victim cycles {cpu_spent}");
+}
+
+#[test]
+fn invalid_pow_block_bans_instantly() {
+    let mut sim = sim_with_target(NodeConfig::default());
+    sim.add_host(
+        ATTACKER,
+        Box::new(Flooder::new(FloodConfig {
+            target: target_addr(),
+            payload: FloodPayload::InvalidPowBlock,
+            ..FloodConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    sim.run_for(2 * SECS);
+    let attacker: &Flooder = sim.app(ATTACKER).unwrap();
+    assert_eq!(attacker.stats.bans.len(), 1, "one ban, then no reconnection");
+    assert_eq!(attacker.stats.bans[0].messages, 1, "a single invalid block = instant 100");
+    let node: &Node = sim.app(TARGET).unwrap();
+    assert_eq!(node.telemetry.bans, 1);
+    assert_eq!(node.banman.len(), 1);
+}
+
+#[test]
+fn vector3_serial_sybil_defeats_banning() {
+    let mut sim = sim_with_target(NodeConfig::default());
+    sim.add_host(
+        ATTACKER,
+        Box::new(Flooder::new(FloodConfig {
+            target: target_addr(),
+            payload: FloodPayload::InvalidPowBlock,
+            reconnect_on_ban: true,
+            sybil_port_start: 50_000,
+            connect_setup_delay: 200 * MILLIS,
+            ..FloodConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    sim.run_for(5 * SECS);
+    let attacker: &Flooder = sim.app(ATTACKER).unwrap();
+    // Banned again and again, each time returning from a fresh port.
+    assert!(attacker.stats.bans.len() >= 10, "bans {}", attacker.stats.bans.len());
+    let mut idents: Vec<_> = attacker.stats.bans.iter().map(|b| b.identifier).collect();
+    idents.sort_unstable();
+    idents.dedup();
+    assert_eq!(idents.len(), attacker.stats.bans.len(), "every ban hit a distinct identifier");
+    let node: &Node = sim.app(TARGET).unwrap();
+    assert_eq!(node.banman.len(), attacker.stats.bans.len());
+    // All banned identifiers share the attacker's IP: per-[IP:Port] banning
+    // never stopped the attack.
+    assert_eq!(node.banman.banned_ports_of(sim.now(), ATTACKER), attacker.stats.bans.len());
+}
+
+#[test]
+fn fig8_duplicate_version_staircase_and_timing() {
+    let mut sim = sim_with_target(NodeConfig::default());
+    sim.add_host(
+        ATTACKER,
+        Box::new(Flooder::new(FloodConfig {
+            target: target_addr(),
+            payload: FloodPayload::DuplicateVersion,
+            reconnect_on_ban: true,
+            sybil_port_start: 50_000,
+            connect_setup_delay: 200 * MILLIS,
+            ..FloodConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    sim.run_for(2 * SECS);
+    let attacker: &Flooder = sim.app(ATTACKER).unwrap();
+    assert!(!attacker.stats.bans.is_empty());
+    // Exactly 100 duplicate VERSIONs (+1 each) to reach the threshold.
+    assert_eq!(attacker.stats.bans[0].messages, 100);
+    // "No delay" operating point: ~1000 msg/s → ban in ≈0.1 s.
+    let ttb = attacker.mean_time_to_ban().unwrap();
+    assert!((0.08..0.15).contains(&ttb), "time to ban {ttb}");
+    // The victim recorded a clean +1 staircase.
+    let node: &Node = sim.app(TARGET).unwrap();
+    let first_ban_events: Vec<_> = node
+        .tracker
+        .events()
+        .iter()
+        .take(100)
+        .collect();
+    assert_eq!(first_ban_events.len(), 100);
+    for (i, e) in first_ban_events.iter().enumerate() {
+        assert_eq!(e.delta, 1);
+        assert_eq!(e.total, i as u32 + 1);
+    }
+}
+
+#[test]
+fn fig8_added_delay_slows_the_ban() {
+    let run = |extra: u64| {
+        let mut sim = sim_with_target(NodeConfig::default());
+        sim.add_host(
+            ATTACKER,
+            Box::new(Flooder::new(FloodConfig {
+                target: target_addr(),
+                payload: FloodPayload::DuplicateVersion,
+                reconnect_on_ban: true,
+                sybil_port_start: 50_000,
+                extra_interval: extra,
+                ..FloodConfig::default()
+            })),
+            HostConfig::default(),
+        );
+        sim.run_for(3 * SECS);
+        let attacker: &Flooder = sim.app(ATTACKER).unwrap();
+        attacker.mean_time_to_ban().unwrap()
+    };
+    let fast = run(0);
+    let slow = run(MILLIS); // +1 ms between messages, like the paper
+    // Paper: 0.1 s vs 0.2 s.
+    assert!((0.08..0.15).contains(&fast), "fast {fast}");
+    assert!((0.17..0.3).contains(&slow), "slow {slow}");
+}
+
+#[test]
+fn preconn_defamation_bans_innocent_identifiers_in_advance() {
+    let mut sim = sim_with_target(NodeConfig::default());
+    // The innocent host exists but never talks.
+    sim.add_host(
+        INNOCENT,
+        Box::new(Node::new(NodeConfig::default())),
+        HostConfig::default(),
+    );
+    let ports: Vec<u16> = (50_000..50_005).collect();
+    sim.add_host(
+        ATTACKER,
+        Box::new(PreConnDefamer::new(target_addr(), INNOCENT, ports.clone())),
+        HostConfig::default(),
+    );
+    sim.run_for(3 * SECS);
+    let node: &Node = sim.app(TARGET).unwrap();
+    for port in &ports {
+        assert!(
+            node.banman.is_banned(sim.now(), &SockAddr::new(INNOCENT, *port)),
+            "port {port} not banned"
+        );
+    }
+    // The innocent host itself never sent a thing.
+    assert_eq!(sim.host_counters(INNOCENT).tx_packets, 0);
+    let attacker: &PreConnDefamer = sim.app(ATTACKER).unwrap();
+    assert_eq!(attacker.records.len(), ports.len());
+}
+
+#[test]
+fn preconn_defamation_blocks_future_connection_but_not_other_ports() {
+    let mut sim = sim_with_target(NodeConfig::default());
+    sim.add_host(
+        ATTACKER,
+        Box::new(PreConnDefamer::new(target_addr(), INNOCENT, vec![50_000])),
+        HostConfig::default(),
+    );
+    sim.run_for(SECS);
+    // Now the innocent appears and tries to connect from the defamed port.
+    sim.add_host(
+        INNOCENT,
+        Box::new(Flooder::new(FloodConfig {
+            target: target_addr(),
+            payload: FloodPayload::Ping,
+            sybil_port_start: 50_000,
+            max_messages: Some(5),
+            ..FloodConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    sim.run_for(2 * SECS);
+    let node: &Node = sim.app(TARGET).unwrap();
+    assert!(node.telemetry.refused_banned >= 1, "defamed port was not refused");
+    // The innocent's flooder never got a session on 50000; the stack then
+    // picks 50001 on the next connect — which is NOT banned, proving the
+    // ban is per-identifier.
+    assert!(!node
+        .banman
+        .is_banned(sim.now(), &SockAddr::new(INNOCENT, 50_001)));
+}
+
+#[test]
+fn postconn_defamation_bans_live_innocent_peer() {
+    // Innocent runs a real node and connects to the target.
+    let mut sim = sim_with_target(NodeConfig::default());
+    sim.add_host(
+        INNOCENT,
+        Box::new(Node::new(NodeConfig {
+            outbound_targets: vec![target_addr()],
+            ..NodeConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    // The attacker sniffs everything around the target (same-LAN
+    // promiscuous mode) and spoofs the innocent peer.
+    let tap = sim.add_tap(TapFilter::Host(TARGET));
+    sim.add_host(
+        ATTACKER,
+        Box::new(PostConnDefamer::new(target_addr(), vec![INNOCENT], tap)),
+        HostConfig::default(),
+    );
+    sim.run_for(5 * SECS);
+    let node: &Node = sim.app(TARGET).unwrap();
+    // The innocent's identifier got banned although it sent nothing wrong.
+    assert!(!node.banman.is_empty(), "no ban recorded");
+    let banned_innocent = node
+        .banman
+        .history()
+        .iter()
+        .any(|(_, a)| a.ip == INNOCENT);
+    assert!(banned_innocent, "banned identifiers: {:?}", node.banman.history());
+    let attacker: &PostConnDefamer = sim.app(ATTACKER).unwrap();
+    assert!(!attacker.records.is_empty());
+    // The innocent node lost its outbound connection (reset by target).
+    let innocent: &Node = sim.app(INNOCENT).unwrap();
+    let _ = innocent;
+}
+
+#[test]
+fn postconn_defamation_with_duplicate_versions() {
+    // The slow Figure-8 variant through injection: 100 spoofed VERSIONs.
+    let mut sim = sim_with_target(NodeConfig::default());
+    sim.add_host(
+        INNOCENT,
+        Box::new(Node::new(NodeConfig {
+            outbound_targets: vec![target_addr()],
+            ..NodeConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    let tap = sim.add_tap(TapFilter::Host(TARGET));
+    let mut defamer = PostConnDefamer::new(target_addr(), vec![INNOCENT], tap);
+    defamer.payload = DefamationPayload::DuplicateVersions(100);
+    sim.add_host(ATTACKER, Box::new(defamer), HostConfig::default());
+    sim.run_for(5 * SECS);
+    let node: &Node = sim.app(TARGET).unwrap();
+    assert!(
+        node.banman.history().iter().any(|(_, a)| a.ip == INNOCENT),
+        "duplicate-version defamation failed"
+    );
+}
+
+#[test]
+fn defaming_outbound_peers_forces_reconnections() {
+    // Target maintains outbound connections to two innocent nodes; the
+    // attacker keeps defaming them; the target's outbound reconnection
+    // rate (detection feature c) rises.
+    let innocent2: [u8; 4] = [10, 0, 0, 10];
+    let mut sim = Simulator::new(SimConfig::default());
+    for ip in [INNOCENT, innocent2] {
+        sim.add_host(
+            ip,
+            Box::new(Node::new(NodeConfig::default())),
+            HostConfig::default(),
+        );
+    }
+    sim.add_host(
+        TARGET,
+        Box::new(Node::new(NodeConfig {
+            outbound_targets: vec![SockAddr::new(INNOCENT, 8333), SockAddr::new(innocent2, 8333)],
+            ..NodeConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    let tap = sim.add_tap(TapFilter::Host(TARGET));
+    sim.add_host(
+        ATTACKER,
+        Box::new(PostConnDefamer::new(
+            target_addr(),
+            vec![INNOCENT, innocent2],
+            tap,
+        )),
+        HostConfig::default(),
+    );
+    sim.run_for(10 * SECS);
+    let node: &Node = sim.app(TARGET).unwrap();
+    assert!(
+        node.telemetry.reconnects.len() >= 2,
+        "reconnects {}",
+        node.telemetry.reconnects.len()
+    );
+    assert!(node.banman.len() >= 2);
+}
+
+#[test]
+fn icmp_flood_never_reaches_the_application_layer() {
+    let mut sim = sim_with_target(NodeConfig::default());
+    sim.add_host(
+        ATTACKER,
+        Box::new(IcmpFlooder::new(TARGET, 10_000.0)),
+        HostConfig::default(),
+    );
+    sim.run_for(2 * SECS);
+    let node: &Node = sim.app(TARGET).unwrap();
+    // No Bitcoin messages were recorded at all.
+    assert_eq!(node.telemetry.messages.len(), 0);
+    let attacker: &IcmpFlooder = sim.app(ATTACKER).unwrap();
+    assert!(attacker.stats.sent > 15_000, "sent {}", attacker.stats.sent);
+    assert!(attacker.stats.replies > 10_000, "replies {}", attacker.stats.replies);
+    // The victim paid kernel-level cycles only.
+    let busy = sim.host_cpu(TARGET).cum_busy();
+    assert!(busy > attacker.stats.sent * 7_000, "busy {busy}");
+}
+
+#[test]
+fn sybil_parallel_connections_multiply_flood_rate() {
+    let rate_with = |conns: usize| {
+        let mut sim = sim_with_target(NodeConfig::default());
+        sim.add_host(
+            ATTACKER,
+            Box::new(Flooder::new(FloodConfig {
+                target: target_addr(),
+                payload: FloodPayload::Ping,
+                connections: conns,
+                ..FloodConfig::default()
+            })),
+            HostConfig::default(),
+        );
+        sim.run_for(3 * SECS);
+        let attacker: &Flooder = sim.app(ATTACKER).unwrap();
+        attacker.stats.messages_sent
+    };
+    let one = rate_with(1);
+    let ten = rate_with(10);
+    // More Sybil connections send more in aggregate, but sublinearly
+    // (socket model).
+    assert!(ten > one, "ten {ten} vs one {one}");
+    assert!(ten < 10 * one);
+}
+
+#[test]
+fn sybil_can_occupy_every_inbound_slot() {
+    // The threat model of §III-A: the target maintains up to 117 inbound
+    // slots, and nothing stops one attacker from filling all of them.
+    let mut sim = sim_with_target(NodeConfig::default());
+    sim.add_host(
+        ATTACKER,
+        Box::new(Flooder::new(FloodConfig {
+            target: target_addr(),
+            payload: FloodPayload::Ping,
+            connections: 130, // more than the 117 slots
+            max_messages: Some(0),
+            ..FloodConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    sim.run_for(3 * SECS);
+    let node: &Node = sim.app(TARGET).unwrap();
+    assert_eq!(
+        node.inbound_count(),
+        btc_wire::constants::MAX_INBOUND_CONNECTIONS,
+        "all 117 inbound slots occupied by one Sybil attacker"
+    );
+    // Slot 118+ was refused; an honest peer can no longer connect.
+    let attacker: &Flooder = sim.app(ATTACKER).unwrap();
+    assert_eq!(
+        attacker.stats.sessions_established,
+        btc_wire::constants::MAX_INBOUND_CONNECTIONS as u64
+    );
+}
+
+#[test]
+fn botnet_floods_from_many_hosts_aggregate() {
+    // The §III-A threat model: "every bot builds a connection to the
+    // target node". Three bot hosts, each with multiple Sybil connections.
+    let mut sim = sim_with_target(NodeConfig::default());
+    let bots: [[u8; 4]; 3] = [[10, 0, 9, 1], [10, 0, 9, 2], [10, 0, 9, 3]];
+    for ip in bots {
+        sim.add_host(
+            ip,
+            Box::new(Flooder::new(FloodConfig {
+                target: target_addr(),
+                payload: FloodPayload::Ping,
+                connections: 4,
+                ..FloodConfig::default()
+            })),
+            HostConfig::default(),
+        );
+    }
+    sim.run_for(3 * SECS);
+    let node: &Node = sim.app(TARGET).unwrap();
+    assert_eq!(node.inbound_count(), 12, "3 bots × 4 connections");
+    let total: u64 = bots
+        .iter()
+        .map(|ip| sim.app::<Flooder>(*ip).unwrap().stats.messages_sent)
+        .sum();
+    let single = {
+        let mut sim = sim_with_target(NodeConfig::default());
+        sim.add_host(
+            ATTACKER,
+            Box::new(Flooder::new(FloodConfig {
+                target: target_addr(),
+                payload: FloodPayload::Ping,
+                connections: 4,
+                ..FloodConfig::default()
+            })),
+            HostConfig::default(),
+        );
+        sim.run_for(3 * SECS);
+        sim.app::<Flooder>(ATTACKER).unwrap().stats.messages_sent
+    };
+    // Independent bot hosts don't share the per-process GIL bottleneck:
+    // the botnet aggregate beats one machine with the same total sockets.
+    assert!(total > 2 * single, "botnet {total} vs single-host {single}");
+    // Still nothing to ban.
+    assert_eq!(node.telemetry.bans, 0);
+    // getpeerinfo sees them all with zero scores.
+    let infos = node.peer_infos();
+    assert_eq!(infos.len(), 12);
+    assert!(infos.iter().all(|i| i.ban_score == 0 && i.inbound));
+}

@@ -1,0 +1,105 @@
+//! §IV-A's comparison: a TCP reset attack only *terminates* a connection —
+//! the victim reconnects immediately — while Defamation *bans* the
+//! identifier for 24 hours.
+
+use btc_attack::defamation::PostConnDefamer;
+use btc_attack::reset::TcpResetAttacker;
+use btc_netsim::packet::SockAddr;
+use btc_netsim::sim::{HostConfig, SimConfig, Simulator, TapFilter};
+use btc_netsim::time::SECS;
+use btc_node::node::{Node, NodeConfig};
+
+const TARGET: [u8; 4] = [10, 0, 0, 1];
+const INNOCENT: [u8; 4] = [10, 0, 0, 9];
+const ATTACKER: [u8; 4] = [10, 0, 9, 9];
+
+fn setup() -> Simulator {
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_host(
+        INNOCENT,
+        Box::new(Node::new(NodeConfig::default())),
+        HostConfig::default(),
+    );
+    sim.add_host(
+        TARGET,
+        Box::new(Node::new(NodeConfig {
+            target_outbound: 1,
+            outbound_targets: vec![SockAddr::new(INNOCENT, 8333)],
+            ..NodeConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    sim
+}
+
+#[test]
+fn tcp_reset_terminates_but_victim_reconnects() {
+    let mut sim = setup();
+    let tap = sim.add_tap(TapFilter::Host(TARGET));
+    sim.add_host(
+        ATTACKER,
+        Box::new(TcpResetAttacker::new(
+            SockAddr::new(TARGET, 8333),
+            vec![INNOCENT],
+            tap,
+        )),
+        HostConfig::default(),
+    );
+    sim.run_for(10 * SECS);
+    let attacker: &TcpResetAttacker = sim.app(ATTACKER).unwrap();
+    assert!(!attacker.records.is_empty(), "no reset injected");
+    let node: &Node = sim.app(TARGET).unwrap();
+    // The reset tore a connection down (the target saw a close and had to
+    // rebuild)...
+    assert!(
+        !node.telemetry.reconnects.is_empty(),
+        "target never had to reconnect"
+    );
+    // ...but NOTHING was banned: the identifier is still welcome, and the
+    // target is connected to the innocent again.
+    assert_eq!(node.telemetry.bans, 0);
+    assert!(node.banman.is_empty());
+    assert_eq!(node.outbound_count(), 1, "victim reconnected");
+}
+
+#[test]
+fn defamation_bans_where_reset_only_disrupts() {
+    // Same setup, same sniffing capability — the Defamation attacker turns
+    // the identical access into a 24-hour blacklisting.
+    let mut sim = setup();
+    let tap = sim.add_tap(TapFilter::Host(TARGET));
+    sim.add_host(
+        ATTACKER,
+        Box::new(PostConnDefamer::new(
+            SockAddr::new(TARGET, 8333),
+            vec![INNOCENT],
+            tap,
+        )),
+        HostConfig::default(),
+    );
+    sim.run_for(10 * SECS);
+    let node: &Node = sim.app(TARGET).unwrap();
+    assert!(node.telemetry.bans >= 1);
+    assert!(node
+        .banman
+        .is_banned(sim.now(), &SockAddr::new(INNOCENT, 8333)));
+    // The innocent cannot come back: the target has no outbound peer left
+    // (its only known address is banned).
+    assert_eq!(node.outbound_count(), 0);
+}
+
+#[test]
+fn persistent_resets_keep_disrupting_but_never_ban() {
+    let mut sim = setup();
+    let tap = sim.add_tap(TapFilter::Host(TARGET));
+    let mut attacker = TcpResetAttacker::new(SockAddr::new(TARGET, 8333), vec![INNOCENT], tap);
+    attacker.persistent = true;
+    sim.add_host(ATTACKER, Box::new(attacker), HostConfig::default());
+    sim.run_for(20 * SECS);
+    let attacker: &TcpResetAttacker = sim.app(ATTACKER).unwrap();
+    let node: &Node = sim.app(TARGET).unwrap();
+    // Repeated resets → repeated reconnections, still zero bans.
+    assert!(attacker.records.len() >= 2, "resets {}", attacker.records.len());
+    assert!(node.telemetry.reconnects.len() >= 2);
+    assert!(node.banman.is_empty());
+}

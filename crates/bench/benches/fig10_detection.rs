@@ -1,0 +1,73 @@
+//! Figure 10 + Figure 11 bench: statistical-engine training/detection
+//! latency against every ML baseline, measured on identical windows.
+
+use btc_detect::engine::AnalysisEngine;
+use btc_detect::features::TrafficWindow;
+use btc_detect::ml::all_baselines;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn dataset() -> (Vec<TrafficWindow>, Vec<Vec<f64>>, Vec<f64>) {
+    let mut windows = Vec::new();
+    let mut labels = Vec::new();
+    for seed in 0..180u64 {
+        let mut w = TrafficWindow::empty(10.0);
+        w.counts[12] = 1200 + seed % 150;
+        w.counts[6] = 1000 + (seed * 3) % 120;
+        w.counts[4] = 300 + seed % 40;
+        w.reconnects = seed % 2;
+        windows.push(w);
+        labels.push(0.0);
+    }
+    for seed in 0..30u64 {
+        let mut w = TrafficWindow::empty(10.0);
+        w.counts[4] = 120_000 + seed * 31;
+        windows.push(w);
+        labels.push(1.0);
+    }
+    let x = windows.iter().map(|w| w.feature_vector()).collect();
+    (windows, x, labels)
+}
+
+fn ours(c: &mut Criterion) {
+    let (windows, _, _) = dataset();
+    let engine = AnalysisEngine::default();
+    let normals = &windows[..180];
+    let mut g = c.benchmark_group("fig11/ours");
+    g.bench_function("train", |b| {
+        b.iter(|| black_box(engine.train(black_box(normals)).unwrap()))
+    });
+    let profile = engine.train(normals).unwrap();
+    g.bench_function("detect_one_window", |b| {
+        b.iter(|| black_box(engine.detect(&profile, black_box(&windows[200]))))
+    });
+    g.finish();
+}
+
+fn baselines(c: &mut Criterion) {
+    let (_, x, y) = dataset();
+    let mut g = c.benchmark_group("fig11/baselines");
+    g.sample_size(10);
+    for proto in all_baselines() {
+        let name = proto.name();
+        g.bench_function(format!("train_{name}"), |b| {
+            b.iter_batched(
+                || {
+                    all_baselines()
+                        .into_iter()
+                        .find(|m| m.name() == name)
+                        .expect("model")
+                },
+                |mut m| {
+                    m.fit(black_box(&x), black_box(&y));
+                    black_box(m.score(&x[0]))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ours, baselines);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 6 bench: the real hashing loop that grounds the mining-rate
+//! model, plus the end-to-end flood scenario.
+//!
+//! `sha256d_mining_loop` validates the cycle-per-hash constant of the CPU
+//! model on this machine; the `scenario/*` benches time the simulator
+//! reproducing each Figure-6 operating point.
+
+use banscore::scenario::fig6::run_fig6;
+use btc_wire::crypto::sha256d;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn mining_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/hashing");
+    g.throughput(Throughput::Elements(1000));
+    // The victim's miner: block-header-sized (80 B) double-SHA256 attempts.
+    g.bench_function("sha256d_mining_loop_1k", |b| {
+        let header = [0xA5u8; 80];
+        b.iter(|| {
+            let mut nonce_area = header;
+            for nonce in 0u32..1000 {
+                nonce_area[76..80].copy_from_slice(&nonce.to_le_bytes());
+                black_box(sha256d(&nonce_area));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn scenario(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/scenario");
+    g.sample_size(10);
+    g.bench_function("full_sweep_1s_per_point", |b| {
+        b.iter(|| black_box(run_fig6(1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, mining_loop, scenario);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 8 bench: the Defamation timing scenario and the misbehavior
+//! tracker's bookkeeping throughput.
+
+use banscore::scenario::fig8::run_fig8;
+use btc_netsim::packet::SockAddr;
+use btc_node::banscore::{BanPolicy, CoreVersion, Misbehavior, MisbehaviorTracker};
+use btc_node::BanMan;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn tracker_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8/tracker");
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("misbehaving_100x_to_ban", |b| {
+        b.iter_batched(
+            || MisbehaviorTracker::new(CoreVersion::V0_20, BanPolicy::Standard),
+            |mut t| {
+                let peer = SockAddr::new([10, 0, 0, 9], 50_000);
+                for i in 0..100u64 {
+                    black_box(t.misbehaving(i, peer, true, Misbehavior::DuplicateVersion));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("banman_is_banned_lookup", |b| {
+        let mut bm = BanMan::new();
+        for port in 49152..49252u16 {
+            bm.ban(0, SockAddr::new([10, 0, 0, 9], port));
+        }
+        b.iter(|| {
+            for port in 49152..49252u16 {
+                black_box(bm.is_banned(1, &SockAddr::new([10, 0, 0, 9], port)));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn scenario(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8/scenario");
+    g.sample_size(10);
+    g.bench_function("serial_sybil_3s", |b| b.iter(|| black_box(run_fig8(3))));
+    g.finish();
+}
+
+criterion_group!(benches, tracker_micro, scenario);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Table II bench: per-message attacker (build/frame) cost vs victim
+//! (receive-path) impact, measured by Criterion on real hardware.
+
+use btc_node::chain::{mine_child, Chain};
+use btc_node::mempool::Mempool;
+use btc_wire::message::{decode_frame, read_frame, FrameResult, Message, RawMessage, VersionMessage};
+use btc_wire::tx::{OutPoint, Transaction, TxIn, TxOut};
+use btc_wire::types::{Hash256, InvType, Inventory, Network};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+const NET: Network = Network::Regtest;
+
+fn sample_tx(tag: u8) -> Transaction {
+    Transaction {
+        version: 2,
+        inputs: vec![TxIn::new(OutPoint::new(Hash256::hash(&[tag]), 0))],
+        outputs: vec![TxOut::new(10_000, vec![0x51])],
+        lock_time: 0,
+    }
+}
+
+fn big_block() -> btc_wire::Block {
+    let chain = Chain::new();
+    let tip = chain.tip();
+    let hdr = chain.block(&tip).unwrap().header;
+    mine_child(&hdr, tip, 1, (0..100u8).map(sample_tx).collect())
+}
+
+fn victim_receive(bytes: &[u8]) -> Message {
+    let FrameResult::Frame { raw, .. } = read_frame(NET, bytes).unwrap() else {
+        panic!("incomplete");
+    };
+    decode_frame(&raw).unwrap()
+}
+
+fn attacker_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/attacker");
+    g.bench_function("build_ping", |b| {
+        b.iter(|| RawMessage::frame(NET, &Message::Ping(black_box(7))).to_bytes())
+    });
+    g.bench_function("build_inv_50k", |b| {
+        b.iter(|| {
+            let invs: Vec<Inventory> = (0..50_000u32)
+                .map(|i| Inventory::new(InvType::Tx, Hash256::hash(&i.to_le_bytes())))
+                .collect();
+            RawMessage::frame(NET, &Message::Inv(black_box(invs))).to_bytes()
+        })
+    });
+    let cached = RawMessage::frame(NET, &Message::Block(big_block())).to_bytes();
+    g.bench_function("replay_block", |b| b.iter(|| black_box(Bytes::clone(&cached))));
+    g.bench_function("build_version", |b| {
+        b.iter(|| {
+            let v = VersionMessage::new(Default::default(), Default::default(), 42);
+            RawMessage::frame(NET, &Message::Version(black_box(v))).to_bytes()
+        })
+    });
+    g.finish();
+}
+
+fn victim_impact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2/victim");
+    let ping = RawMessage::frame(NET, &Message::Ping(7)).to_bytes();
+    g.bench_function("process_ping", |b| {
+        b.iter(|| black_box(victim_receive(black_box(&ping))))
+    });
+    let block = big_block();
+    let block_frame = RawMessage::frame(NET, &Message::Block(block.clone())).to_bytes();
+    g.bench_function("process_block_full_validation", |b| {
+        b.iter(|| {
+            let Message::Block(blk) = victim_receive(black_box(&block_frame)) else {
+                panic!()
+            };
+            black_box(blk.check().is_ok())
+        })
+    });
+    let tx_frame = RawMessage::frame(NET, &Message::Tx(sample_tx(1))).to_bytes();
+    g.bench_function("process_tx_mempool_accept", |b| {
+        b.iter_batched(
+            || Mempool::new(16),
+            |mut pool| {
+                let Message::Tx(tx) = victim_receive(black_box(&tx_frame)) else {
+                    panic!()
+                };
+                black_box(pool.accept(&tx))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The bogus-checksum BLOCK: victim pays the sha256d pass only.
+    let bogus = RawMessage::frame_raw(NET, "block", Bytes::from(vec![0xAB; 200_000]))
+        .corrupt_checksum()
+        .to_bytes();
+    g.bench_function("process_bogus_block_checksum_only", |b| {
+        b.iter(|| {
+            let FrameResult::Frame { raw, .. } = read_frame(NET, black_box(&bogus)).unwrap()
+            else {
+                panic!()
+            };
+            black_box(btc_wire::message::verify_checksum(&raw).is_err())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, attacker_cost, victim_impact);
+criterion_main!(benches);

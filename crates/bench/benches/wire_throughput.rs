@@ -1,0 +1,49 @@
+//! Substrate bench: wire-protocol encode/decode and crypto throughput —
+//! the primitives every experiment sits on.
+
+use btc_wire::crypto::{sha256d, siphash24};
+use btc_wire::encode::{Decodable, Encodable};
+use btc_wire::tx::{OutPoint, Transaction, TxIn, TxOut};
+use btc_wire::types::Hash256;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire/crypto");
+    for size in [80usize, 1_000, 100_000] {
+        let data = vec![0x5Au8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("sha256d_{size}B"), |b| {
+            b.iter(|| black_box(sha256d(black_box(&data))))
+        });
+    }
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("siphash24_wtxid", |b| {
+        let wtxid = [7u8; 32];
+        b.iter(|| black_box(siphash24(1, 2, black_box(&wtxid))))
+    });
+    g.finish();
+}
+
+fn serialization(c: &mut Criterion) {
+    let tx = Transaction {
+        version: 2,
+        inputs: (0..4u8)
+            .map(|i| TxIn::new(OutPoint::new(Hash256::hash(&[i]), 0)))
+            .collect(),
+        outputs: (0..4).map(|i| TxOut::new(1000 * i, vec![0x51; 25])).collect(),
+        lock_time: 0,
+    };
+    let encoded = tx.encode_to_vec();
+    let mut g = c.benchmark_group("wire/serialization");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("tx_encode", |b| b.iter(|| black_box(tx.encode_to_vec())));
+    g.bench_function("tx_decode", |b| {
+        b.iter(|| black_box(Transaction::decode_all(black_box(&encoded)).unwrap()))
+    });
+    g.bench_function("txid", |b| b.iter(|| black_box(tx.txid())));
+    g.finish();
+}
+
+criterion_group!(benches, crypto, serialization);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! `repro` — regenerates every table and figure of the paper as text.
+//!
+//! ```text
+//! repro [--quick] [table1|table2|fig6|fig7|table3|fig8|fig10|fig11|counter|all]
+//! ```
+
+use banscore::countermeasure::{auth_overhead, evaluate_countermeasures, render_countermeasures};
+use banscore::scenario::evasion::{render_evasion, run_evasion, EvasionConfig};
+use banscore::scenario::fig10::{render_fig10, run_fig10};
+use banscore::scenario::fig6::{render_fig6, run_fig6};
+use banscore::scenario::fig8::{render_fig8, run_fig8};
+use banscore::scenario::table3::{render_table3, run_table3};
+use btc_attack::meter::{measure_bogus_block, measure_table2, render_table2};
+use btc_bench::ReproConfig;
+use btc_detect::dataset::Dataset;
+use btc_detect::eval::{compare_accuracy, render_accuracy};
+use btc_detect::latency::{compare_latencies, render_fig11};
+use btc_node::banscore::render_table1;
+
+fn section(title: &str) {
+    println!("\n==== {title} ====\n");
+}
+
+/// When `--csv` is given, experiment results are also written here.
+fn csv_out(name: &str, contents: &str) {
+    if !std::env::args().any(|a| a == "--csv") {
+        return;
+    }
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create results/: {e}");
+        return;
+    }
+    let path = dir.join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("[csv written to {}]", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
+fn table1() {
+    section("Table I — ban-score rules (0.20.0 / 0.21.0 / 0.22.0)");
+    print!("{}", render_table1());
+    let protected =
+        btc_node::banscore::protected_message_types(btc_node::banscore::CoreVersion::V0_20);
+    println!(
+        "\n{} of 26 message types carry ban-score rules in 0.20.0: {:?}",
+        protected.len(),
+        protected
+    );
+}
+
+fn table2(cfg: &ReproConfig) {
+    section("Table II — per-message attacker cost vs victim impact (measured)");
+    let mut rows = measure_table2(cfg.table2_iters);
+    rows.push(measure_bogus_block(cfg.table2_iters, 200_000));
+    rows.sort_by(|a, b| b.ratio.partial_cmp(&a.ratio).expect("no NaN"));
+    print!("{}", render_table2(&rows));
+    csv_out("table2.csv", &btc_bench::csv::table2(&rows));
+    println!("\n(paper: BLOCK ratio 26323, BLOCKTXN 5849, CMPCTBLOCK 3192; bogus BLOCK 2133)");
+}
+
+fn fig6(cfg: &ReproConfig) {
+    section("Figure 6 — BM-DoS impact on mining rate");
+    let points = run_fig6(cfg.flood_secs);
+    print!("{}", render_fig6(&points));
+    csv_out("fig6.csv", &btc_bench::csv::fig6(&points));
+    println!("\n(paper: none 9.5e5; block 3.5/2.8/2.6e5; ping 5.5/4.6/3.5e5 at 1/10/20 conns)");
+}
+
+fn table3(cfg: &ReproConfig) {
+    section("Table III / Figure 7 — BM-DoS vs network-layer flooding");
+    let rows = run_table3(cfg.flood_secs);
+    print!("{}", render_table3(&rows));
+    csv_out("table3.csv", &btc_bench::csv::table3(&rows));
+    println!("\n(paper: PING capped at 1e3 msg/s; ICMP reaches 1e6 pps; at equal rates the");
+    println!(" application-layer flood degrades mining more)");
+}
+
+fn fig8(cfg: &ReproConfig) {
+    section("Figure 8 / §VI-D — Defamation timing");
+    let r = run_fig8(cfg.fig8_secs);
+    print!("{}", render_fig8(&r));
+    csv_out("fig8_staircase.csv", &btc_bench::csv::fig8_staircase(&r));
+}
+
+fn fig10(cfg: &ReproConfig) {
+    section("Figure 10 — anomaly detection (normal vs BM-DoS vs Defamation)");
+    let r = run_fig10(cfg.fig10);
+    print!("{}", render_fig10(&r));
+    println!("\n(paper: τ_n=[252,390], τ_c=[0,2.1], τ_Λ=0.993; ρ=0.05 under BM-DoS,");
+    println!(" ρ=0.88 under Defamation, c=5.3/min)");
+}
+
+fn fig11(cfg: &ReproConfig) {
+    section("Figure 11 — detection training/testing latency vs ML baselines");
+    // Build a labelled dataset from the trained scenario traffic.
+    let r = run_fig10(cfg.fig10);
+    let mut windows = Vec::new();
+    let mut labels = Vec::new();
+    // Replicate the aggregate case windows into a training corpus.
+    for c in &r.cases {
+        let label = if c.name == "normal" { 0.0 } else { 1.0 };
+        for i in 0..40u64 {
+            let mut w = c.window;
+            // Small deterministic jitter so models see variation.
+            for (j, count) in w.counts.iter_mut().enumerate() {
+                *count += (i * 7 + j as u64) % 5;
+            }
+            windows.push(w);
+            labels.push(label);
+        }
+    }
+    let rows = compare_latencies(&windows, &labels);
+    print!("{}", render_fig11(&rows));
+    csv_out("fig11.csv", &btc_bench::csv::fig11(&rows));
+    println!("\n(paper: the statistical engine is ≥4 orders of magnitude faster than the");
+    println!(" Python/sklearn baselines; our compiled-Rust baselines narrow the absolute");
+    println!(" gap but preserve the ordering — see EXPERIMENTS.md)");
+
+    // Detection quality on the same corpus (the paper reports 100 %
+    // accuracy against the non-evasive attacker).
+    let mut ds = Dataset::new();
+    for (w, l) in windows.iter().zip(&labels) {
+        ds.push(*w, *l);
+    }
+    println!("\nDetection accuracy (held-out every 4th window):");
+    print!("{}", render_accuracy(&compare_accuracy(&ds, 4)));
+}
+
+fn evasion() {
+    section("Extension (§VII future work) — the intelligent/evasive attacker");
+    let r = run_evasion(
+        EvasionConfig::default(),
+        &[30.0, 150.0, 1_000.0, 12_000.0],
+    );
+    print!("{}", render_evasion(&r));
+    csv_out("evasion.csv", &btc_bench::csv::evasion(&r));
+    println!("\nThe paper's mitigation argument, quantified: staying under the");
+    println!("detector's thresholds caps the attacker's damage.");
+}
+
+fn counter() {
+    section("§VIII — countermeasures vs the Defamation attack");
+    let rows = evaluate_countermeasures();
+    print!("{}", render_countermeasures(&rows));
+    let a = auth_overhead(60_000, 34);
+    println!(
+        "\nAuthentication estimate: {} nodes × {} conns → {} connections to encrypt;",
+        a.nodes, a.connections_per_node, a.total_connections
+    );
+    println!(
+        "≈{:.1} CPU-seconds of handshakes network-wide, +{} B/message.",
+        a.handshake_cpu_seconds, a.per_message_overhead_bytes
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cfg = if quick {
+        ReproConfig::quick()
+    } else {
+        ReproConfig::default()
+    };
+    let what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let what = if what.is_empty() { vec!["all"] } else { what };
+    for w in what {
+        match w {
+            "table1" => table1(),
+            "table2" => table2(&cfg),
+            "fig6" => fig6(&cfg),
+            "fig7" | "table3" => table3(&cfg),
+            "fig8" => fig8(&cfg),
+            "fig10" => fig10(&cfg),
+            "fig11" => fig11(&cfg),
+            "counter" => counter(),
+            "evasion" => evasion(),
+            "all" => {
+                table1();
+                table2(&cfg);
+                fig6(&cfg);
+                table3(&cfg);
+                fig8(&cfg);
+                fig10(&cfg);
+                fig11(&cfg);
+                evasion();
+                counter();
+            }
+            other => {
+                eprintln!("unknown experiment {other:?}");
+                        eprintln!("usage: repro [--quick] [table1|table2|fig6|fig7|table3|fig8|fig10|fig11|evasion|counter|all]");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! # btc-bench
+//!
+//! The benchmark harness of the reproduction: Criterion benches (one per
+//! paper table/figure plus ablations) and the `repro` binary, which
+//! regenerates every table and figure as text:
+//!
+//! ```text
+//! cargo run -p btc-bench --release --bin repro -- all
+//! ```
+
+#![warn(missing_docs)]
+
+use banscore::scenario::fig10::Fig10Config;
+use btc_netsim::time::MINUTES;
+
+/// Experiment sizes for the `repro` binary.
+#[derive(Clone, Copy, Debug)]
+pub struct ReproConfig {
+    /// Seconds of virtual flooding per Figure-6 / Table-III point.
+    pub flood_secs: u64,
+    /// Seconds of virtual serial-Sybil Defamation for Figure 8.
+    pub fig8_secs: u64,
+    /// Figure-10 durations.
+    pub fig10: Fig10Config,
+    /// Iterations per Table-II row.
+    pub table2_iters: u32,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        ReproConfig {
+            flood_secs: 10,
+            fig8_secs: 10,
+            fig10: Fig10Config {
+                train: 120 * MINUTES,
+                window: 10 * MINUTES,
+                test: 10 * MINUTES,
+                innocents: 80,
+            },
+            table2_iters: 200,
+        }
+    }
+}
+
+impl ReproConfig {
+    /// A fast configuration for smoke tests.
+    pub fn quick() -> Self {
+        ReproConfig {
+            flood_secs: 2,
+            fig8_secs: 3,
+            fig10: Fig10Config {
+                train: 20 * MINUTES,
+                window: 5 * MINUTES,
+                test: 4 * MINUTES,
+                innocents: 25,
+            },
+            table2_iters: 10,
+        }
+    }
+}
+
+/// CSV serializers for the experiment results — written next to the text
+/// tables when `repro --csv` is used, so figures can be re-plotted with
+/// any external tool.
+pub mod csv {
+    use banscore::scenario::evasion::EvasionResult;
+    use banscore::scenario::fig6::Fig6Point;
+    use banscore::scenario::fig8::Fig8Result;
+    use banscore::scenario::table3::Table3Row;
+    use btc_attack::meter::CostRow;
+    use btc_detect::latency::LatencyRow;
+
+    /// Table II rows.
+    pub fn table2(rows: &[CostRow]) -> String {
+        let mut out = String::from("message,attacker_clocks,victim_clocks,ratio\n");
+        for r in rows {
+            out.push_str(&format!(
+                "{},{:.2},{:.2},{:.4}\n",
+                r.command, r.attacker_clocks, r.victim_clocks, r.ratio
+            ));
+        }
+        out
+    }
+
+    /// Figure 6 points.
+    pub fn fig6(points: &[Fig6Point]) -> String {
+        let mut out = String::from("attack,connections,msgs_per_sec,mbits_per_sec,mining_rate\n");
+        for p in points {
+            out.push_str(&format!(
+                "{},{},{:.2},{:.3},{:.1}\n",
+                p.attack, p.connections, p.msgs_per_sec, p.mbits_per_sec, p.mining_rate
+            ));
+        }
+        out
+    }
+
+    /// Table III rows.
+    pub fn table3(rows: &[Table3Row]) -> String {
+        let mut out = String::from(
+            "layer,rate,achieved_rate,attacker_cpu_pct,attacker_mem_mb,bandwidth_kbits,mining_rate\n",
+        );
+        for r in rows {
+            out.push_str(&format!(
+                "{},{:.0},{:.1},{:.3},{:.2},{:.2},{:.1}\n",
+                r.layer,
+                r.rate,
+                r.achieved_rate,
+                r.attacker_cpu_pct,
+                r.attacker_mem_mb,
+                r.bandwidth_kbits,
+                r.mining_rate
+            ));
+        }
+        out
+    }
+
+    /// The Figure-8 ban-score staircase.
+    pub fn fig8_staircase(r: &Fig8Result) -> String {
+        let mut out = String::from("seconds,score\n");
+        for (t, s) in &r.staircase {
+            out.push_str(&format!("{t:.6},{s}\n"));
+        }
+        out
+    }
+
+    /// Figure 11 latencies.
+    pub fn fig11(rows: &[LatencyRow]) -> String {
+        let mut out = String::from("method,train_ns,test_ns_per_window\n");
+        for r in rows {
+            out.push_str(&format!("{},{:.0},{:.1}\n", r.name, r.train_ns, r.test_ns));
+        }
+        out
+    }
+
+    /// The evasion sweep.
+    pub fn evasion(r: &EvasionResult) -> String {
+        let mut out = String::from("rate_per_min,sent,detected,mining_rate,damage\n");
+        for p in &r.points {
+            out.push_str(&format!(
+                "{:.0},{},{},{:.1},{:.4}\n",
+                p.rate_per_min, p.sent, p.detected, p.mining_rate, p.damage
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,195 @@
+//! The experiment testbed: builds the paper's §V setup — a target node,
+//! synthetic Mainnet feeders, optional innocent peers, and a reserved slot
+//! for the attacker — inside the deterministic simulator.
+
+use crate::mainnet::MainnetPeer;
+use btc_detect::features::TrafficWindow;
+use btc_netsim::packet::{Ipv4, SockAddr};
+use btc_netsim::sim::{HostConfig, SimConfig, Simulator};
+use btc_netsim::time::Nanos;
+use btc_node::node::{Node, NodeConfig};
+
+/// Well-known testbed addresses.
+pub mod addrs {
+    use btc_netsim::packet::Ipv4;
+
+    /// The target node.
+    pub const TARGET: Ipv4 = [10, 0, 0, 1];
+    /// The attacker host (added by the scenario).
+    pub const ATTACKER: Ipv4 = [10, 0, 9, 9];
+
+    /// The `i`-th mainnet feeder.
+    pub fn feeder(i: usize) -> Ipv4 {
+        [10, 0, 1, (i + 1) as u8]
+    }
+
+    /// The `i`-th innocent peer.
+    pub fn innocent(i: usize) -> Ipv4 {
+        [10, 0, 2 + (i / 250) as u8, (i % 250 + 1) as u8]
+    }
+}
+
+/// Testbed configuration.
+#[derive(Clone, Debug)]
+pub struct TestbedConfig {
+    /// Target node configuration (outbound targets are filled in from the
+    /// innocents automatically).
+    pub node: NodeConfig,
+    /// Synthetic Mainnet feeders dialing the target.
+    pub feeders: usize,
+    /// Innocent listening nodes the target can dial.
+    pub innocents: usize,
+    /// How many outbound connections the target maintains.
+    pub target_outbound: usize,
+    /// Simulator seed.
+    pub seed: u64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            node: NodeConfig::default(),
+            feeders: 3,
+            innocents: 0,
+            target_outbound: 0,
+            seed: 0xB17C_0123,
+        }
+    }
+}
+
+/// A built testbed.
+pub struct Testbed {
+    /// The simulator (attacker hosts may still be added).
+    pub sim: Simulator,
+    /// Target IP.
+    pub target: Ipv4,
+    /// Target `[IP:Port]`.
+    pub target_addr: SockAddr,
+    /// Feeder IPs.
+    pub feeder_ips: Vec<Ipv4>,
+    /// Innocent IPs.
+    pub innocent_ips: Vec<Ipv4>,
+}
+
+impl Testbed {
+    /// Builds the testbed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more innocents are requested than the address plan
+    /// supports (500).
+    pub fn build(cfg: TestbedConfig) -> Testbed {
+        assert!(cfg.innocents <= 500, "too many innocents");
+        let mut sim = Simulator::new(SimConfig {
+            seed: cfg.seed,
+            ..SimConfig::default()
+        });
+        let target_addr = SockAddr::new(addrs::TARGET, cfg.node.listen_port);
+        let innocent_ips: Vec<Ipv4> = (0..cfg.innocents).map(addrs::innocent).collect();
+        // Innocent peers first so they are listening before the target dials.
+        for ip in &innocent_ips {
+            sim.add_host(
+                *ip,
+                Box::new(Node::new(NodeConfig::default())),
+                HostConfig::default(),
+            );
+        }
+        let mut node_cfg = cfg.node.clone();
+        node_cfg.target_outbound = cfg.target_outbound;
+        node_cfg.outbound_targets = innocent_ips
+            .iter()
+            .map(|ip| SockAddr::new(*ip, 8333))
+            .collect();
+        sim.add_host(addrs::TARGET, Box::new(Node::new(node_cfg)), HostConfig::default());
+        let feeder_ips: Vec<Ipv4> = (0..cfg.feeders).map(addrs::feeder).collect();
+        for ip in &feeder_ips {
+            sim.add_host(
+                *ip,
+                Box::new(MainnetPeer::new(target_addr)),
+                HostConfig::default(),
+            );
+        }
+        Testbed {
+            sim,
+            target: addrs::TARGET,
+            target_addr,
+            feeder_ips,
+            innocent_ips,
+        }
+    }
+
+    /// Borrow the target node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target host was removed (it never is).
+    pub fn target_node(&self) -> &Node {
+        self.sim.app(self.target).expect("target is a Node")
+    }
+
+    /// Mutably borrow the target node.
+    pub fn target_node_mut(&mut self) -> &mut Node {
+        self.sim.app_mut(self.target).expect("target is a Node")
+    }
+
+    /// Cuts the target's telemetry into detection windows.
+    pub fn windows(&self, start: Nanos, end: Nanos, window_len: Nanos) -> Vec<TrafficWindow> {
+        crate::windows::windows_from_telemetry(&self.target_node().telemetry, start, end, window_len)
+    }
+
+    /// Aggregates a span of the target's telemetry into one window.
+    pub fn single_window(&self, start: Nanos, end: Nanos) -> TrafficWindow {
+        crate::windows::single_window(&self.target_node().telemetry, start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btc_netsim::time::{MINUTES, SECS};
+
+    #[test]
+    fn default_testbed_runs_clean() {
+        let mut tb = Testbed::build(TestbedConfig::default());
+        tb.sim.run_for(2 * MINUTES);
+        let node = tb.target_node();
+        assert_eq!(node.inbound_count(), 3, "three feeders connected");
+        assert_eq!(node.telemetry.bans, 0);
+        assert!(node.telemetry.messages.len() > 100);
+    }
+
+    #[test]
+    fn testbed_with_innocents_fills_outbound() {
+        let mut tb = Testbed::build(TestbedConfig {
+            innocents: 4,
+            target_outbound: 2,
+            ..TestbedConfig::default()
+        });
+        tb.sim.run_for(5 * SECS);
+        let node = tb.target_node();
+        assert_eq!(node.outbound_count(), 2);
+    }
+
+    #[test]
+    fn windows_cover_the_run() {
+        let mut tb = Testbed::build(TestbedConfig::default());
+        tb.sim.run_for(4 * MINUTES);
+        let w = tb.windows(0, 4 * MINUTES, 2 * MINUTES);
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().all(|w| w.total() > 0));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let run = |seed| {
+            let mut tb = Testbed::build(TestbedConfig {
+                seed,
+                ..TestbedConfig::default()
+            });
+            tb.sim.run_for(MINUTES);
+            tb.target_node().telemetry.messages.len()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

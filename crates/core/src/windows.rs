@@ -1,0 +1,92 @@
+//! Bridges node telemetry (the Monitor) to the detection engine's traffic
+//! windows (the Dataset) — the data path of Figure 9.
+
+use btc_detect::features::TrafficWindow;
+use btc_netsim::time::{Nanos, MINUTES};
+use btc_node::metrics::Telemetry;
+
+/// Cuts `[start, end)` of a node's telemetry into consecutive windows of
+/// `window_len` (the paper uses 10-minute windows). A trailing partial
+/// window is discarded.
+pub fn windows_from_telemetry(
+    telemetry: &Telemetry,
+    start: Nanos,
+    end: Nanos,
+    window_len: Nanos,
+) -> Vec<TrafficWindow> {
+    assert!(window_len > 0, "zero window length");
+    let minutes = window_len as f64 / MINUTES as f64;
+    let mut out = Vec::new();
+    let mut at = start;
+    while at + window_len <= end {
+        let counts = telemetry.counts_in_window(at, at + window_len);
+        let reconnects = telemetry.reconnects_in_window(at, at + window_len);
+        out.push(TrafficWindow {
+            counts,
+            reconnects,
+            minutes,
+        });
+        at += window_len;
+    }
+    out
+}
+
+/// Aggregates a whole span into a single window (used for the Figure-10
+/// per-case distributions).
+pub fn single_window(telemetry: &Telemetry, start: Nanos, end: Nanos) -> TrafficWindow {
+    let minutes = (end.saturating_sub(start)) as f64 / MINUTES as f64;
+    TrafficWindow {
+        counts: telemetry.counts_in_window(start, end),
+        reconnects: telemetry.reconnects_in_window(start, end),
+        minutes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btc_netsim::packet::SockAddr;
+    use btc_netsim::time::SECS;
+    use btc_node::metrics::msg_type_id;
+
+    fn telemetry_with(n: u64) -> Telemetry {
+        let mut t = Telemetry::default();
+        let ping = msg_type_id("ping").unwrap();
+        let from = SockAddr::new([1, 1, 1, 1], 1);
+        for i in 0..n {
+            t.record_message(i * SECS, ping, 8, from);
+        }
+        t.record_reconnect(30 * SECS, from);
+        t
+    }
+
+    #[test]
+    fn cuts_consecutive_windows() {
+        let t = telemetry_with(600);
+        let w = windows_from_telemetry(&t, 0, 600 * SECS, 60 * SECS);
+        assert_eq!(w.len(), 10);
+        for win in &w {
+            assert_eq!(win.total(), 60);
+            assert_eq!(win.minutes, 1.0);
+        }
+        assert_eq!(w[0].reconnects, 1);
+        assert_eq!(w[1].reconnects, 0);
+    }
+
+    #[test]
+    fn partial_tail_discarded() {
+        let t = telemetry_with(100);
+        let w = windows_from_telemetry(&t, 0, 95 * SECS, 60 * SECS);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn single_window_aggregates() {
+        let t = telemetry_with(600);
+        let w = single_window(&t, 0, 600 * SECS);
+        assert_eq!(w.total(), 600);
+        assert_eq!(w.minutes, 10.0);
+        assert_eq!(w.reconnects, 1);
+        assert_eq!(w.message_rate(), 60.0);
+    }
+}

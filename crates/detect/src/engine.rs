@@ -1,0 +1,271 @@
+//! The statistical anomaly-detection engine of §VII: train a reference
+//! profile from normal traffic, then flag windows whose features leave the
+//! learned thresholds.
+//!
+//! Mirrors the paper's architecture: the **Monitor** lives in the node
+//! (telemetry), the **Dataset** is a collection of [`TrafficWindow`]s, and
+//! the **Analysis Engine** is [`Profile`] + [`AnalysisEngine`]. Training is
+//! a single O(windows) pass — no iterative optimization — which is where
+//! the ≥4-orders-of-magnitude latency advantage over the ML baselines
+//! (Figure 11) comes from.
+
+use crate::features::{correlation, TrafficWindow, NUM_TYPES};
+use serde::{Deserialize, Serialize};
+
+/// Which feature flagged a window.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Violation {
+    /// Overall message rate `n` outside `τ_n`.
+    MessageRate,
+    /// Reconnection rate `c` above `τ_c`.
+    ReconnectRate,
+    /// Distribution correlation `ρ` below `τ_Λ`.
+    Distribution,
+}
+
+/// The trained reference profile.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Message-rate band `τ_n` (messages/minute).
+    pub tau_n: (f64, f64),
+    /// Reconnection-rate band `τ_c` (reconnections/minute).
+    pub tau_c: (f64, f64),
+    /// Distribution-similarity threshold `τ_Λ` (Pearson ρ).
+    pub tau_lambda: f64,
+    /// Mean normal message distribution (the Λ reference).
+    pub reference: [f64; NUM_TYPES],
+    /// Windows trained on.
+    pub training_windows: usize,
+}
+
+/// One detection verdict.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Whether the window is anomalous.
+    pub anomalous: bool,
+    /// Measured message rate `n`.
+    pub n: f64,
+    /// Measured reconnection rate `c`.
+    pub c: f64,
+    /// Measured correlation `ρ` against the reference.
+    pub rho: f64,
+    /// Which thresholds were violated.
+    pub violations: Vec<Violation>,
+}
+
+/// Errors from training.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainError {
+    /// No training windows were provided.
+    EmptyDataset,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::EmptyDataset => write!(f, "empty training dataset"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// The analysis engine.
+#[derive(Clone, Debug)]
+pub struct AnalysisEngine {
+    /// Slack applied outside the observed `n` band (fraction).
+    pub rate_margin: f64,
+    /// Slack added above the observed `c` maximum (absolute, per minute).
+    pub reconnect_margin: f64,
+    /// Slack below the observed worst-case training correlation.
+    pub lambda_margin: f64,
+}
+
+impl Default for AnalysisEngine {
+    fn default() -> Self {
+        AnalysisEngine {
+            rate_margin: 0.10,
+            reconnect_margin: 0.5,
+            lambda_margin: 0.004,
+        }
+    }
+}
+
+impl AnalysisEngine {
+    /// Trains a [`Profile`] from normal-traffic windows.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::EmptyDataset`] when `windows` is empty.
+    pub fn train(&self, windows: &[TrafficWindow]) -> Result<Profile, TrainError> {
+        if windows.is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
+        // Reference distribution: mean of the per-window distributions.
+        let mut reference = [0.0f64; NUM_TYPES];
+        for w in windows {
+            for (r, d) in reference.iter_mut().zip(w.distribution().iter()) {
+                *r += d;
+            }
+        }
+        for r in reference.iter_mut() {
+            *r /= windows.len() as f64;
+        }
+        let mut n_min = f64::INFINITY;
+        let mut n_max = f64::NEG_INFINITY;
+        let mut c_max = 0.0f64;
+        let mut rho_min = 1.0f64;
+        for w in windows {
+            let n = w.message_rate();
+            n_min = n_min.min(n);
+            n_max = n_max.max(n);
+            c_max = c_max.max(w.reconnect_rate());
+            rho_min = rho_min.min(correlation(&w.distribution(), &reference));
+        }
+        Ok(Profile {
+            tau_n: (
+                n_min * (1.0 - self.rate_margin),
+                n_max * (1.0 + self.rate_margin),
+            ),
+            tau_c: (0.0, c_max + self.reconnect_margin),
+            tau_lambda: (rho_min - self.lambda_margin).clamp(0.0, 1.0),
+            reference,
+            training_windows: windows.len(),
+        })
+    }
+
+    /// Tests one window against a trained profile.
+    pub fn detect(&self, profile: &Profile, window: &TrafficWindow) -> Detection {
+        let n = window.message_rate();
+        let c = window.reconnect_rate();
+        let rho = correlation(&window.distribution(), &profile.reference);
+        let mut violations = Vec::new();
+        if n < profile.tau_n.0 || n > profile.tau_n.1 {
+            violations.push(Violation::MessageRate);
+        }
+        if c < profile.tau_c.0 || c > profile.tau_c.1 {
+            violations.push(Violation::ReconnectRate);
+        }
+        if rho < profile.tau_lambda {
+            violations.push(Violation::Distribution);
+        }
+        Detection {
+            anomalous: !violations.is_empty(),
+            n,
+            c,
+            rho,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A plausible normal 10-minute window: TX/INV dominated, some pings,
+    /// rare version/verack churn — rates inside the paper's 252–390
+    /// msg/min band.
+    fn normal_window(seed: u64) -> TrafficWindow {
+        let mut w = TrafficWindow::empty(10.0);
+        let jitter = |base: u64, k: u64| base + (seed.wrapping_mul(k + 1) % (base / 4 + 1));
+        w.counts[12] = jitter(1200, 1); // tx
+        w.counts[6] = jitter(1000, 2); // inv
+        w.counts[4] = jitter(300, 3); // ping
+        w.counts[5] = jitter(300, 4); // pong
+        w.counts[2] = jitter(80, 5); // addr
+        w.counts[11] = jitter(120, 6); // headers
+        w.counts[7] = jitter(100, 7); // getdata
+        w.counts[0] = 2; // version
+        w.counts[1] = 2; // verack
+        w.reconnects = seed % 2;
+        w
+    }
+
+    fn trained() -> (AnalysisEngine, Profile) {
+        let engine = AnalysisEngine::default();
+        let windows: Vec<TrafficWindow> = (0..210).map(normal_window).collect();
+        let profile = engine.train(&windows).unwrap();
+        (engine, profile)
+    }
+
+    #[test]
+    fn training_requires_data() {
+        assert_eq!(
+            AnalysisEngine::default().train(&[]),
+            Err(TrainError::EmptyDataset)
+        );
+    }
+
+    #[test]
+    fn normal_windows_pass() {
+        let (engine, profile) = trained();
+        for seed in 300..320 {
+            let d = engine.detect(&profile, &normal_window(seed));
+            assert!(!d.anomalous, "false positive: {d:?}");
+            assert!(d.rho > profile.tau_lambda);
+        }
+    }
+
+    #[test]
+    fn ping_flood_detected_by_rate_and_distribution() {
+        // The paper's under-BM-DoS case: PING at ~15000 msg/min, 94% of
+        // traffic, ρ ≈ 0.05.
+        let (engine, profile) = trained();
+        let mut w = normal_window(1);
+        w.counts[4] += 150_000;
+        let d = engine.detect(&profile, &w);
+        assert!(d.anomalous);
+        assert!(d.violations.contains(&Violation::MessageRate));
+        assert!(d.violations.contains(&Violation::Distribution));
+        assert!(d.rho < 0.3, "rho {}", d.rho);
+        let ping_share = w.distribution()[4];
+        assert!(ping_share > 0.9, "ping share {ping_share}");
+    }
+
+    #[test]
+    fn defamation_detected_by_reconnect_rate() {
+        // The paper's under-Defamation case: c = 5.3/min, VERSION ×44,
+        // VERACK ×30, ρ ≈ 0.88 — distribution alone borderline, but c is
+        // decisive.
+        let (engine, profile) = trained();
+        let mut w = normal_window(1);
+        w.counts[0] *= 44;
+        w.counts[1] *= 30;
+        w.reconnects = 53; // 5.3 per minute over 10 minutes
+        let d = engine.detect(&profile, &w);
+        assert!(d.anomalous);
+        assert!(d.violations.contains(&Violation::ReconnectRate));
+        assert!(d.rho > 0.5, "rho {}", d.rho);
+        assert!(d.c > profile.tau_c.1);
+    }
+
+    #[test]
+    fn thresholds_resemble_paper_bands() {
+        let (_, profile) = trained();
+        // n band should bracket the training rates (~300-400 msg/min).
+        assert!(profile.tau_n.0 > 100.0 && profile.tau_n.1 < 1000.0,
+            "tau_n {:?}", profile.tau_n);
+        // τ_Λ near 1 (paper: 0.993).
+        assert!(profile.tau_lambda > 0.95, "tau_lambda {}", profile.tau_lambda);
+        // τ_c small (paper: 2.1/min).
+        assert!(profile.tau_c.1 < 3.0, "tau_c {:?}", profile.tau_c);
+    }
+
+    #[test]
+    fn quiet_window_flagged_by_low_rate() {
+        let (engine, profile) = trained();
+        let w = TrafficWindow::empty(10.0);
+        let d = engine.detect(&profile, &w);
+        assert!(d.anomalous);
+        assert!(d.violations.contains(&Violation::MessageRate));
+    }
+
+    #[test]
+    fn profile_clones_faithfully() {
+        let (_, profile) = trained();
+        let copy = profile.clone();
+        assert_eq!(copy, profile);
+        assert_eq!(copy.training_windows, 210);
+    }
+}

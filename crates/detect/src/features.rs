@@ -1,0 +1,195 @@
+//! The detection features of §VII-A:
+//!
+//! * `c` — **outbound peer reconnection rate** (reconnections/minute),
+//!   specific to the Defamation attack;
+//! * `n` — **overall message rate** (messages/minute), for BM-DoS;
+//! * `Λ` — **message count distribution** over the 26 message types,
+//!   compared by Pearson correlation, for both attacks.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of P2P message types tracked (one slot per command).
+pub const NUM_TYPES: usize = 26;
+
+/// One observation window of node traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrafficWindow {
+    /// Message count per type (indexed like
+    /// `btc_wire::message::ALL_COMMANDS`).
+    pub counts: [u64; NUM_TYPES],
+    /// Outbound reconnections within the window.
+    pub reconnects: u64,
+    /// Window length in minutes.
+    pub minutes: f64,
+}
+
+impl TrafficWindow {
+    /// An empty window of `minutes` length.
+    pub fn empty(minutes: f64) -> Self {
+        TrafficWindow {
+            counts: [0; NUM_TYPES],
+            reconnects: 0,
+            minutes,
+        }
+    }
+
+    /// Total messages in the window.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Feature `n`: messages per minute.
+    pub fn message_rate(&self) -> f64 {
+        if self.minutes <= 0.0 {
+            return 0.0;
+        }
+        self.total() as f64 / self.minutes
+    }
+
+    /// Feature `c`: reconnections per minute.
+    pub fn reconnect_rate(&self) -> f64 {
+        if self.minutes <= 0.0 {
+            return 0.0;
+        }
+        self.reconnects as f64 / self.minutes
+    }
+
+    /// Feature `Λ`: the relative count distribution (sums to 1 unless the
+    /// window is empty).
+    pub fn distribution(&self) -> [f64; NUM_TYPES] {
+        let total = self.total() as f64;
+        let mut out = [0.0; NUM_TYPES];
+        if total > 0.0 {
+            for (o, c) in out.iter_mut().zip(self.counts.iter()) {
+                *o = *c as f64 / total;
+            }
+        }
+        out
+    }
+
+    /// A flat numeric feature vector (distribution ‖ n ‖ c) for the ML
+    /// baselines.
+    pub fn feature_vector(&self) -> Vec<f64> {
+        let mut v = self.distribution().to_vec();
+        v.push(self.message_rate());
+        v.push(self.reconnect_rate());
+        v
+    }
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// Returns 0 when either side has zero variance (degenerate windows never
+/// look "similar" to a varied reference).
+pub fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "correlation over unequal lengths");
+    let n = a.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let dx = x - ma;
+        let dy = y - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(counts: &[(usize, u64)], reconnects: u64, minutes: f64) -> TrafficWindow {
+        let mut w = TrafficWindow::empty(minutes);
+        for (i, c) in counts {
+            w.counts[*i] = *c;
+        }
+        w.reconnects = reconnects;
+        w
+    }
+
+    #[test]
+    fn rates_are_per_minute() {
+        let w = window(&[(0, 100), (1, 200)], 21, 10.0);
+        assert_eq!(w.total(), 300);
+        assert_eq!(w.message_rate(), 30.0);
+        assert_eq!(w.reconnect_rate(), 2.1);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let w = window(&[(4, 30), (12, 60), (6, 10)], 0, 10.0);
+        let d = w.distribution();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((d[12] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_is_all_zero() {
+        let w = TrafficWindow::empty(10.0);
+        assert_eq!(w.message_rate(), 0.0);
+        assert_eq!(w.distribution(), [0.0; NUM_TYPES]);
+        assert_eq!(TrafficWindow::empty(0.0).message_rate(), 0.0);
+    }
+
+    #[test]
+    fn correlation_of_identical_is_one() {
+        let a = [0.1, 0.4, 0.3, 0.2];
+        assert!((correlation(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_inverted_is_minus_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!((correlation(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_degenerate_is_zero() {
+        let a = [0.5, 0.5, 0.5];
+        let b = [0.1, 0.2, 0.7];
+        assert_eq!(correlation(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn flood_destroys_correlation() {
+        // Normal mix vs. a PING-dominated mix: low correlation (ρ = 0.05
+        // in the paper's Figure 10).
+        let normal = window(&[(4, 30), (12, 200), (6, 80), (2, 10)], 0, 10.0);
+        let mut flooded = normal;
+        flooded.counts[4] = 150_000; // ping flood
+        let rho = correlation(&normal.distribution(), &flooded.distribution());
+        assert!(rho < 0.3, "rho {rho}");
+    }
+
+    #[test]
+    fn defamation_keeps_correlation_moderate() {
+        // VERSION/VERACK inflation distorts less than a flood (ρ = 0.88).
+        let normal = window(&[(0, 4), (1, 4), (4, 30), (12, 200), (6, 80)], 0, 10.0);
+        let mut defamed = normal;
+        defamed.counts[0] = 4 * 44; // version ×44
+        defamed.counts[1] = 4 * 30; // verack ×30
+        let rho = correlation(&normal.distribution(), &defamed.distribution());
+        assert!(rho > 0.5 && rho < 0.999, "rho {rho}");
+    }
+
+    #[test]
+    fn feature_vector_shape() {
+        let w = window(&[(0, 5)], 3, 10.0);
+        let v = w.feature_vector();
+        assert_eq!(v.len(), NUM_TYPES + 2);
+        assert_eq!(v[NUM_TYPES], 0.5); // n
+        assert_eq!(v[NUM_TYPES + 1], 0.3); // c
+    }
+}

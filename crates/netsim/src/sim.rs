@@ -1,0 +1,955 @@
+//! The discrete-event simulator: hosts, links, taps and the event loop.
+//!
+//! Each host runs an [`App`] (a Bitcoin node, an attacker, a traffic
+//! source) above a [`TcpStack`] and a [`CpuMeter`]. The simulator delivers
+//! packets with a configurable link latency, fires timers, lets *taps*
+//! observe traffic promiscuously (the sniffing required by post-connection
+//! Defamation) and lets any app inject raw packets with forged source
+//! addresses (spoofing).
+
+use crate::cpu::CpuMeter;
+use crate::packet::{IcmpEcho, Ipv4, Packet, PacketBody, SockAddr};
+use crate::rng::SimRng;
+use crate::tcp::{CloseReason, ConnId, TcpDropStats, TcpStack};
+use crate::time::{Nanos, MICROS};
+use std::any::Any;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+
+/// Default one-way link latency (LAN-scale, like the paper's testbed).
+pub const DEFAULT_LATENCY: Nanos = 100 * MICROS;
+
+/// Default kernel-level cycle cost of receiving any packet.
+pub const DEFAULT_KERNEL_COST: u64 = 3_000;
+
+/// Default extra cycle cost of answering an ICMP echo in the "kernel"
+/// (network-layer processing only — the Table III contrast).
+pub const DEFAULT_ICMP_COST: u64 = 4_500;
+
+/// Per-host configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HostConfig {
+    /// CPU capacity in cycles/second.
+    pub capacity_hz: u64,
+    /// Cycles charged for any received packet (interrupt + IP processing).
+    pub kernel_cost_per_packet: u64,
+    /// Additional cycles charged for an ICMP echo request.
+    pub icmp_echo_cost: u64,
+    /// Whether the host answers echo requests.
+    pub icmp_reply: bool,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            capacity_hz: crate::cpu::DEFAULT_CAPACITY_HZ,
+            kernel_cost_per_packet: DEFAULT_KERNEL_COST,
+            icmp_echo_cost: DEFAULT_ICMP_COST,
+            icmp_reply: true,
+        }
+    }
+}
+
+/// Per-host traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HostCounters {
+    /// Packets received.
+    pub rx_packets: u64,
+    /// Bytes received (wire size).
+    pub rx_bytes: u64,
+    /// Packets sent.
+    pub tx_packets: u64,
+    /// Bytes sent (wire size).
+    pub tx_bytes: u64,
+}
+
+/// An application living on a simulated host.
+///
+/// All methods default to no-ops so simple apps implement only what they
+/// need. `as_any_mut` enables scenario code to downcast and inspect app
+/// state after (or during) a run.
+pub trait App: 'static {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    /// Consulted for each new inbound SYN; `false` refuses with RST. This is
+    /// where a Bitcoin node consults its ban list.
+    fn on_accept(&mut self, _peer: SockAddr) -> bool {
+        true
+    }
+    /// A connection finished its handshake.
+    fn on_connected(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId, _peer: SockAddr, _inbound: bool) {
+    }
+    /// In-order data arrived on a connection.
+    fn on_data(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId, _peer: SockAddr, _data: &[u8]) {}
+    /// A connection closed.
+    fn on_closed(&mut self, _ctx: &mut Ctx<'_>, _conn: ConnId, _peer: SockAddr, _reason: CloseReason) {
+    }
+    /// An outbound connect was refused.
+    fn on_connect_failed(&mut self, _ctx: &mut Ctx<'_>, _dst: SockAddr) {}
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+    /// An ICMP echo arrived (after kernel-level accounting).
+    fn on_icmp(&mut self, _ctx: &mut Ctx<'_>, _from: Ipv4, _echo: &IcmpEcho) {}
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+    /// Downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Deferred host outputs collected during a callback.
+#[derive(Default)]
+struct Outbox {
+    packets: Vec<Packet>,
+    timers: Vec<(Nanos, u64)>,
+}
+
+/// The environment handed to app callbacks.
+pub struct Ctx<'a> {
+    now: Nanos,
+    ip: Ipv4,
+    tcp: &'a mut TcpStack,
+    cpu: &'a mut CpuMeter,
+    rng: &'a mut SimRng,
+    out: &'a mut Outbox,
+}
+
+impl Ctx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// This host's IP.
+    pub fn ip(&self) -> Ipv4 {
+        self.ip
+    }
+
+    /// Starts listening for inbound connections on `port`.
+    pub fn listen(&mut self, port: u16) {
+        self.tcp.listen(port);
+    }
+
+    /// Opens a connection to `dst` from a fresh ephemeral port.
+    pub fn connect(&mut self, dst: SockAddr) -> ConnId {
+        let (id, syn) = self.tcp.connect(dst);
+        self.out.packets.push(syn);
+        id
+    }
+
+    /// Opens a connection from a specific local port (serial-Sybil attacks
+    /// pick their identifiers deliberately). `None` when the tuple is busy.
+    pub fn connect_from(&mut self, port: u16, dst: SockAddr) -> Option<ConnId> {
+        let (id, syn) = self.tcp.connect_from(port, dst)?;
+        self.out.packets.push(syn);
+        Some(id)
+    }
+
+    /// Sends bytes on an established connection. Returns `false` if the
+    /// connection isn't usable.
+    pub fn send(&mut self, conn: ConnId, data: &[u8]) -> bool {
+        match self.tcp.send(conn, data) {
+            Some(pkts) => {
+                self.out.packets.extend(pkts);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Abortively closes a connection (RST).
+    pub fn close(&mut self, conn: ConnId) {
+        if let Some(rst) = self.tcp.close(conn) {
+            self.out.packets.push(rst);
+        }
+    }
+
+    /// Remote address of a connection.
+    pub fn peer_of(&self, conn: ConnId) -> Option<SockAddr> {
+        self.tcp.peer_of(conn)
+    }
+
+    /// Local address of a connection.
+    pub fn local_of(&self, conn: ConnId) -> Option<SockAddr> {
+        self.tcp.local_of(conn)
+    }
+
+    /// Whether the connection is established.
+    pub fn is_established(&self, conn: ConnId) -> bool {
+        self.tcp.is_established(conn)
+    }
+
+    /// Live `(snd_nxt, rcv_nxt)` of a connection.
+    pub fn seq_state(&self, conn: ConnId) -> Option<(u32, u32)> {
+        self.tcp.seq_state(conn)
+    }
+
+    /// Arms a timer `delay` from now; `token` is returned in
+    /// [`App::on_timer`].
+    pub fn set_timer(&mut self, delay: Nanos, token: u64) {
+        self.out.timers.push((delay, token));
+    }
+
+    /// Injects a raw packet — the source address is whatever the packet
+    /// claims (spoofing primitive).
+    pub fn inject(&mut self, packet: Packet) {
+        self.out.packets.push(packet);
+    }
+
+    /// Sends an ICMP echo request of `len` payload bytes to `dst`.
+    pub fn send_icmp(&mut self, dst: Ipv4, ident: u16, seq: u16, len: usize) {
+        self.out.packets.push(Packet {
+            src: SockAddr::new(self.ip, 0),
+            dst: SockAddr::new(dst, 0),
+            body: PacketBody::Icmp(IcmpEcho {
+                request: true,
+                ident,
+                seq,
+                len,
+            }),
+        });
+    }
+
+    /// Charges processing cycles to this host's CPU.
+    pub fn charge_cpu(&mut self, cycles: u64) {
+        self.cpu.charge(cycles);
+    }
+
+    /// Read access to the CPU meter (for mining-rate sampling).
+    pub fn cpu(&self) -> &CpuMeter {
+        self.cpu
+    }
+
+    /// Transport drop statistics.
+    pub fn tcp_drops(&self) -> TcpDropStats {
+        self.tcp.drops
+    }
+
+    /// Deterministic randomness.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+}
+
+struct Host {
+    app: Option<Box<dyn App>>,
+    tcp: TcpStack,
+    cpu: CpuMeter,
+    config: HostConfig,
+    counters: HostCounters,
+}
+
+/// One packet observed by a tap.
+#[derive(Clone, Debug)]
+pub struct Sniffed {
+    /// Delivery time.
+    pub time: Nanos,
+    /// The packet.
+    pub packet: Packet,
+}
+
+/// What a tap observes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TapFilter {
+    /// Every packet in the network.
+    All,
+    /// Packets to or from one host.
+    Host(Ipv4),
+    /// Packets between a specific pair (either direction).
+    Pair(Ipv4, Ipv4),
+}
+
+impl TapFilter {
+    fn matches(&self, p: &Packet) -> bool {
+        match self {
+            TapFilter::All => true,
+            TapFilter::Host(ip) => p.src.ip == *ip || p.dst.ip == *ip,
+            TapFilter::Pair(a, b) => {
+                (p.src.ip == *a && p.dst.ip == *b) || (p.src.ip == *b && p.dst.ip == *a)
+            }
+        }
+    }
+}
+
+/// A shared handle to a tap's capture buffer.
+///
+/// Clone it before moving an attacker app into the simulator; the attacker
+/// reads fresh captures during its timer callbacks, exactly like a `scapy`
+/// sniffer thread.
+#[derive(Clone)]
+pub struct TapHandle(Rc<RefCell<Vec<Sniffed>>>);
+
+impl TapHandle {
+    /// Takes all captures recorded since the last drain.
+    pub fn drain(&self) -> Vec<Sniffed> {
+        self.0.borrow_mut().drain(..).collect()
+    }
+
+    /// Copies the current captures without clearing.
+    pub fn snapshot(&self) -> Vec<Sniffed> {
+        self.0.borrow().clone()
+    }
+
+    /// Number of captured packets currently buffered.
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+}
+
+struct Tap {
+    filter: TapFilter,
+    buf: Rc<RefCell<Vec<Sniffed>>>,
+}
+
+enum EventKind {
+    Start(Ipv4),
+    Deliver(Packet),
+    Timer(Ipv4, u64),
+}
+
+struct Event {
+    time: Nanos,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// One-way link latency applied to every packet.
+    pub latency: Nanos,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency: DEFAULT_LATENCY,
+            seed: 0xB17C_0123,
+        }
+    }
+}
+
+/// The discrete-event network simulator.
+pub struct Simulator {
+    now: Nanos,
+    queue: BinaryHeap<Reverse<Event>>,
+    hosts: HashMap<Ipv4, Host>,
+    taps: Vec<Tap>,
+    config: SimConfig,
+    rng: SimRng,
+    next_seq: u64,
+    delivered_packets: u64,
+}
+
+impl Simulator {
+    /// Creates an empty simulator.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator {
+            now: 0,
+            queue: BinaryHeap::new(),
+            hosts: HashMap::new(),
+            taps: Vec::new(),
+            rng: SimRng::new(config.seed),
+            config,
+            next_seq: 0,
+            delivered_packets: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Total packets delivered so far.
+    pub fn delivered_packets(&self) -> u64 {
+        self.delivered_packets
+    }
+
+    /// Registers a host running `app`. Its [`App::on_start`] fires at the
+    /// current virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ip` is already in use.
+    pub fn add_host(&mut self, ip: Ipv4, app: Box<dyn App>, config: HostConfig) {
+        assert!(
+            !self.hosts.contains_key(&ip),
+            "host {ip:?} already registered"
+        );
+        self.hosts.insert(
+            ip,
+            Host {
+                app: Some(app),
+                tcp: TcpStack::new(ip),
+                cpu: CpuMeter::new(config.capacity_hz),
+                config,
+                counters: HostCounters::default(),
+            },
+        );
+        self.push_event(self.now, EventKind::Start(ip));
+    }
+
+    /// Installs a promiscuous tap and returns its capture handle.
+    pub fn add_tap(&mut self, filter: TapFilter) -> TapHandle {
+        let buf = Rc::new(RefCell::new(Vec::new()));
+        self.taps.push(Tap {
+            filter,
+            buf: buf.clone(),
+        });
+        TapHandle(buf)
+    }
+
+    fn push_event(&mut self, time: Nanos, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Schedules `packet` for delivery after the link latency.
+    pub fn send_packet(&mut self, packet: Packet) {
+        self.push_event(self.now + self.config.latency, EventKind::Deliver(packet));
+    }
+
+    /// Runs a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        match ev.kind {
+            EventKind::Start(ip) => self.dispatch(ip, Dispatch::Start),
+            EventKind::Timer(ip, token) => self.dispatch(ip, Dispatch::Timer(token)),
+            EventKind::Deliver(packet) => self.deliver(packet),
+        }
+        true
+    }
+
+    /// Runs events until virtual time reaches `t` (events at exactly `t`
+    /// are processed).
+    pub fn run_until(&mut self, t: Nanos) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time > t {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs for `d` more virtual nanoseconds.
+    pub fn run_for(&mut self, d: Nanos) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Drains every queued event (careful: periodic timers run forever).
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    fn deliver(&mut self, packet: Packet) {
+        for tap in &self.taps {
+            if tap.filter.matches(&packet) {
+                tap.buf.borrow_mut().push(Sniffed {
+                    time: self.now,
+                    packet: packet.clone(),
+                });
+            }
+        }
+        self.delivered_packets += 1;
+        let dst_ip = packet.dst.ip;
+        let Some(host) = self.hosts.get_mut(&dst_ip) else {
+            return; // destination unreachable: dropped
+        };
+        host.counters.rx_packets += 1;
+        host.counters.rx_bytes += packet.wire_len() as u64;
+        host.cpu.charge(host.config.kernel_cost_per_packet);
+        match &packet.body {
+            PacketBody::Icmp(echo) => {
+                let mut replies = Vec::new();
+                if echo.request {
+                    host.cpu.charge(host.config.icmp_echo_cost);
+                    if host.config.icmp_reply {
+                        replies.push(Packet {
+                            src: SockAddr::new(dst_ip, 0),
+                            dst: packet.src,
+                            body: PacketBody::Icmp(IcmpEcho {
+                                request: false,
+                                ..*echo
+                            }),
+                        });
+                    }
+                }
+                let echo = echo.clone();
+                let from = packet.src.ip;
+                self.with_app(dst_ip, |app, ctx| app.on_icmp(ctx, from, &echo));
+                for r in replies {
+                    self.account_tx(dst_ip, &r);
+                    self.send_packet(r);
+                }
+            }
+            PacketBody::Tcp(seg) => {
+                let host = self.hosts.get_mut(&dst_ip).expect("host exists");
+                let mut app = host.app.take().expect("app present");
+                let (events, replies) =
+                    host.tcp
+                        .handle_segment(packet.src, packet.dst, seg, &mut |peer| {
+                            app.on_accept(peer)
+                        });
+                host.app = Some(app);
+                for r in replies {
+                    self.account_tx(dst_ip, &r);
+                    self.send_packet(r);
+                }
+                for ev in events {
+                    self.with_app(dst_ip, |app, ctx| match &ev {
+                        crate::tcp::TcpEvent::Connected { id, peer, inbound } => {
+                            app.on_connected(ctx, *id, *peer, *inbound)
+                        }
+                        crate::tcp::TcpEvent::Data { id, peer, payload } => {
+                            app.on_data(ctx, *id, *peer, payload)
+                        }
+                        crate::tcp::TcpEvent::Closed { id, peer, reason } => {
+                            app.on_closed(ctx, *id, *peer, *reason)
+                        }
+                        crate::tcp::TcpEvent::ConnectFailed { dst } => {
+                            app.on_connect_failed(ctx, *dst)
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, ip: Ipv4, what: Dispatch) {
+        self.with_app(ip, |app, ctx| match what {
+            Dispatch::Start => app.on_start(ctx),
+            Dispatch::Timer(token) => app.on_timer(ctx, token),
+        });
+    }
+
+    /// Runs `f` with the host's app and a fresh [`Ctx`], then applies the
+    /// collected outputs (packet sends, timers).
+    fn with_app<F>(&mut self, ip: Ipv4, f: F)
+    where
+        F: FnOnce(&mut dyn App, &mut Ctx<'_>),
+    {
+        let Some(host) = self.hosts.get_mut(&ip) else {
+            return;
+        };
+        let mut app = host.app.take().expect("app present");
+        let mut out = Outbox::default();
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                ip,
+                tcp: &mut host.tcp,
+                cpu: &mut host.cpu,
+                rng: &mut self.rng,
+                out: &mut out,
+            };
+            f(app.as_mut(), &mut ctx);
+        }
+        host.app = Some(app);
+        for p in out.packets {
+            self.account_tx(ip, &p);
+            self.send_packet(p);
+        }
+        for (delay, token) in out.timers {
+            self.push_event(self.now + delay, EventKind::Timer(ip, token));
+        }
+    }
+
+    fn account_tx(&mut self, ip: Ipv4, p: &Packet) {
+        if let Some(h) = self.hosts.get_mut(&ip) {
+            h.counters.tx_packets += 1;
+            h.counters.tx_bytes += p.wire_len() as u64;
+        }
+    }
+
+    /// Traffic counters of a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown host.
+    pub fn host_counters(&self, ip: Ipv4) -> HostCounters {
+        self.hosts[&ip].counters
+    }
+
+    /// CPU meter of a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown host.
+    pub fn host_cpu(&self, ip: Ipv4) -> &CpuMeter {
+        &self.hosts[&ip].cpu
+    }
+
+    /// Transport drop statistics of a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown host.
+    pub fn host_tcp_drops(&self, ip: Ipv4) -> TcpDropStats {
+        self.hosts[&ip].tcp.drops
+    }
+
+    /// Open socket count of a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown host.
+    pub fn host_socket_count(&self, ip: Ipv4) -> usize {
+        self.hosts[&ip].tcp.socket_count()
+    }
+
+    /// Downcasts a host's app for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown host.
+    pub fn app<T: App>(&self, ip: Ipv4) -> Option<&T> {
+        self.hosts[&ip]
+            .app
+            .as_ref()
+            .and_then(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutably downcasts a host's app.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown host.
+    pub fn app_mut<T: App>(&mut self, ip: Ipv4) -> Option<&mut T> {
+        self.hosts
+            .get_mut(&ip)
+            .expect("unknown host")
+            .app
+            .as_mut()
+            .and_then(|a| a.as_any_mut().downcast_mut::<T>())
+    }
+}
+
+enum Dispatch {
+    Start,
+    Timer(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{MILLIS, SECS};
+
+    /// Echo server: accepts connections and echoes data back.
+    #[derive(Default)]
+    struct EchoServer {
+        port: u16,
+        received: Vec<Vec<u8>>,
+        conns: usize,
+    }
+
+    impl App for EchoServer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.listen(self.port);
+        }
+        fn on_connected(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, _p: SockAddr, inbound: bool) {
+            if inbound {
+                self.conns += 1;
+            }
+        }
+        fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _peer: SockAddr, data: &[u8]) {
+            self.received.push(data.to_vec());
+            ctx.send(conn, data);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Client that connects at start and sends a greeting.
+    #[derive(Default)]
+    struct Client {
+        dst: SockAddr,
+        echoed: Vec<Vec<u8>>,
+        connected: bool,
+        failed: bool,
+    }
+
+    impl App for Client {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.connect(self.dst);
+        }
+        fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _p: SockAddr, _inb: bool) {
+            self.connected = true;
+            ctx.send(conn, b"hello over tcp");
+        }
+        fn on_data(&mut self, _ctx: &mut Ctx<'_>, _c: ConnId, _p: SockAddr, data: &[u8]) {
+            self.echoed.push(data.to_vec());
+        }
+        fn on_connect_failed(&mut self, _ctx: &mut Ctx<'_>, _dst: SockAddr) {
+            self.failed = true;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    const SRV: Ipv4 = [10, 0, 0, 1];
+    const CLI: Ipv4 = [10, 0, 0, 2];
+
+    fn build_pair() -> Simulator {
+        let mut sim = Simulator::new(SimConfig::default());
+        sim.add_host(
+            SRV,
+            Box::new(EchoServer {
+                port: 8333,
+                ..Default::default()
+            }),
+            HostConfig::default(),
+        );
+        sim.add_host(
+            CLI,
+            Box::new(Client {
+                dst: SockAddr::new(SRV, 8333),
+                ..Default::default()
+            }),
+            HostConfig::default(),
+        );
+        sim
+    }
+
+    #[test]
+    fn end_to_end_echo() {
+        let mut sim = build_pair();
+        sim.run_for(SECS);
+        let client: &Client = sim.app(CLI).unwrap();
+        assert!(client.connected);
+        assert_eq!(client.echoed, vec![b"hello over tcp".to_vec()]);
+        let server: &EchoServer = sim.app(SRV).unwrap();
+        assert_eq!(server.conns, 1);
+        assert_eq!(server.port, 8333);
+    }
+
+    #[test]
+    fn latency_orders_events() {
+        let mut sim = build_pair();
+        // SYN@L, SYN|ACK@2L (client connects + sends), data@3L, echo@4L.
+        sim.run_for(3 * DEFAULT_LATENCY + DEFAULT_LATENCY / 2);
+        let client: &Client = sim.app(CLI).unwrap();
+        assert!(client.connected);
+        assert!(client.echoed.is_empty(), "echo should still be in flight");
+        sim.run_for(DEFAULT_LATENCY);
+        let client: &Client = sim.app(CLI).unwrap();
+        assert_eq!(client.echoed.len(), 1);
+    }
+
+    #[test]
+    fn connect_to_missing_host_is_dropped() {
+        let mut sim = Simulator::new(SimConfig::default());
+        sim.add_host(
+            CLI,
+            Box::new(Client {
+                dst: SockAddr::new([9, 9, 9, 9], 1),
+                ..Default::default()
+            }),
+            HostConfig::default(),
+        );
+        sim.run_for(SECS);
+        let client: &Client = sim.app(CLI).unwrap();
+        assert!(!client.connected);
+        assert!(!client.failed, "no RST from a black hole");
+    }
+
+    #[test]
+    fn connect_to_closed_port_reports_failure() {
+        let mut sim = Simulator::new(SimConfig::default());
+        sim.add_host(SRV, Box::new(EchoServer::default()), HostConfig::default());
+        sim.add_host(
+            CLI,
+            Box::new(Client {
+                dst: SockAddr::new(SRV, 4444),
+                ..Default::default()
+            }),
+            HostConfig::default(),
+        );
+        sim.run_for(SECS);
+        let client: &Client = sim.app(CLI).unwrap();
+        assert!(client.failed);
+    }
+
+    #[test]
+    fn tap_sniffs_pair_traffic() {
+        let mut sim = build_pair();
+        let tap = sim.add_tap(TapFilter::Pair(SRV, CLI));
+        sim.run_for(SECS);
+        let caps = tap.drain();
+        // SYN, SYN|ACK, ACK, data, echo at minimum.
+        assert!(caps.len() >= 5, "captured {}", caps.len());
+        assert!(caps
+            .iter()
+            .all(|s| TapFilter::Pair(SRV, CLI).matches(&s.packet)));
+        // Times are non-decreasing.
+        assert!(caps.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn tap_host_filter() {
+        let mut sim = build_pair();
+        let tap = sim.add_tap(TapFilter::Host(SRV));
+        sim.run_for(SECS);
+        assert!(!tap.is_empty());
+        for s in tap.snapshot() {
+            assert!(s.packet.src.ip == SRV || s.packet.dst.ip == SRV);
+        }
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut sim = build_pair();
+        sim.run_for(SECS);
+        let s = sim.host_counters(SRV);
+        let c = sim.host_counters(CLI);
+        assert!(s.rx_packets >= 2);
+        assert!(s.tx_packets >= 2);
+        assert!(c.rx_bytes > 0);
+        assert!(c.tx_bytes > 0);
+    }
+
+    #[test]
+    fn cpu_charged_per_packet() {
+        let mut sim = build_pair();
+        sim.run_for(SECS);
+        let busy = sim.host_cpu(SRV).cum_busy();
+        let rx = sim.host_counters(SRV).rx_packets;
+        assert!(busy >= rx * DEFAULT_KERNEL_COST);
+    }
+
+    /// Pinger sends ICMP echos on a timer.
+    struct Pinger {
+        dst: Ipv4,
+        replies: u32,
+    }
+
+    impl App for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(MILLIS, 1);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            ctx.send_icmp(self.dst, 7, self.replies as u16, 56);
+        }
+        fn on_icmp(&mut self, ctx: &mut Ctx<'_>, _from: Ipv4, echo: &IcmpEcho) {
+            if !echo.request {
+                self.replies += 1;
+                if self.replies < 3 {
+                    ctx.set_timer(MILLIS, 1);
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn icmp_echo_roundtrip_and_kernel_cost() {
+        let mut sim = Simulator::new(SimConfig::default());
+        sim.add_host(SRV, Box::new(EchoServer::default()), HostConfig::default());
+        sim.add_host(
+            CLI,
+            Box::new(Pinger {
+                dst: SRV,
+                replies: 0,
+            }),
+            HostConfig::default(),
+        );
+        sim.run_for(SECS);
+        let p: &Pinger = sim.app(CLI).unwrap();
+        assert_eq!(p.replies, 3);
+        // The echo target paid kernel + icmp cost per request, and the app
+        // layer was *not* involved in replying (EchoServer knows nothing of
+        // ICMP).
+        let busy = sim.host_cpu(SRV).cum_busy();
+        assert!(busy >= 3 * (DEFAULT_KERNEL_COST + DEFAULT_ICMP_COST));
+    }
+
+    #[test]
+    fn icmp_reply_can_be_disabled() {
+        let mut sim = Simulator::new(SimConfig::default());
+        sim.add_host(
+            SRV,
+            Box::new(EchoServer::default()),
+            HostConfig {
+                icmp_reply: false,
+                ..HostConfig::default()
+            },
+        );
+        sim.add_host(
+            CLI,
+            Box::new(Pinger {
+                dst: SRV,
+                replies: 0,
+            }),
+            HostConfig::default(),
+        );
+        sim.run_for(SECS);
+        let p: &Pinger = sim.app(CLI).unwrap();
+        assert_eq!(p.replies, 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let mut sim = build_pair();
+            sim.run_for(SECS);
+            (
+                sim.delivered_packets(),
+                sim.host_counters(SRV),
+                sim.host_cpu(SRV).cum_busy(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_advances_time_even_when_idle() {
+        let mut sim = Simulator::new(SimConfig::default());
+        sim.run_until(5 * SECS);
+        assert_eq!(sim.now(), 5 * SECS);
+    }
+}

@@ -1,0 +1,727 @@
+//! A TCP-lite transport: three-way handshake, sequence/acknowledgment
+//! tracking, transport checksums and resets — enough state that the paper's
+//! attacks behave as they do against real TCP:
+//!
+//! * A **spoofed pre-connection** attacker only needs to forge source
+//!   addresses (no live state to learn).
+//! * A **post-connection injector** must learn the live `seq`/`ack` of the
+//!   victim connection by sniffing, then forge a segment whose checksum
+//!   covers the spoofed 4-tuple (Algorithm 1 of the paper).
+//! * A segment with a bad checksum or stale sequence number is dropped *by
+//!   the transport layer*, before any application-layer misbehavior
+//!   tracking — which is what lets bogus messages forgo the ban score.
+
+use crate::packet::{
+    make_segment, tcp_checksum, Packet, SockAddr, TcpFlags, TcpSegment,
+};
+use bytes::Bytes;
+use std::collections::{HashMap, HashSet};
+
+/// Maximum payload bytes per segment.
+pub const MSS: usize = 1460;
+
+/// First ephemeral port (RFC 6335 dynamic range — the range the paper's
+/// full-IP Defamation sweep must exhaust).
+pub const EPHEMERAL_START: u16 = 49152;
+
+/// A host-local connection identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ConnId(pub u64);
+
+/// Why a connection ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CloseReason {
+    /// The remote side sent FIN.
+    RemoteFin,
+    /// The remote side sent RST.
+    RemoteReset,
+    /// We closed it locally.
+    LocalClose,
+}
+
+/// Connection state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TcpState {
+    SynSent,
+    SynReceived,
+    Established,
+}
+
+#[derive(Clone, Debug)]
+struct Socket {
+    id: ConnId,
+    state: TcpState,
+    /// Next sequence number we will send.
+    snd_nxt: u32,
+    /// Next sequence number we expect to receive.
+    rcv_nxt: u32,
+    inbound: bool,
+}
+
+/// An event surfaced to the application layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TcpEvent {
+    /// Handshake completed.
+    Connected {
+        /// Connection id.
+        id: ConnId,
+        /// Remote socket address.
+        peer: SockAddr,
+        /// Whether the remote side initiated.
+        inbound: bool,
+    },
+    /// In-order data arrived.
+    Data {
+        /// Connection id.
+        id: ConnId,
+        /// Remote socket address.
+        peer: SockAddr,
+        /// Payload.
+        payload: Bytes,
+    },
+    /// The connection ended.
+    Closed {
+        /// Connection id.
+        id: ConnId,
+        /// Remote socket address.
+        peer: SockAddr,
+        /// Why.
+        reason: CloseReason,
+    },
+    /// An outbound connect was refused (RST to our SYN).
+    ConnectFailed {
+        /// The address we tried to reach.
+        dst: SockAddr,
+    },
+}
+
+/// Drop counters — the transport-layer silent drops the paper's vectors
+/// exploit are observable here.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TcpDropStats {
+    /// Segments with a wrong transport checksum.
+    pub bad_checksum: u64,
+    /// Segments whose sequence number didn't match `rcv_nxt`.
+    pub bad_seq: u64,
+    /// Segments for which no socket existed.
+    pub no_socket: u64,
+    /// SYNs refused by the application accept hook.
+    pub refused_accept: u64,
+}
+
+/// The per-host TCP-lite stack.
+#[derive(Debug)]
+pub struct TcpStack {
+    local_ip: [u8; 4],
+    listeners: HashSet<u16>,
+    socks: HashMap<(SockAddr, SockAddr), Socket>,
+    routes: HashMap<ConnId, (SockAddr, SockAddr)>,
+    next_id: u64,
+    next_ephemeral: u16,
+    used_ports: HashSet<u16>,
+    isn_counter: u32,
+    /// Drop statistics.
+    pub drops: TcpDropStats,
+}
+
+impl TcpStack {
+    /// Creates a stack for a host at `local_ip`.
+    pub fn new(local_ip: [u8; 4]) -> Self {
+        TcpStack {
+            local_ip,
+            listeners: HashSet::new(),
+            socks: HashMap::new(),
+            routes: HashMap::new(),
+            next_id: 1,
+            next_ephemeral: EPHEMERAL_START,
+            used_ports: HashSet::new(),
+            isn_counter: 0x1000,
+            drops: TcpDropStats::default(),
+        }
+    }
+
+    /// Starts listening on `port`.
+    pub fn listen(&mut self, port: u16) {
+        self.listeners.insert(port);
+    }
+
+    /// Number of open sockets.
+    pub fn socket_count(&self) -> usize {
+        self.socks.len()
+    }
+
+    /// The remote address of `id`, if open.
+    pub fn peer_of(&self, id: ConnId) -> Option<SockAddr> {
+        self.routes.get(&id).map(|(_, remote)| *remote)
+    }
+
+    /// The local address of `id`, if open.
+    pub fn local_of(&self, id: ConnId) -> Option<SockAddr> {
+        self.routes.get(&id).map(|(local, _)| *local)
+    }
+
+    fn alloc_ephemeral(&mut self) -> u16 {
+        for _ in 0..u16::MAX {
+            let p = self.next_ephemeral;
+            self.next_ephemeral = if p == u16::MAX {
+                EPHEMERAL_START
+            } else {
+                p + 1
+            };
+            if !self.used_ports.contains(&p) {
+                self.used_ports.insert(p);
+                return p;
+            }
+        }
+        panic!("ephemeral port space exhausted");
+    }
+
+    fn next_isn(&mut self) -> u32 {
+        self.isn_counter = self.isn_counter.wrapping_add(0x0001_0001);
+        self.isn_counter
+    }
+
+    /// Initiates a connection to `dst` from an ephemeral local port.
+    /// Returns the new connection id and the SYN to transmit.
+    pub fn connect(&mut self, dst: SockAddr) -> (ConnId, Packet) {
+        let port = self.alloc_ephemeral();
+        self.connect_from(port, dst)
+            .expect("fresh ephemeral port can't collide")
+    }
+
+    /// Initiates a connection from a chosen local `port` (the serial-Sybil
+    /// attack picks specific ports). Returns `None` when that 4-tuple is
+    /// already in use.
+    pub fn connect_from(&mut self, port: u16, dst: SockAddr) -> Option<(ConnId, Packet)> {
+        let local = SockAddr::new(self.local_ip, port);
+        let key = (local, dst);
+        if self.socks.contains_key(&key) {
+            return None;
+        }
+        self.used_ports.insert(port);
+        let id = ConnId(self.next_id);
+        self.next_id += 1;
+        let isn = self.next_isn();
+        self.socks.insert(
+            key,
+            Socket {
+                id,
+                state: TcpState::SynSent,
+                snd_nxt: isn.wrapping_add(1),
+                rcv_nxt: 0,
+                inbound: false,
+            },
+        );
+        self.routes.insert(id, key);
+        let syn = make_segment(local, dst, isn, 0, TcpFlags::SYN, Bytes::new());
+        Some((id, syn))
+    }
+
+    /// Queues application data on `id`. Returns the segments to transmit
+    /// (split at [`MSS`]), or `None` if the connection is not established.
+    pub fn send(&mut self, id: ConnId, data: &[u8]) -> Option<Vec<Packet>> {
+        let key = *self.routes.get(&id)?;
+        let sock = self.socks.get_mut(&key)?;
+        if sock.state != TcpState::Established {
+            return None;
+        }
+        let (local, remote) = key;
+        let mut out = Vec::with_capacity(data.len().div_ceil(MSS));
+        let mut off = 0;
+        while off < data.len() {
+            let end = (off + MSS).min(data.len());
+            let chunk = Bytes::copy_from_slice(&data[off..end]);
+            let seg = make_segment(
+                local,
+                remote,
+                sock.snd_nxt,
+                sock.rcv_nxt,
+                TcpFlags::ACK,
+                chunk,
+            );
+            sock.snd_nxt = sock.snd_nxt.wrapping_add((end - off) as u32);
+            out.push(seg);
+            off = end;
+        }
+        Some(out)
+    }
+
+    /// Closes `id`, producing an RST for the peer (abortive close, which is
+    /// what Bitcoin Core's ban path effectively does).
+    pub fn close(&mut self, id: ConnId) -> Option<Packet> {
+        let key = self.routes.remove(&id)?;
+        let sock = self.socks.remove(&key)?;
+        let (local, remote) = key;
+        self.used_ports.remove(&local.port);
+        Some(make_segment(
+            local,
+            remote,
+            sock.snd_nxt,
+            sock.rcv_nxt,
+            TcpFlags::RST,
+            Bytes::new(),
+        ))
+    }
+
+    /// Current `(snd_nxt, rcv_nxt)` of a connection — test/diagnostic use.
+    pub fn seq_state(&self, id: ConnId) -> Option<(u32, u32)> {
+        let key = self.routes.get(&id)?;
+        let s = self.socks.get(key)?;
+        Some((s.snd_nxt, s.rcv_nxt))
+    }
+
+    /// Processes an arriving segment addressed to this host.
+    ///
+    /// `accept` is consulted on new inbound SYNs; returning `false` refuses
+    /// the connection with an RST (the ban-list check point).
+    ///
+    /// Returns app events and reply packets.
+    pub fn handle_segment(
+        &mut self,
+        src: SockAddr,
+        dst: SockAddr,
+        seg: &TcpSegment,
+        accept: &mut dyn FnMut(SockAddr) -> bool,
+    ) -> (Vec<TcpEvent>, Vec<Packet>) {
+        let mut events = Vec::new();
+        let mut replies = Vec::new();
+        // Transport checksum first: a forged segment that fails this is
+        // dropped with no application-visible trace.
+        let expect = tcp_checksum(src, dst, seg.seq, seg.ack, seg.flags, &seg.payload);
+        if expect != seg.checksum {
+            self.drops.bad_checksum += 1;
+            return (events, replies);
+        }
+        let key = (dst, src);
+        if let Some(sock) = self.socks.get_mut(&key) {
+            match sock.state {
+                TcpState::SynSent => {
+                    if seg.flags.has(TcpFlags::SYN | TcpFlags::ACK) {
+                        sock.rcv_nxt = seg.seq.wrapping_add(1);
+                        sock.state = TcpState::Established;
+                        let id = sock.id;
+                        let (snd, rcv) = (sock.snd_nxt, sock.rcv_nxt);
+                        replies.push(make_segment(dst, src, snd, rcv, TcpFlags::ACK, Bytes::new()));
+                        events.push(TcpEvent::Connected {
+                            id,
+                            peer: src,
+                            inbound: false,
+                        });
+                    } else if seg.flags.has(TcpFlags::RST) {
+                        let id = sock.id;
+                        self.socks.remove(&key);
+                        self.routes.remove(&id);
+                        self.used_ports.remove(&dst.port);
+                        events.push(TcpEvent::ConnectFailed { dst: src });
+                    }
+                }
+                TcpState::SynReceived => {
+                    if seg.flags.has(TcpFlags::RST) {
+                        let id = sock.id;
+                        self.socks.remove(&key);
+                        self.routes.remove(&id);
+                        return (events, replies);
+                    }
+                    if seg.flags.has(TcpFlags::ACK) {
+                        sock.state = TcpState::Established;
+                        let id = sock.id;
+                        events.push(TcpEvent::Connected {
+                            id,
+                            peer: src,
+                            inbound: true,
+                        });
+                        // Piggybacked data on the final handshake ACK.
+                        if !seg.payload.is_empty() {
+                            if seg.seq == sock.rcv_nxt {
+                                sock.rcv_nxt = sock.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                                events.push(TcpEvent::Data {
+                                    id,
+                                    peer: src,
+                                    payload: seg.payload.clone(),
+                                });
+                            } else {
+                                self.drops.bad_seq += 1;
+                            }
+                        }
+                    }
+                }
+                TcpState::Established => {
+                    if seg.flags.has(TcpFlags::RST) {
+                        let id = sock.id;
+                        self.socks.remove(&key);
+                        self.routes.remove(&id);
+                        self.used_ports.remove(&dst.port);
+                        events.push(TcpEvent::Closed {
+                            id,
+                            peer: src,
+                            reason: CloseReason::RemoteReset,
+                        });
+                    } else if seg.flags.has(TcpFlags::FIN) {
+                        let id = sock.id;
+                        let (snd, rcv) = (sock.snd_nxt, sock.rcv_nxt.wrapping_add(1));
+                        self.socks.remove(&key);
+                        self.routes.remove(&id);
+                        self.used_ports.remove(&dst.port);
+                        replies.push(make_segment(dst, src, snd, rcv, TcpFlags::ACK, Bytes::new()));
+                        events.push(TcpEvent::Closed {
+                            id,
+                            peer: src,
+                            reason: CloseReason::RemoteFin,
+                        });
+                    } else if !seg.payload.is_empty() {
+                        // Strict in-order delivery: the injection attack
+                        // must hit rcv_nxt exactly; a stale real segment
+                        // after a successful injection is silently dropped.
+                        if seg.seq == sock.rcv_nxt {
+                            sock.rcv_nxt = sock.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                            events.push(TcpEvent::Data {
+                                id: sock.id,
+                                peer: src,
+                                payload: seg.payload.clone(),
+                            });
+                        } else {
+                            self.drops.bad_seq += 1;
+                        }
+                    }
+                }
+            }
+            return (events, replies);
+        }
+        // No socket: maybe a new inbound connection.
+        if seg.flags.has(TcpFlags::SYN) && !seg.flags.has(TcpFlags::ACK) {
+            if self.listeners.contains(&dst.port) {
+                if !accept(src) {
+                    self.drops.refused_accept += 1;
+                    replies.push(make_segment(
+                        dst,
+                        src,
+                        0,
+                        seg.seq.wrapping_add(1),
+                        TcpFlags::RST,
+                        Bytes::new(),
+                    ));
+                    return (events, replies);
+                }
+                let id = ConnId(self.next_id);
+                self.next_id += 1;
+                let isn = self.next_isn();
+                self.socks.insert(
+                    key,
+                    Socket {
+                        id,
+                        state: TcpState::SynReceived,
+                        snd_nxt: isn.wrapping_add(1),
+                        rcv_nxt: seg.seq.wrapping_add(1),
+                        inbound: true,
+                    },
+                );
+                self.routes.insert(id, key);
+                replies.push(make_segment(
+                    dst,
+                    src,
+                    isn,
+                    seg.seq.wrapping_add(1),
+                    TcpFlags::SYN | TcpFlags::ACK,
+                    Bytes::new(),
+                ));
+            } else {
+                // Connection refused.
+                replies.push(make_segment(
+                    dst,
+                    src,
+                    0,
+                    seg.seq.wrapping_add(1),
+                    TcpFlags::RST,
+                    Bytes::new(),
+                ));
+            }
+            return (events, replies);
+        }
+        if !seg.flags.has(TcpFlags::RST) {
+            self.drops.no_socket += 1;
+        }
+        (events, replies)
+    }
+
+    /// Whether `id` is established.
+    pub fn is_established(&self, id: ConnId) -> bool {
+        self.routes
+            .get(&id)
+            .and_then(|k| self.socks.get(k))
+            .map(|s| s.state == TcpState::Established)
+            .unwrap_or(false)
+    }
+
+    /// Whether `id` was accepted inbound.
+    pub fn is_inbound(&self, id: ConnId) -> bool {
+        self.routes
+            .get(&id)
+            .and_then(|k| self.socks.get(k))
+            .map(|s| s.inbound)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBody;
+
+    fn sa(last: u8, port: u16) -> SockAddr {
+        SockAddr::new([10, 0, 0, last], port)
+    }
+
+    /// Drives a full handshake between two stacks; returns (client, server,
+    /// client_conn, server_conn).
+    fn establish() -> (TcpStack, TcpStack, ConnId, ConnId) {
+        let mut client = TcpStack::new([10, 0, 0, 1]);
+        let mut server = TcpStack::new([10, 0, 0, 2]);
+        server.listen(8333);
+        let dst = sa(2, 8333);
+        let (cid, syn) = client.connect(dst);
+        let PacketBody::Tcp(syn_seg) = &syn.body else { panic!() };
+        let (ev, replies) = server.handle_segment(syn.src, syn.dst, syn_seg, &mut |_| true);
+        assert!(ev.is_empty());
+        let synack = &replies[0];
+        let PacketBody::Tcp(sa_seg) = &synack.body else { panic!() };
+        let (ev, replies) = client.handle_segment(synack.src, synack.dst, sa_seg, &mut |_| true);
+        assert!(matches!(ev[0], TcpEvent::Connected { inbound: false, .. }));
+        let ack = &replies[0];
+        let PacketBody::Tcp(ack_seg) = &ack.body else { panic!() };
+        let (ev, _) = server.handle_segment(ack.src, ack.dst, ack_seg, &mut |_| true);
+        let TcpEvent::Connected { id: sid, inbound: true, .. } = ev[0] else {
+            panic!("server not connected: {ev:?}")
+        };
+        (client, server, cid, sid)
+    }
+
+    fn deliver(
+        to: &mut TcpStack,
+        pkt: &Packet,
+    ) -> (Vec<TcpEvent>, Vec<Packet>) {
+        let PacketBody::Tcp(seg) = &pkt.body else { panic!() };
+        to.handle_segment(pkt.src, pkt.dst, seg, &mut |_| true)
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let (client, server, cid, sid) = establish();
+        assert!(client.is_established(cid));
+        assert!(server.is_established(sid));
+        assert!(!client.is_inbound(cid));
+        assert!(server.is_inbound(sid));
+    }
+
+    #[test]
+    fn data_flows_in_order() {
+        let (mut client, mut server, cid, sid) = establish();
+        let segs = client.send(cid, b"hello world").unwrap();
+        assert_eq!(segs.len(), 1);
+        let (ev, _) = deliver(&mut server, &segs[0]);
+        assert_eq!(
+            ev,
+            vec![TcpEvent::Data {
+                id: sid,
+                peer: client.local_of(cid).unwrap(),
+                payload: Bytes::from_static(b"hello world"),
+            }]
+        );
+    }
+
+    #[test]
+    fn large_send_splits_at_mss() {
+        let (mut client, mut server, cid, _) = establish();
+        let data = vec![7u8; MSS * 2 + 10];
+        let segs = client.send(cid, &data).unwrap();
+        assert_eq!(segs.len(), 3);
+        let mut got = Vec::new();
+        for s in &segs {
+            let (ev, _) = deliver(&mut server, s);
+            for e in ev {
+                if let TcpEvent::Data { payload, .. } = e {
+                    got.extend_from_slice(&payload);
+                }
+            }
+        }
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn out_of_order_segment_dropped() {
+        let (mut client, mut server, cid, _) = establish();
+        let segs = client.send(cid, b"first").unwrap();
+        let seg2 = client.send(cid, b"second").unwrap();
+        // Deliver the second before the first: dropped.
+        let (ev, _) = deliver(&mut server, &seg2[0]);
+        assert!(ev.is_empty());
+        assert_eq!(server.drops.bad_seq, 1);
+        // First still delivers.
+        let (ev, _) = deliver(&mut server, &segs[0]);
+        assert!(matches!(ev[0], TcpEvent::Data { .. }));
+    }
+
+    #[test]
+    fn corrupted_checksum_dropped_silently() {
+        let (mut client, mut server, cid, _) = establish();
+        let mut segs = client.send(cid, b"payload").unwrap();
+        let PacketBody::Tcp(seg) = &mut segs[0].body else { panic!() };
+        seg.checksum ^= 0xffff;
+        let (ev, replies) = deliver(&mut server, &segs[0]);
+        assert!(ev.is_empty());
+        assert!(replies.is_empty());
+        assert_eq!(server.drops.bad_checksum, 1);
+    }
+
+    #[test]
+    fn spoofed_injection_with_correct_state_is_accepted() {
+        // The post-connection Defamation primitive: a third party who knows
+        // the 4-tuple and rcv_nxt can inject data attributed to the peer.
+        let (client, mut server, cid, sid) = establish();
+        let client_addr = client.local_of(cid).unwrap();
+        let server_addr = client.peer_of(cid).unwrap();
+        let (snd_nxt, rcv_nxt) = client.seq_state(cid).unwrap();
+        let forged = make_segment(
+            client_addr,
+            server_addr,
+            snd_nxt,
+            rcv_nxt,
+            TcpFlags::ACK,
+            Bytes::from_static(b"evil"),
+        );
+        let (ev, _) = deliver(&mut server, &forged);
+        assert_eq!(
+            ev,
+            vec![TcpEvent::Data {
+                id: sid,
+                peer: client_addr,
+                payload: Bytes::from_static(b"evil"),
+            }]
+        );
+    }
+
+    #[test]
+    fn spoofed_injection_with_wrong_seq_is_dropped() {
+        let (client, mut server, cid, _) = establish();
+        let client_addr = client.local_of(cid).unwrap();
+        let server_addr = client.peer_of(cid).unwrap();
+        let (snd_nxt, rcv_nxt) = client.seq_state(cid).unwrap();
+        let forged = make_segment(
+            client_addr,
+            server_addr,
+            snd_nxt.wrapping_add(9999),
+            rcv_nxt,
+            TcpFlags::ACK,
+            Bytes::from_static(b"evil"),
+        );
+        let (ev, _) = deliver(&mut server, &forged);
+        assert!(ev.is_empty());
+        assert_eq!(server.drops.bad_seq, 1);
+    }
+
+    #[test]
+    fn injection_desyncs_the_real_sender() {
+        let (mut client, mut server, cid, _) = establish();
+        let client_addr = client.local_of(cid).unwrap();
+        let server_addr = client.peer_of(cid).unwrap();
+        let (snd_nxt, rcv_nxt) = client.seq_state(cid).unwrap();
+        let forged = make_segment(client_addr, server_addr, snd_nxt, rcv_nxt, TcpFlags::ACK, Bytes::from_static(b"x"));
+        deliver(&mut server, &forged);
+        // Real client now sends from a stale seq → dropped.
+        let segs = client.send(cid, b"real").unwrap();
+        let (ev, _) = deliver(&mut server, &segs[0]);
+        assert!(ev.is_empty());
+        assert_eq!(server.drops.bad_seq, 1);
+    }
+
+    #[test]
+    fn rst_closes_connection() {
+        let (mut client, mut server, cid, sid) = establish();
+        let rst = client.close(cid).unwrap();
+        let (ev, _) = deliver(&mut server, &rst);
+        assert!(matches!(
+            ev[0],
+            TcpEvent::Closed {
+                reason: CloseReason::RemoteReset,
+                ..
+            }
+        ));
+        assert!(!server.is_established(sid));
+        assert!(!client.is_established(cid));
+    }
+
+    #[test]
+    fn connect_to_closed_port_fails() {
+        let mut client = TcpStack::new([10, 0, 0, 1]);
+        let mut server = TcpStack::new([10, 0, 0, 2]);
+        let (_, syn) = client.connect(sa(2, 9999));
+        let (_, replies) = deliver(&mut server, &syn);
+        let (ev, _) = deliver(&mut client, &replies[0]);
+        assert_eq!(ev, vec![TcpEvent::ConnectFailed { dst: sa(2, 9999) }]);
+    }
+
+    #[test]
+    fn accept_hook_can_refuse_with_rst() {
+        let mut client = TcpStack::new([10, 0, 0, 1]);
+        let mut server = TcpStack::new([10, 0, 0, 2]);
+        server.listen(8333);
+        let (_, syn) = client.connect(sa(2, 8333));
+        let PacketBody::Tcp(seg) = &syn.body else { panic!() };
+        let (ev, replies) = server.handle_segment(syn.src, syn.dst, seg, &mut |_| false);
+        assert!(ev.is_empty());
+        assert_eq!(server.drops.refused_accept, 1);
+        let PacketBody::Tcp(rst) = &replies[0].body else { panic!() };
+        assert!(rst.flags.has(TcpFlags::RST));
+        let (ev, _) = deliver(&mut client, &replies[0]);
+        assert_eq!(ev, vec![TcpEvent::ConnectFailed { dst: sa(2, 8333) }]);
+    }
+
+    #[test]
+    fn ephemeral_ports_dont_collide() {
+        let mut client = TcpStack::new([10, 0, 0, 1]);
+        let mut ports = HashSet::new();
+        for _ in 0..100 {
+            let (_, syn) = client.connect(sa(2, 8333));
+            assert!(ports.insert(syn.src.port), "port reuse");
+        }
+    }
+
+    #[test]
+    fn connect_from_rejects_in_use_tuple() {
+        let mut client = TcpStack::new([10, 0, 0, 1]);
+        assert!(client.connect_from(50_000, sa(2, 8333)).is_some());
+        assert!(client.connect_from(50_000, sa(2, 8333)).is_none());
+    }
+
+    #[test]
+    fn closing_frees_the_port() {
+        let mut client = TcpStack::new([10, 0, 0, 1]);
+        let (id, _) = client.connect_from(50_000, sa(2, 8333)).unwrap();
+        client.close(id);
+        assert!(client.connect_from(50_000, sa(2, 8333)).is_some());
+    }
+
+    #[test]
+    fn fin_closes_gracefully() {
+        let (client, mut server, cid, _) = establish();
+        let client_addr = client.local_of(cid).unwrap();
+        let server_addr = client.peer_of(cid).unwrap();
+        let (snd, rcv) = client.seq_state(cid).unwrap();
+        let fin = make_segment(client_addr, server_addr, snd, rcv, TcpFlags::FIN | TcpFlags::ACK, Bytes::new());
+        let (ev, replies) = deliver(&mut server, &fin);
+        assert!(matches!(
+            ev[0],
+            TcpEvent::Closed {
+                reason: CloseReason::RemoteFin,
+                ..
+            }
+        ));
+        assert_eq!(replies.len(), 1);
+    }
+
+    #[test]
+    fn send_on_unestablished_connection_fails() {
+        let mut client = TcpStack::new([10, 0, 0, 1]);
+        let (id, _) = client.connect(sa(2, 8333));
+        assert!(client.send(id, b"too early").is_none());
+    }
+}

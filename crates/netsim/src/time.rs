@@ -1,0 +1,62 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! All simulation timestamps are [`Nanos`] — nanoseconds since simulation
+//! start. Wrapping is not a concern (2^64 ns ≈ 584 years).
+
+/// A point in virtual time, in nanoseconds since simulation start.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROS: Nanos = 1_000;
+
+/// One millisecond in [`Nanos`].
+pub const MILLIS: Nanos = 1_000_000;
+
+/// One second in [`Nanos`].
+pub const SECS: Nanos = 1_000_000_000;
+
+/// One minute in [`Nanos`].
+pub const MINUTES: Nanos = 60 * SECS;
+
+/// One hour in [`Nanos`].
+pub const HOURS: Nanos = 60 * MINUTES;
+
+/// Converts virtual nanoseconds to floating-point seconds.
+pub fn as_secs_f64(t: Nanos) -> f64 {
+    t as f64 / SECS as f64
+}
+
+/// Converts floating-point seconds to virtual nanoseconds.
+///
+/// # Panics
+///
+/// Panics on negative or non-finite input.
+pub fn from_secs_f64(s: f64) -> Nanos {
+    assert!(s.is_finite() && s >= 0.0, "invalid duration {s}");
+    (s * SECS as f64) as Nanos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(as_secs_f64(1_500_000_000), 1.5);
+        assert_eq!(from_secs_f64(2.5), 2_500_000_000);
+        assert_eq!(from_secs_f64(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_panics() {
+        from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn unit_constants() {
+        assert_eq!(SECS, 1000 * MILLIS);
+        assert_eq!(MILLIS, 1000 * MICROS);
+        assert_eq!(HOURS, 3600 * SECS);
+    }
+}

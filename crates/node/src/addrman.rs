@@ -1,0 +1,205 @@
+//! A simplified address manager ("addrman") with the *peer-table
+//! diversity* metric of §VI-D.
+//!
+//! The paper's full-IP Defamation attack "decreases the peer-table
+//! diversity of the target node": every banned identifier shrinks the set
+//! of usable addresses. This module keeps the known-address table,
+//! tracks which entries are currently usable (not banned), and measures
+//! diversity as the number of distinct /16 netgroups among usable
+//! addresses — the granularity Bitcoin Core buckets by.
+
+use crate::banman::BanMan;
+use btc_netsim::packet::SockAddr;
+use btc_netsim::time::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How an address entered the table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AddrSource {
+    /// Configured at start (`-addnode`-style).
+    Seed,
+    /// Learned from `ADDR` gossip.
+    Gossip,
+    /// Observed as an inbound connection.
+    Inbound,
+}
+
+/// One known address.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AddrEntry {
+    /// Where it came from.
+    pub source: AddrSource,
+    /// When we first learned it.
+    pub first_seen: Nanos,
+    /// When we last had a successful session with it.
+    pub last_success: Option<Nanos>,
+    /// Failed connection attempts since the last success.
+    pub failures: u32,
+}
+
+/// The address manager.
+#[derive(Clone, Debug, Default)]
+pub struct AddrMan {
+    entries: BTreeMap<SockAddr, AddrEntry>,
+}
+
+impl AddrMan {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `addr` (no-op if already known; first source wins).
+    pub fn add(&mut self, now: Nanos, addr: SockAddr, source: AddrSource) {
+        self.entries.entry(addr).or_insert(AddrEntry {
+            source,
+            first_seen: now,
+            last_success: None,
+            failures: 0,
+        });
+    }
+
+    /// Marks a successful session with `addr`.
+    pub fn mark_success(&mut self, now: Nanos, addr: &SockAddr) {
+        if let Some(e) = self.entries.get_mut(addr) {
+            e.last_success = Some(now);
+            e.failures = 0;
+        }
+    }
+
+    /// Marks a failed connection attempt.
+    pub fn mark_failure(&mut self, addr: &SockAddr) {
+        if let Some(e) = self.entries.get_mut(addr) {
+            e.failures += 1;
+        }
+    }
+
+    /// Number of known addresses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `addr` is known.
+    pub fn contains(&self, addr: &SockAddr) -> bool {
+        self.entries.contains_key(addr)
+    }
+
+    /// All addresses (deterministic order).
+    pub fn addresses(&self) -> impl Iterator<Item = &SockAddr> {
+        self.entries.keys()
+    }
+
+    /// Entry metadata.
+    pub fn entry(&self, addr: &SockAddr) -> Option<&AddrEntry> {
+        self.entries.get(addr)
+    }
+
+    /// Addresses usable at `now` — known, not banned, and not persistently
+    /// failing.
+    pub fn usable<'a>(&'a self, now: Nanos, banman: &'a BanMan) -> impl Iterator<Item = SockAddr> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(a, e)| !banman.is_banned(now, a) && e.failures < 8)
+            .map(|(a, _)| *a)
+    }
+
+    /// The §VI-D diversity metric: distinct /16 netgroups among usable
+    /// addresses.
+    pub fn diversity(&self, now: Nanos, banman: &BanMan) -> usize {
+        let mut groups: Vec<[u8; 2]> = self
+            .usable(now, banman)
+            .map(|a| [a.ip[0], a.ip[1]])
+            .collect();
+        groups.sort_unstable();
+        groups.dedup();
+        groups.len()
+    }
+
+    /// Usable address count (the paper's "potentially available
+    /// identifiers").
+    pub fn usable_count(&self, now: Nanos, banman: &BanMan) -> usize {
+        self.usable(now, banman).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(a: u8, b: u8, port: u16) -> SockAddr {
+        SockAddr::new([10, a, b, 1], port)
+    }
+
+    #[test]
+    fn add_is_idempotent_first_source_wins() {
+        let mut am = AddrMan::new();
+        am.add(0, addr(0, 0, 8333), AddrSource::Seed);
+        am.add(5, addr(0, 0, 8333), AddrSource::Gossip);
+        assert_eq!(am.len(), 1);
+        assert_eq!(am.entry(&addr(0, 0, 8333)).unwrap().source, AddrSource::Seed);
+        assert_eq!(am.entry(&addr(0, 0, 8333)).unwrap().first_seen, 0);
+    }
+
+    #[test]
+    fn success_resets_failures() {
+        let mut am = AddrMan::new();
+        let a = addr(1, 1, 8333);
+        am.add(0, a, AddrSource::Gossip);
+        for _ in 0..5 {
+            am.mark_failure(&a);
+        }
+        assert_eq!(am.entry(&a).unwrap().failures, 5);
+        am.mark_success(7, &a);
+        let e = am.entry(&a).unwrap();
+        assert_eq!(e.failures, 0);
+        assert_eq!(e.last_success, Some(7));
+    }
+
+    #[test]
+    fn persistent_failures_remove_from_usable() {
+        let mut am = AddrMan::new();
+        let bm = BanMan::new();
+        let a = addr(1, 1, 8333);
+        am.add(0, a, AddrSource::Gossip);
+        assert_eq!(am.usable_count(0, &bm), 1);
+        for _ in 0..8 {
+            am.mark_failure(&a);
+        }
+        assert_eq!(am.usable_count(0, &bm), 0);
+    }
+
+    #[test]
+    fn bans_shrink_usable_set_and_diversity() {
+        let mut am = AddrMan::new();
+        let mut bm = BanMan::new();
+        // Four addresses in three /16 groups.
+        for (a, b) in [(0, 0), (0, 1), (1, 0), (2, 0)] {
+            am.add(0, addr(a, b, 8333), AddrSource::Gossip);
+        }
+        assert_eq!(am.usable_count(0, &bm), 4);
+        assert_eq!(am.diversity(0, &bm), 3);
+        // Defame the whole 10.0.0.0/16 group.
+        bm.ban(0, addr(0, 0, 8333));
+        bm.ban(0, addr(0, 1, 8333));
+        assert_eq!(am.usable_count(0, &bm), 2);
+        assert_eq!(am.diversity(0, &bm), 2);
+    }
+
+    #[test]
+    fn diversity_counts_distinct_slash16() {
+        let mut am = AddrMan::new();
+        let bm = BanMan::new();
+        // Many ports of the same host: one netgroup.
+        for port in 50_000..50_010 {
+            am.add(0, addr(5, 5, port), AddrSource::Gossip);
+        }
+        assert_eq!(am.usable_count(0, &bm), 10);
+        assert_eq!(am.diversity(0, &bm), 1);
+    }
+}

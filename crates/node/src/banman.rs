@@ -1,0 +1,166 @@
+//! The ban list (`BanMan`): banned connection identifiers with expiry.
+//!
+//! Following the paper's observation, the ban object is the *connection
+//! identifier* `[IP:Port]`, bans default to 24 hours, live only in this
+//! node's memory, and are never gossiped. A banned identifier is refused at
+//! TCP accept time; every *other* port of the same IP remains welcome —
+//! which is exactly what the serial-Sybil and full-IP-Defamation attacks
+//! exploit.
+
+use btc_netsim::packet::SockAddr;
+use btc_netsim::time::{Nanos, SECS};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One ban entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BanEntry {
+    /// When the ban was created.
+    pub created: Nanos,
+    /// When it expires.
+    pub until: Nanos,
+}
+
+/// The ban list.
+#[derive(Clone, Debug, Default)]
+pub struct BanMan {
+    bans: HashMap<SockAddr, BanEntry>,
+    /// Log of (time, identifier) ban events, kept for the experiments.
+    history: Vec<(Nanos, SockAddr)>,
+    ban_duration: Nanos,
+}
+
+impl BanMan {
+    /// Creates a ban list with the stock 24-hour duration.
+    pub fn new() -> Self {
+        BanMan {
+            bans: HashMap::new(),
+            history: Vec::new(),
+            ban_duration: btc_wire::constants::DEFAULT_BANTIME_SECS * SECS,
+        }
+    }
+
+    /// Creates a ban list with a custom duration (ablation benches).
+    pub fn with_duration(ban_duration: Nanos) -> Self {
+        BanMan {
+            ban_duration,
+            ..BanMan::new()
+        }
+    }
+
+    /// Bans `peer` starting at `now`.
+    pub fn ban(&mut self, now: Nanos, peer: SockAddr) {
+        self.bans.insert(
+            peer,
+            BanEntry {
+                created: now,
+                until: now.saturating_add(self.ban_duration),
+            },
+        );
+        self.history.push((now, peer));
+    }
+
+    /// Whether `peer` is banned at `now`.
+    pub fn is_banned(&self, now: Nanos, peer: &SockAddr) -> bool {
+        self.bans.get(peer).map(|b| now < b.until).unwrap_or(false)
+    }
+
+    /// Whether *any* port of `ip` is banned at `now` (diagnostic for the
+    /// full-IP Defamation experiment).
+    pub fn banned_ports_of(&self, now: Nanos, ip: [u8; 4]) -> usize {
+        self.bans
+            .iter()
+            .filter(|(a, b)| a.ip == ip && now < b.until)
+            .count()
+    }
+
+    /// Drops expired entries; returns how many were removed.
+    pub fn sweep(&mut self, now: Nanos) -> usize {
+        let before = self.bans.len();
+        self.bans.retain(|_, b| now < b.until);
+        before - self.bans.len()
+    }
+
+    /// Number of live entries (including not-yet-swept expired ones).
+    pub fn len(&self) -> usize {
+        self.bans.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bans.is_empty()
+    }
+
+    /// Chronological ban log.
+    pub fn history(&self) -> &[(Nanos, SockAddr)] {
+        &self.history
+    }
+
+    /// The configured ban duration.
+    pub fn ban_duration(&self) -> Nanos {
+        self.ban_duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btc_netsim::time::HOURS;
+
+    fn peer(last: u8, port: u16) -> SockAddr {
+        SockAddr::new([10, 0, 0, last], port)
+    }
+
+    #[test]
+    fn ban_lasts_24_hours() {
+        let mut bm = BanMan::new();
+        bm.ban(0, peer(1, 5000));
+        assert!(bm.is_banned(0, &peer(1, 5000)));
+        assert!(bm.is_banned(24 * HOURS - 1, &peer(1, 5000)));
+        assert!(!bm.is_banned(24 * HOURS, &peer(1, 5000)));
+    }
+
+    #[test]
+    fn ban_is_per_identifier_not_per_ip() {
+        let mut bm = BanMan::new();
+        bm.ban(0, peer(1, 5000));
+        assert!(bm.is_banned(0, &peer(1, 5000)));
+        // Same IP, different port: welcome (the Sybil loophole).
+        assert!(!bm.is_banned(0, &peer(1, 5001)));
+        // Different IP, same port: welcome.
+        assert!(!bm.is_banned(0, &peer(2, 5000)));
+    }
+
+    #[test]
+    fn sweep_removes_expired() {
+        let mut bm = BanMan::with_duration(10);
+        bm.ban(0, peer(1, 1));
+        bm.ban(5, peer(2, 2));
+        assert_eq!(bm.len(), 2);
+        assert_eq!(bm.sweep(12), 1);
+        assert_eq!(bm.len(), 1);
+        assert!(bm.is_banned(12, &peer(2, 2)));
+    }
+
+    #[test]
+    fn rebanning_extends() {
+        let mut bm = BanMan::with_duration(10);
+        bm.ban(0, peer(1, 1));
+        bm.ban(8, peer(1, 1));
+        assert!(bm.is_banned(15, &peer(1, 1)));
+        assert!(!bm.is_banned(18, &peer(1, 1)));
+        assert_eq!(bm.history().len(), 2);
+    }
+
+    #[test]
+    fn banned_ports_counting() {
+        let mut bm = BanMan::new();
+        for port in 49152..49162 {
+            bm.ban(0, peer(7, port));
+        }
+        bm.ban(0, peer(8, 49152));
+        assert_eq!(bm.banned_ports_of(0, [10, 0, 0, 7]), 10);
+        assert_eq!(bm.banned_ports_of(0, [10, 0, 0, 8]), 1);
+        assert_eq!(bm.banned_ports_of(25 * HOURS, [10, 0, 0, 7]), 0);
+    }
+}

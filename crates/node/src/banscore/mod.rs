@@ -1,0 +1,10 @@
+//! The ban-score mechanism: Table-I rules and the misbehavior tracker.
+
+pub mod rules;
+pub mod tracker;
+
+pub use rules::{
+    protected_message_types, render_table1, unprotected_message_types, BanObject, CoreVersion,
+    Misbehavior, MisbehaviorKind, ALL_MISBEHAVIORS,
+};
+pub use tracker::{BanPolicy, GoodScoreTracker, MisbehaviorTracker, ScoreEvent, Verdict};

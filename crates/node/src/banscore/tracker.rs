@@ -1,0 +1,355 @@
+//! Misbehavior tracking: the per-peer score keeping of `PeerManager::
+//! Misbehaving`, plus the paper's §VIII countermeasure variants (threshold
+//! → ∞, fully disabled, and the good-score mechanism).
+
+use super::rules::{CoreVersion, Misbehavior};
+use btc_netsim::packet::SockAddr;
+use btc_netsim::time::Nanos;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How the node reacts to misbehavior (§VIII of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum BanPolicy {
+    /// Stock behaviour: ban at the threshold (100 by default).
+    #[default]
+    Standard,
+    /// "Ban score threshold to ∞": keep tracking, never ban.
+    NeverBan,
+    /// "Disabling the checking": `Misbehaving` is a no-op.
+    Disabled,
+}
+
+/// One recorded score change (used for the Figure-8 staircase).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScoreEvent {
+    /// When it happened.
+    pub time: Nanos,
+    /// Which peer.
+    pub peer: SockAddr,
+    /// The rule that fired.
+    pub rule: Misbehavior,
+    /// Points added.
+    pub delta: u32,
+    /// Score after the increment.
+    pub total: u32,
+}
+
+/// The verdict of one `misbehaving()` call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Rule disabled (version deprecation, policy, or wrong direction).
+    Ignored,
+    /// Score increased, still below the threshold.
+    Scored {
+        /// New total.
+        total: u32,
+    },
+    /// Threshold reached: disconnect and ban this peer.
+    Ban {
+        /// Final total.
+        total: u32,
+    },
+}
+
+/// Per-peer misbehavior score tracker.
+#[derive(Clone, Debug, Default)]
+pub struct MisbehaviorTracker {
+    /// Rule-set version.
+    pub version: CoreVersion,
+    /// Reaction policy.
+    pub policy: BanPolicy,
+    /// Ban threshold (Bitcoin's `-banscore`, default 100).
+    pub threshold: u32,
+    scores: HashMap<SockAddr, u32>,
+    events: Vec<ScoreEvent>,
+}
+
+impl MisbehaviorTracker {
+    /// Creates a tracker with the stock threshold of 100.
+    pub fn new(version: CoreVersion, policy: BanPolicy) -> Self {
+        MisbehaviorTracker {
+            version,
+            policy,
+            threshold: btc_wire::constants::DEFAULT_BANSCORE_THRESHOLD,
+            scores: HashMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Records a misbehavior by `peer` and returns what to do about it.
+    ///
+    /// Deprecated rules, rules that don't apply to the peer's direction,
+    /// and the [`BanPolicy::Disabled`] policy all yield
+    /// [`Verdict::Ignored`].
+    pub fn misbehaving(
+        &mut self,
+        now: Nanos,
+        peer: SockAddr,
+        inbound: bool,
+        rule: Misbehavior,
+    ) -> Verdict {
+        if self.policy == BanPolicy::Disabled {
+            return Verdict::Ignored;
+        }
+        if !rule.applies_to(inbound) {
+            return Verdict::Ignored;
+        }
+        let Some(delta) = rule.penalty(self.version) else {
+            return Verdict::Ignored;
+        };
+        let score = self.scores.entry(peer).or_insert(0);
+        *score = score.saturating_add(delta);
+        let total = *score;
+        self.events.push(ScoreEvent {
+            time: now,
+            peer,
+            rule,
+            delta,
+            total,
+        });
+        if total >= self.threshold && self.policy == BanPolicy::Standard {
+            Verdict::Ban { total }
+        } else {
+            Verdict::Scored { total }
+        }
+    }
+
+    /// Applies a custom score increment outside Table I (ablation hook for
+    /// counterfactual rules like punishing corrupted checksums).
+    pub fn penalize(&mut self, now: Nanos, peer: SockAddr, delta: u32) -> Verdict {
+        if self.policy == BanPolicy::Disabled || delta == 0 {
+            return Verdict::Ignored;
+        }
+        let score = self.scores.entry(peer).or_insert(0);
+        *score = score.saturating_add(delta);
+        let total = *score;
+        self.events.push(ScoreEvent {
+            time: now,
+            peer,
+            rule: Misbehavior::ChecksumCorrupt,
+            delta,
+            total,
+        });
+        if total >= self.threshold && self.policy == BanPolicy::Standard {
+            Verdict::Ban { total }
+        } else {
+            Verdict::Scored { total }
+        }
+    }
+
+    /// Current score of a peer (0 if never seen).
+    pub fn score(&self, peer: &SockAddr) -> u32 {
+        self.scores.get(peer).copied().unwrap_or(0)
+    }
+
+    /// Forgets a peer's score (Core does this on disconnect).
+    pub fn forget(&mut self, peer: &SockAddr) {
+        self.scores.remove(peer);
+    }
+
+    /// Every score change recorded so far.
+    pub fn events(&self) -> &[ScoreEvent] {
+        &self.events
+    }
+
+    /// Number of peers with a nonzero score.
+    pub fn tracked_peers(&self) -> usize {
+        self.scores.len()
+    }
+}
+
+/// The §VIII *good-score* countermeasure: peers earn credit (+1 per valid
+/// `BLOCK`), and the node prefers evicting low-credit peers instead of
+/// banning identifiers — an innocent peer with history cannot be defamed
+/// into a ban.
+#[derive(Clone, Debug, Default)]
+pub struct GoodScoreTracker {
+    scores: HashMap<SockAddr, u64>,
+}
+
+impl GoodScoreTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Credits `peer` for a valid block.
+    pub fn credit(&mut self, peer: SockAddr) {
+        *self.scores.entry(peer).or_insert(0) += 1;
+    }
+
+    /// Current credit of a peer.
+    pub fn score(&self, peer: &SockAddr) -> u64 {
+        self.scores.get(peer).copied().unwrap_or(0)
+    }
+
+    /// Whether `peer` has enough credit to be shielded from banning.
+    pub fn is_trusted(&self, peer: &SockAddr, min_credit: u64) -> bool {
+        self.score(peer) >= min_credit
+    }
+
+    /// The peer with the lowest credit among `candidates` (eviction choice).
+    pub fn eviction_candidate<'a>(
+        &self,
+        candidates: impl IntoIterator<Item = &'a SockAddr>,
+    ) -> Option<SockAddr> {
+        candidates
+            .into_iter()
+            .min_by_key(|p| (self.score(p), **p))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer(last: u8) -> SockAddr {
+        SockAddr::new([10, 0, 0, last], 8333)
+    }
+
+    #[test]
+    fn scores_accumulate_to_ban() {
+        let mut t = MisbehaviorTracker::new(CoreVersion::V0_20, BanPolicy::Standard);
+        let p = peer(1);
+        // 4 × 20 = 80, then 20 more = 100 → ban.
+        for i in 1..=4 {
+            let v = t.misbehaving(i, p, true, Misbehavior::AddrOversize);
+            assert_eq!(v, Verdict::Scored { total: i as u32 * 20 });
+        }
+        let v = t.misbehaving(5, p, true, Misbehavior::AddrOversize);
+        assert_eq!(v, Verdict::Ban { total: 100 });
+    }
+
+    #[test]
+    fn hundred_point_rules_ban_instantly() {
+        let mut t = MisbehaviorTracker::new(CoreVersion::V0_20, BanPolicy::Standard);
+        assert_eq!(
+            t.misbehaving(0, peer(1), true, Misbehavior::BlockMutated),
+            Verdict::Ban { total: 100 }
+        );
+    }
+
+    #[test]
+    fn duplicate_version_takes_100_messages() {
+        let mut t = MisbehaviorTracker::new(CoreVersion::V0_20, BanPolicy::Standard);
+        let p = peer(2);
+        for i in 1..100u32 {
+            assert_eq!(
+                t.misbehaving(i as u64, p, true, Misbehavior::DuplicateVersion),
+                Verdict::Scored { total: i }
+            );
+        }
+        assert_eq!(
+            t.misbehaving(100, p, true, Misbehavior::DuplicateVersion),
+            Verdict::Ban { total: 100 }
+        );
+    }
+
+    #[test]
+    fn direction_restrictions_respected() {
+        let mut t = MisbehaviorTracker::new(CoreVersion::V0_20, BanPolicy::Standard);
+        // Inbound-only rule ignored for outbound peer.
+        assert_eq!(
+            t.misbehaving(0, peer(1), false, Misbehavior::DuplicateVersion),
+            Verdict::Ignored
+        );
+        // Outbound-only rule ignored for inbound peer.
+        assert_eq!(
+            t.misbehaving(0, peer(1), true, Misbehavior::BlockCachedInvalid),
+            Verdict::Ignored
+        );
+        assert_eq!(t.score(&peer(1)), 0);
+    }
+
+    #[test]
+    fn deprecated_rules_ignored() {
+        let mut t = MisbehaviorTracker::new(CoreVersion::V0_22, BanPolicy::Standard);
+        assert_eq!(
+            t.misbehaving(0, peer(1), true, Misbehavior::DuplicateVersion),
+            Verdict::Ignored
+        );
+    }
+
+    #[test]
+    fn never_ban_policy_keeps_counting() {
+        let mut t = MisbehaviorTracker::new(CoreVersion::V0_20, BanPolicy::NeverBan);
+        let p = peer(3);
+        for _ in 0..50 {
+            let v = t.misbehaving(0, p, true, Misbehavior::BlockMutated);
+            assert!(matches!(v, Verdict::Scored { .. }));
+        }
+        assert_eq!(t.score(&p), 5000);
+    }
+
+    #[test]
+    fn disabled_policy_tracks_nothing() {
+        let mut t = MisbehaviorTracker::new(CoreVersion::V0_20, BanPolicy::Disabled);
+        assert_eq!(
+            t.misbehaving(0, peer(1), true, Misbehavior::BlockMutated),
+            Verdict::Ignored
+        );
+        assert_eq!(t.score(&peer(1)), 0);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn events_form_a_staircase() {
+        let mut t = MisbehaviorTracker::new(CoreVersion::V0_20, BanPolicy::Standard);
+        let p = peer(4);
+        for i in 0..100u64 {
+            t.misbehaving(i, p, true, Misbehavior::DuplicateVersion);
+        }
+        let ev = t.events();
+        assert_eq!(ev.len(), 100);
+        for (i, e) in ev.iter().enumerate() {
+            assert_eq!(e.total, i as u32 + 1);
+            assert_eq!(e.delta, 1);
+        }
+    }
+
+    #[test]
+    fn forget_resets_score() {
+        let mut t = MisbehaviorTracker::new(CoreVersion::V0_20, BanPolicy::Standard);
+        t.misbehaving(0, peer(1), true, Misbehavior::AddrOversize);
+        assert_eq!(t.score(&peer(1)), 20);
+        t.forget(&peer(1));
+        assert_eq!(t.score(&peer(1)), 0);
+    }
+
+    #[test]
+    fn scores_are_per_identifier_not_per_ip() {
+        // The Sybil vector: same IP, different port = fresh score.
+        let mut t = MisbehaviorTracker::new(CoreVersion::V0_20, BanPolicy::Standard);
+        let a = SockAddr::new([10, 0, 0, 9], 50_000);
+        let b = SockAddr::new([10, 0, 0, 9], 50_001);
+        t.misbehaving(0, a, true, Misbehavior::BlockMutated);
+        assert_eq!(t.score(&a), 100);
+        assert_eq!(t.score(&b), 0);
+    }
+
+    #[test]
+    fn good_score_credits_and_trust() {
+        let mut g = GoodScoreTracker::new();
+        let p = peer(5);
+        assert!(!g.is_trusted(&p, 1));
+        for _ in 0..3 {
+            g.credit(p);
+        }
+        assert_eq!(g.score(&p), 3);
+        assert!(g.is_trusted(&p, 3));
+        assert!(!g.is_trusted(&p, 4));
+    }
+
+    #[test]
+    fn good_score_eviction_prefers_lowest_credit() {
+        let mut g = GoodScoreTracker::new();
+        let a = peer(1);
+        let b = peer(2);
+        g.credit(a);
+        g.credit(a);
+        g.credit(b);
+        assert_eq!(g.eviction_candidate([&a, &b]), Some(b));
+    }
+}

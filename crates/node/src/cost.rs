@@ -1,0 +1,196 @@
+//! Processing-cost model: cycles charged to the victim's CPU for each stage
+//! of the receive path.
+//!
+//! Two tiers, matching how the paper reports costs:
+//!
+//! * **Micro costs** ([`CostModel`]) follow the *relative* per-query
+//!   processing costs of Table II — checksum work scales with payload
+//!   bytes, block validation with transaction count, etc. These drive the
+//!   in-simulator CPU accounting.
+//! * **Interference costs** ([`CostModel::interference_cost`]) add the
+//!   fixed per-message overhead a real `bitcoind` pays per delivered
+//!   message (socket wake-up, lock acquisition, thread scheduling on the
+//!   paper's single-vCPU testbed). The constant is calibrated once against
+//!   Figure 6's single-connection operating points and documented in
+//!   EXPERIMENTS.md; it is what makes message *rate* — not just message
+//!   *bytes* — hurt the mining loop.
+
+use btc_wire::message::Message;
+
+/// Cycles per payload byte for the `sha256d` checksum pass (every frame
+/// pays this, including frames whose checksum turns out wrong).
+pub const CHECKSUM_CYCLES_PER_BYTE: u64 = 15;
+
+/// Fixed cycles for header parsing + checksum finalization.
+pub const FRAME_BASE_CYCLES: u64 = 2_000;
+
+/// Cycles per payload byte for payload deserialization.
+pub const DECODE_CYCLES_PER_BYTE: u64 = 2;
+
+/// Fixed per-message interference overhead (socket wake-up + locks on the
+/// paper's testbed); calibrated to Figure 6. See EXPERIMENTS.md.
+pub const INTERFERENCE_WAKEUP_CYCLES: u64 = 1_600_000;
+
+/// Per-byte interference cost (copy + checksum at memory bandwidth).
+pub const INTERFERENCE_CYCLES_PER_BYTE: u64 = 25;
+
+/// The victim-side processing cost model.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Cycles per checksum byte.
+    pub checksum_per_byte: u64,
+    /// Fixed frame cost.
+    pub frame_base: u64,
+    /// Cycles per decoded byte.
+    pub decode_per_byte: u64,
+    /// Fixed per-message interference overhead.
+    pub interference_wakeup: u64,
+    /// Per-byte interference cost.
+    pub interference_per_byte: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            checksum_per_byte: CHECKSUM_CYCLES_PER_BYTE,
+            frame_base: FRAME_BASE_CYCLES,
+            decode_per_byte: DECODE_CYCLES_PER_BYTE,
+            interference_wakeup: INTERFERENCE_WAKEUP_CYCLES,
+            interference_per_byte: INTERFERENCE_CYCLES_PER_BYTE,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cycles to verify a frame's checksum over `payload_len` bytes. Paid
+    /// by *every* arriving frame — this is all a bogus-checksum message
+    /// costs the victim at the application layer, and all it ever pays.
+    pub fn checksum_cost(&self, payload_len: usize) -> u64 {
+        self.frame_base + self.checksum_per_byte * payload_len as u64
+    }
+
+    /// Cycles to deserialize a payload of `payload_len` bytes.
+    pub fn decode_cost(&self, payload_len: usize) -> u64 {
+        self.decode_per_byte * payload_len as u64
+    }
+
+    /// Cycles for the type-specific handler, mirroring Table II's ordering:
+    /// `BLOCK` (full validation) ≫ `BLOCKTXN`/`CMPCTBLOCK` ≫ `TX` ≫
+    /// handshake messages ≫ trivial notifications.
+    pub fn handler_cost(&self, msg: &Message) -> u64 {
+        match msg {
+            // Full block validation: PoW (2 hashes) + merkle rebuild
+            // (~2 hashes/tx) + per-tx checks.
+            Message::Block(b) => 60_000 + 45_000 * b.txs.len() as u64,
+            // Reconstruct + validate from compact parts.
+            Message::BlockTxn(bt) => 20_000 + 35_000 * bt.txs.len() as u64,
+            Message::CmpctBlock(cb) => {
+                10_000 + 1_200 * cb.short_ids.len() as u64 + 30_000 * cb.prefilled.len() as u64
+            }
+            Message::Tx(tx) => 4_000 + 1_500 * tx.inputs.len() as u64 + 300 * tx.outputs.len() as u64,
+            Message::GetBlockTxn(req) => 2_500 + 40 * req.diff_indices.len() as u64,
+            Message::Version(_) => 1_300,
+            Message::Verack => 2_400,
+            Message::Addr(v) => 250 + 30 * v.len() as u64,
+            Message::Inv(v) | Message::GetData(v) | Message::NotFound(v) => {
+                300 + 15 * v.len() as u64
+            }
+            Message::GetHeaders(_) | Message::GetBlocks(_) => 400,
+            Message::Headers(v) => 200 + 160 * v.len() as u64,
+            Message::Ping(_) => 950,
+            Message::Pong(_) => 100,
+            Message::FilterLoad(f) => 500 + 2 * f.data.len() as u64,
+            Message::FilterAdd(_) => 400,
+            Message::FilterClear => 100,
+            Message::MerkleBlock(m) => 500 + 120 * m.hashes.len() as u64,
+            Message::SendHeaders => 70,
+            Message::FeeFilter(_) => 90,
+            Message::SendCmpct(_) => 50,
+            Message::GetAddr => 300,
+            Message::Mempool => 600,
+            Message::Reject(_) => 100,
+        }
+    }
+
+    /// Full application-layer cost of a successfully decoded message.
+    pub fn full_cost(&self, msg: &Message, payload_len: usize) -> u64 {
+        self.checksum_cost(payload_len) + self.decode_cost(payload_len) + self.handler_cost(msg)
+    }
+
+    /// The calibrated end-to-end interference a delivered message inflicts
+    /// on a co-located miner (see module docs).
+    pub fn interference_cost(&self, payload_len: usize) -> u64 {
+        self.interference_wakeup + self.interference_per_byte * payload_len as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btc_wire::block::{Block, BlockHeader};
+    use btc_wire::tx::Transaction;
+
+    fn block(ntx: usize) -> Message {
+        let mut txs = vec![Transaction::coinbase(50, b"cb")];
+        for i in 0..ntx {
+            let mut t = Transaction::coinbase(1, &[i as u8, 0, 0]);
+            t.inputs[0].prevout =
+                btc_wire::tx::OutPoint::new(btc_wire::types::Hash256::hash(&[i as u8]), 0);
+            txs.push(t);
+        }
+        let mut b = Block {
+            header: BlockHeader::default(),
+            txs,
+        };
+        b.header.merkle_root = b.merkle_root();
+        b.header.mine();
+        Message::Block(b)
+    }
+
+    #[test]
+    fn block_dominates_table2_ordering() {
+        let m = CostModel::default();
+        let block_cost = m.handler_cost(&block(100));
+        let ping_cost = m.handler_cost(&Message::Ping(0));
+        let pong_cost = m.handler_cost(&Message::Pong(0));
+        // Paper Table II: BLOCK ~617k clocks vs PING ~96 vs PONG ~10.
+        assert!(block_cost > 1000 * ping_cost);
+        assert!(ping_cost > pong_cost);
+    }
+
+    #[test]
+    fn checksum_scales_with_payload() {
+        let m = CostModel::default();
+        assert!(m.checksum_cost(1_000_000) > 100 * m.checksum_cost(100));
+        assert_eq!(m.checksum_cost(0), FRAME_BASE_CYCLES);
+    }
+
+    #[test]
+    fn bogus_checksum_cost_less_than_full_processing() {
+        // The bogus-BLOCK vector: victim pays the checksum pass only.
+        let m = CostModel::default();
+        let msg = block(50);
+        let payload = msg.encode_payload().len();
+        assert!(m.checksum_cost(payload) < m.full_cost(&msg, payload));
+    }
+
+    #[test]
+    fn verack_costs_more_than_version() {
+        // Table II quirk the paper reports: VERACK (241 clocks) > VERSION
+        // (129 clocks), because VERACK finalizes the session state.
+        let m = CostModel::default();
+        assert!(m.handler_cost(&Message::Verack) > m.handler_cost(&Message::Version(
+            btc_wire::message::VersionMessage::new(Default::default(), Default::default(), 0)
+        )));
+    }
+
+    #[test]
+    fn interference_dominated_by_wakeup_for_small_messages() {
+        let m = CostModel::default();
+        let ping = m.interference_cost(8);
+        assert!(ping < m.interference_wakeup + 8 * m.interference_per_byte + 1);
+        // But large payloads add real cost.
+        let block = m.interference_cost(1_000_000);
+        assert!(block > 5 * ping);
+    }
+}

@@ -1,0 +1,159 @@
+//! Node telemetry: the Monitor component of the paper's detection engine
+//! taps these counters.
+//!
+//! Everything the three detection features need is recorded here:
+//! per-message-type arrival timestamps (for the overall message rate `n`
+//! and the count distribution `Λ`) and outbound-peer reconnection events
+//! (for the reconnection rate `c`).
+
+use btc_netsim::packet::SockAddr;
+use btc_netsim::time::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Compact message-type index (position in
+/// [`btc_wire::message::ALL_COMMANDS`]).
+pub type MsgTypeId = u8;
+
+/// Resolves a command string to its compact id.
+pub fn msg_type_id(command: &str) -> Option<MsgTypeId> {
+    btc_wire::message::ALL_COMMANDS
+        .iter()
+        .position(|c| *c == command)
+        .map(|i| i as MsgTypeId)
+}
+
+/// Resolves a compact id back to its command string.
+pub fn msg_type_name(id: MsgTypeId) -> &'static str {
+    btc_wire::message::ALL_COMMANDS[id as usize]
+}
+
+/// One received-message record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MsgRecord {
+    /// Arrival time.
+    pub time: Nanos,
+    /// Message type.
+    pub msg_type: MsgTypeId,
+    /// Payload size in bytes.
+    pub size: u32,
+    /// Sender.
+    pub from: SockAddr,
+}
+
+/// One outbound-reconnection record (a replacement outbound connection was
+/// initiated after losing one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconnectRecord {
+    /// When the reconnection was initiated.
+    pub time: Nanos,
+    /// The peer that was lost.
+    pub lost: SockAddr,
+}
+
+/// The full telemetry log of a node.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// Every accepted (checksum-valid, decodable) message.
+    pub messages: Vec<MsgRecord>,
+    /// Outbound reconnection events.
+    pub reconnects: Vec<ReconnectRecord>,
+    /// Frames dropped for a bad Bitcoin-header checksum.
+    pub bad_checksum_frames: u64,
+    /// Frames dropped as undecodable/unknown.
+    pub undecodable_frames: u64,
+    /// Peers disconnected by the ban mechanism.
+    pub bans: u64,
+    /// Inbound connections refused because the identifier was banned.
+    pub refused_banned: u64,
+}
+
+impl Telemetry {
+    /// Records a message arrival.
+    pub fn record_message(&mut self, time: Nanos, msg_type: MsgTypeId, size: u32, from: SockAddr) {
+        self.messages.push(MsgRecord {
+            time,
+            msg_type,
+            size,
+            from,
+        });
+    }
+
+    /// Records an outbound reconnection.
+    pub fn record_reconnect(&mut self, time: Nanos, lost: SockAddr) {
+        self.reconnects.push(ReconnectRecord { time, lost });
+    }
+
+    /// Counts messages per type within `[start, end)`, indexed by
+    /// [`MsgTypeId`].
+    pub fn counts_in_window(&self, start: Nanos, end: Nanos) -> [u64; 26] {
+        let mut out = [0u64; 26];
+        for m in &self.messages {
+            if m.time >= start && m.time < end {
+                out[m.msg_type as usize] += 1;
+            }
+        }
+        out
+    }
+
+    /// Total messages within `[start, end)`.
+    pub fn total_in_window(&self, start: Nanos, end: Nanos) -> u64 {
+        self.messages
+            .iter()
+            .filter(|m| m.time >= start && m.time < end)
+            .count() as u64
+    }
+
+    /// Reconnections within `[start, end)`.
+    pub fn reconnects_in_window(&self, start: Nanos, end: Nanos) -> u64 {
+        self.reconnects
+            .iter()
+            .filter(|r| r.time >= start && r.time < end)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btc_netsim::time::SECS;
+
+    fn from(last: u8) -> SockAddr {
+        SockAddr::new([10, 0, 0, last], 8333)
+    }
+
+    #[test]
+    fn type_ids_roundtrip() {
+        for (i, cmd) in btc_wire::message::ALL_COMMANDS.iter().enumerate() {
+            assert_eq!(msg_type_id(cmd), Some(i as u8));
+            assert_eq!(msg_type_name(i as u8), *cmd);
+        }
+        assert_eq!(msg_type_id("bogus"), None);
+    }
+
+    #[test]
+    fn window_counts() {
+        let mut t = Telemetry::default();
+        let ping = msg_type_id("ping").unwrap();
+        let tx = msg_type_id("tx").unwrap();
+        t.record_message(SECS, ping, 8, from(1));
+        t.record_message(2 * SECS, ping, 8, from(1));
+        t.record_message(3 * SECS, tx, 250, from(2));
+        t.record_message(10 * SECS, ping, 8, from(1));
+        let counts = t.counts_in_window(0, 5 * SECS);
+        assert_eq!(counts[ping as usize], 2);
+        assert_eq!(counts[tx as usize], 1);
+        assert_eq!(t.total_in_window(0, 5 * SECS), 3);
+        assert_eq!(t.total_in_window(0, 11 * SECS), 4);
+        // Window end is exclusive.
+        assert_eq!(t.total_in_window(0, 10 * SECS), 3);
+    }
+
+    #[test]
+    fn reconnect_windows() {
+        let mut t = Telemetry::default();
+        t.record_reconnect(SECS, from(9));
+        t.record_reconnect(70 * SECS, from(9));
+        assert_eq!(t.reconnects_in_window(0, 60 * SECS), 1);
+        assert_eq!(t.reconnects_in_window(60 * SECS, 120 * SECS), 1);
+    }
+}

@@ -1,0 +1,1073 @@
+//! The Bitcoin node application: message processing, version handshake,
+//! ban-score enforcement, peer management and mining — the "target node"
+//! of the paper's testbed.
+//!
+//! The receive path deliberately mirrors Bitcoin Core's ordering, because
+//! the paper's BM-DoS vector 2 depends on it:
+//!
+//! 1. frame parsing (magic, length),
+//! 2. **checksum verification** — a bad checksum drops the frame *here*,
+//!    after the victim already paid the `sha256d` pass but before any
+//!    misbehavior tracking could run,
+//! 3. payload decoding,
+//! 4. the type-specific handler, where `Misbehaving()` fires per Table I.
+
+use crate::addrman::{AddrMan, AddrSource};
+use crate::banman::BanMan;
+use crate::banscore::{BanPolicy, CoreVersion, GoodScoreTracker, Misbehavior, MisbehaviorTracker, Verdict};
+use crate::chain::{BlockVerdict, Chain, HeaderVerdict};
+use crate::cost::CostModel;
+use crate::mempool::{Mempool, TxVerdict};
+use crate::metrics::{msg_type_id, Telemetry};
+use crate::peer::Peer;
+use btc_netsim::cpu::Miner;
+use btc_netsim::packet::SockAddr;
+use btc_netsim::sim::{App, Ctx};
+use btc_netsim::tcp::{CloseReason, ConnId};
+use btc_netsim::time::{Nanos, SECS};
+use btc_wire::block::HeadersEntry;
+use btc_wire::compact::short_id_keys;
+use btc_wire::constants::{
+    MAX_ADDR_TO_SEND, MAX_HEADERS_RESULTS, MAX_INBOUND_CONNECTIONS, MAX_INV_SZ,
+    MAX_OUTBOUND_CONNECTIONS, MAX_UNCONNECTING_HEADERS,
+};
+use btc_wire::encode::DecodeError;
+use btc_wire::message::{
+    read_frame, verify_checksum, FrameResult, MerkleBlockMsg, Message, RawMessage, VersionMessage,
+};
+use btc_wire::types::{
+    BlockLocator, Hash256, InvType, Inventory, NetAddr, Network, TimestampedAddr,
+};
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Timer tokens used by the node.
+mod timers {
+    /// Mining-rate sampling tick.
+    pub const MINER: u64 = 1;
+    /// Periodic maintenance (ban sweep, outbound fill).
+    pub const MAINTAIN: u64 = 2;
+    /// Keepalive ping round.
+    pub const PING: u64 = 3;
+}
+
+/// Node configuration.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Network magic to speak.
+    pub network: Network,
+    /// Which Core rule set to enforce.
+    pub core_version: CoreVersion,
+    /// Ban policy (§VIII countermeasures).
+    pub ban_policy: BanPolicy,
+    /// Ban threshold (default 100).
+    pub ban_threshold: u32,
+    /// Ban duration (default 24 h).
+    pub ban_duration: Nanos,
+    /// TCP port to listen on.
+    pub listen_port: u16,
+    /// Inbound connection slots.
+    pub max_inbound: usize,
+    /// Outbound connections to maintain.
+    pub target_outbound: usize,
+    /// Known peer addresses to draw outbound connections from.
+    pub outbound_targets: Vec<SockAddr>,
+    /// Whether the miner runs.
+    pub miner_enabled: bool,
+    /// Miner sampling window.
+    pub miner_sample_interval: Nanos,
+    /// Keepalive ping round interval (0 disables; Bitcoin pings every
+    /// 2 minutes).
+    pub ping_interval: Nanos,
+    /// Enable the §VIII good-score countermeasure.
+    pub good_score: bool,
+    /// Credit needed for good-score shielding.
+    pub good_score_min_credit: u64,
+    /// Processing cost model.
+    pub cost: CostModel,
+    /// Charge the calibrated interference overhead per delivered message
+    /// (models the real-node contention of Figures 6/7; off by default so
+    /// micro-experiments see pure protocol costs).
+    pub charge_interference: bool,
+    /// Ablation (DESIGN.md §5): score bad-checksum frames with this many
+    /// points instead of silently dropping them. Bitcoin Core does NOT do
+    /// this — its checksum check runs before misbehavior tracking, which
+    /// is exactly what BM-DoS vector 2 exploits. `None` = stock behaviour.
+    pub punish_bad_checksum_score: Option<u32>,
+    /// User agent advertised in `VERSION`.
+    pub user_agent: String,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            network: Network::Regtest,
+            core_version: CoreVersion::V0_20,
+            ban_policy: BanPolicy::Standard,
+            ban_threshold: btc_wire::constants::DEFAULT_BANSCORE_THRESHOLD,
+            ban_duration: btc_wire::constants::DEFAULT_BANTIME_SECS * SECS,
+            listen_port: btc_wire::types::DEFAULT_PORT,
+            max_inbound: MAX_INBOUND_CONNECTIONS,
+            target_outbound: MAX_OUTBOUND_CONNECTIONS,
+            outbound_targets: Vec::new(),
+            miner_enabled: false,
+            miner_sample_interval: SECS,
+            ping_interval: 120 * SECS,
+            good_score: false,
+            good_score_min_credit: 1,
+            cost: CostModel::default(),
+            charge_interference: false,
+            punish_bad_checksum_score: None,
+            user_agent: "/Satoshi:0.20.0/".to_owned(),
+        }
+    }
+}
+
+/// One row of [`Node::peer_infos`] — the `getpeerinfo` RPC analogue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeerInfo {
+    /// The peer's connection identifier.
+    pub addr: SockAddr,
+    /// Whether the peer dialed us.
+    pub inbound: bool,
+    /// Whether the version handshake finished.
+    pub handshake_complete: bool,
+    /// Messages received from this peer.
+    pub messages_received: u64,
+    /// Current misbehavior score.
+    pub ban_score: u32,
+    /// Current good-score credit.
+    pub good_score: u64,
+}
+
+/// The node application.
+pub struct Node {
+    /// Configuration (read-only after start).
+    pub config: NodeConfig,
+    peers: BTreeMap<ConnId, Peer>,
+    /// Misbehavior scores.
+    pub tracker: MisbehaviorTracker,
+    /// Ban list.
+    pub banman: BanMan,
+    /// Good-score credits (§VIII).
+    pub goodscore: GoodScoreTracker,
+    /// Chain state.
+    pub chain: Chain,
+    /// Mempool.
+    pub mempool: Mempool,
+    /// Telemetry consumed by the detection engine.
+    pub telemetry: Telemetry,
+    /// CPU-share miner.
+    pub miner: Miner,
+    /// Known-address table with the §VI-D diversity metric.
+    pub addrman: AddrMan,
+    pending_outbound: BTreeSet<SockAddr>,
+    pending_local_blocks: Vec<btc_wire::Block>,
+    pending_local_txs: Vec<btc_wire::Transaction>,
+    rebuild_requested: bool,
+    half_open_inbound: usize,
+    now: Nanos,
+    version_nonce: u64,
+}
+
+impl Node {
+    /// Creates a node from `config`.
+    pub fn new(config: NodeConfig) -> Self {
+        let mut tracker = MisbehaviorTracker::new(config.core_version, config.ban_policy);
+        tracker.threshold = config.ban_threshold;
+        let banman = BanMan::with_duration(config.ban_duration);
+        let mut addrman = AddrMan::new();
+        for a in &config.outbound_targets {
+            addrman.add(0, *a, AddrSource::Seed);
+        }
+        Node {
+            tracker,
+            banman,
+            goodscore: GoodScoreTracker::new(),
+            chain: Chain::new(),
+            mempool: Mempool::default(),
+            telemetry: Telemetry::default(),
+            miner: Miner::default(),
+            peers: BTreeMap::new(),
+            addrman,
+            pending_outbound: BTreeSet::new(),
+            pending_local_blocks: Vec::new(),
+            pending_local_txs: Vec::new(),
+            rebuild_requested: false,
+            half_open_inbound: 0,
+            now: 0,
+            version_nonce: 0,
+            config,
+        }
+    }
+
+    /// Currently connected peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Currently connected inbound peers.
+    pub fn inbound_count(&self) -> usize {
+        self.peers.values().filter(|p| p.inbound).count()
+    }
+
+    /// Currently connected outbound peers.
+    pub fn outbound_count(&self) -> usize {
+        self.peers.values().filter(|p| !p.inbound).count()
+    }
+
+    /// The peer connected from `addr`, if any.
+    pub fn peer_by_addr(&self, addr: &SockAddr) -> Option<&Peer> {
+        self.peers.values().find(|p| p.addr == *addr)
+    }
+
+    /// `getpeerinfo`-style snapshot of every connection.
+    pub fn peer_infos(&self) -> Vec<PeerInfo> {
+        self.peers
+            .values()
+            .map(|p| PeerInfo {
+                addr: p.addr,
+                inbound: p.inbound,
+                handshake_complete: p.handshake_complete(),
+                messages_received: p.messages_received,
+                ban_score: self.tracker.score(&p.addr),
+                good_score: self.goodscore.score(&p.addr),
+            })
+            .collect()
+    }
+
+    /// Current ban score of `addr`.
+    pub fn ban_score(&self, addr: &SockAddr) -> u32 {
+        self.tracker.score(addr)
+    }
+
+    /// Outbound dials in flight (diagnostic).
+    pub fn pending_outbound(&self) -> Vec<SockAddr> {
+        self.pending_outbound.iter().copied().collect()
+    }
+
+    /// The paper's detection *response* (§VII): on an anomaly alert, drop
+    /// every inbound connection and rebuild the peer set. Takes effect at
+    /// the next maintenance tick (≤1 s of virtual time later).
+    pub fn request_connection_rebuild(&mut self) {
+        self.rebuild_requested = true;
+    }
+
+    /// Queues a locally produced block; it is accepted and announced to
+    /// peers on the next maintenance tick (≤1 s of virtual time later).
+    pub fn submit_block(&mut self, block: btc_wire::Block) {
+        self.pending_local_blocks.push(block);
+    }
+
+    /// Queues a locally produced transaction for mempool acceptance and
+    /// announcement on the next maintenance tick.
+    pub fn submit_tx(&mut self, tx: btc_wire::Transaction) {
+        self.pending_local_txs.push(tx);
+    }
+
+    fn flush_local_submissions(&mut self, ctx: &mut Ctx<'_>) {
+        for block in std::mem::take(&mut self.pending_local_blocks) {
+            let hash = block.hash();
+            if let BlockVerdict::Accepted { .. } = self.chain.accept_block(&block) {
+                for tx in &block.txs {
+                    self.mempool.remove(&tx.txid());
+                }
+                self.broadcast_inv(ctx, Inventory::new(InvType::Block, hash), None);
+            }
+        }
+        for tx in std::mem::take(&mut self.pending_local_txs) {
+            let txid = tx.txid();
+            if self.mempool.accept(&tx) == TxVerdict::Accepted {
+                self.broadcast_inv(ctx, Inventory::new(InvType::Tx, txid), None);
+            }
+        }
+    }
+
+    fn our_netaddr(&self, ctx: &Ctx<'_>) -> NetAddr {
+        NetAddr::new(ctx.ip(), self.config.listen_port)
+    }
+
+    fn send_message(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: &Message) {
+        let raw = RawMessage::frame(self.config.network, msg);
+        ctx.send(conn, &raw.to_bytes());
+    }
+
+    fn send_version(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, peer_addr: SockAddr) {
+        self.version_nonce = self.version_nonce.wrapping_add(1) | (ctx.rng().next_u64() << 16);
+        let mut v = VersionMessage::new(
+            self.our_netaddr(ctx),
+            NetAddr::new(peer_addr.ip, peer_addr.port),
+            self.version_nonce,
+        );
+        v.user_agent = self.config.user_agent.clone();
+        v.start_height = self.chain.height() as i32;
+        v.timestamp = (self.now / SECS) as i64;
+        self.send_message(ctx, conn, &Message::Version(v));
+    }
+
+    /// Ablation hook: applies a raw score increment outside Table I (used
+    /// by `punish_bad_checksum_score`).
+    fn punish_raw(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, points: u32) {
+        let Some(peer) = self.peers.get(&conn) else {
+            return;
+        };
+        let addr = peer.addr;
+        if self.config.good_score
+            && self
+                .goodscore
+                .is_trusted(&addr, self.config.good_score_min_credit)
+        {
+            return;
+        }
+        if let Verdict::Ban { .. } = self.tracker.penalize(self.now, addr, points) {
+            self.telemetry.bans += 1;
+            self.banman.ban(self.now, addr);
+            self.disconnect(ctx, conn, true);
+        }
+    }
+
+    /// Applies a Table-I rule against a peer; disconnects and bans when the
+    /// threshold is crossed. Returns `true` when the peer was banned.
+    fn misbehaving(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, rule: Misbehavior) -> bool {
+        let Some(peer) = self.peers.get(&conn) else {
+            return false;
+        };
+        let (addr, inbound) = (peer.addr, peer.inbound);
+        // Good-score shield (§VIII): peers with earned credit are exempt
+        // from identifier banning.
+        if self.config.good_score
+            && self
+                .goodscore
+                .is_trusted(&addr, self.config.good_score_min_credit)
+        {
+            return false;
+        }
+        match self.tracker.misbehaving(self.now, addr, inbound, rule) {
+            Verdict::Ban { .. } => {
+                self.telemetry.bans += 1;
+                self.banman.ban(self.now, addr);
+                self.disconnect(ctx, conn, true);
+                true
+            }
+            Verdict::Scored { .. } | Verdict::Ignored => false,
+        }
+    }
+
+    fn disconnect(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, local: bool) {
+        if let Some(peer) = self.peers.remove(&conn) {
+            self.tracker.forget(&peer.addr);
+            if local {
+                ctx.close(conn);
+            }
+            if !peer.inbound {
+                // Losing an outbound peer: rebuild a replacement — the
+                // reconnection behaviour the `c` detection feature watches.
+                self.telemetry.record_reconnect(self.now, peer.addr);
+                self.fill_outbound(ctx);
+            }
+        }
+    }
+
+    fn fill_outbound(&mut self, ctx: &mut Ctx<'_>) {
+        let connected: BTreeSet<SockAddr> = self
+            .peers
+            .values()
+            .filter(|p| !p.inbound)
+            .map(|p| p.addr)
+            .collect();
+        let mut want = self
+            .config
+            .target_outbound
+            .saturating_sub(connected.len() + self.pending_outbound.len());
+        if want == 0 {
+            return;
+        }
+        let candidates: Vec<SockAddr> = self
+            .addrman
+            .usable(self.now, &self.banman)
+            .filter(|a| !connected.contains(a) && !self.pending_outbound.contains(a))
+            .collect();
+        for addr in candidates {
+            if want == 0 {
+                break;
+            }
+            ctx.connect(addr);
+            self.pending_outbound.insert(addr);
+            want -= 1;
+        }
+    }
+
+    fn broadcast_inv(&mut self, ctx: &mut Ctx<'_>, inv: Inventory, except: Option<ConnId>) {
+        let targets: Vec<(ConnId, bool)> = self
+            .peers
+            .values()
+            .filter(|p| p.handshake_complete() && Some(p.conn) != except)
+            .map(|p| (p.conn, p.cmpct_announce))
+            .collect();
+        // BIP152 high-bandwidth mode: peers that negotiated it get new
+        // blocks pushed as CMPCTBLOCK instead of announced via INV.
+        let compact = if matches!(inv.kind, InvType::Block) && targets.iter().any(|(_, c)| *c) {
+            self.chain.block(&inv.hash).map(|b| {
+                btc_wire::compact::CompactBlock::from_block(b, u64::from(inv.hash.0[0]) | 0x100)
+            })
+        } else {
+            None
+        };
+        for (conn, wants_compact) in targets {
+            match (&compact, wants_compact) {
+                (Some(cb), true) => {
+                    let msg = Message::CmpctBlock(cb.clone());
+                    self.send_message(ctx, conn, &msg);
+                }
+                _ => self.send_message(ctx, conn, &Message::Inv(vec![inv])),
+            }
+        }
+    }
+
+    /// The post-handshake message handlers; returns without effect for
+    /// messages that need no action.
+    #[allow(clippy::too_many_lines)]
+    fn handle_message(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: Message) {
+        match msg {
+            Message::Version(_) | Message::Verack => unreachable!("handled in handshake"),
+            Message::Ping(n) => {
+                self.send_message(ctx, conn, &Message::Pong(n));
+            }
+            Message::Pong(_) | Message::NotFound(_) | Message::Reject(_) | Message::MerkleBlock(_) => {}
+            Message::Addr(addrs) => {
+                if addrs.len() as u64 > MAX_ADDR_TO_SEND {
+                    self.misbehaving(ctx, conn, Misbehavior::AddrOversize);
+                    return;
+                }
+                for a in addrs {
+                    self.addrman
+                        .add(self.now, SockAddr::new(a.addr.ip, a.addr.port), AddrSource::Gossip);
+                }
+            }
+            Message::GetAddr => {
+                let list: Vec<TimestampedAddr> = self
+                    .addrman
+                    .addresses()
+                    .take(MAX_ADDR_TO_SEND as usize)
+                    .map(|a| TimestampedAddr {
+                        time: (self.now / SECS) as u32,
+                        addr: NetAddr::new(a.ip, a.port),
+                    })
+                    .collect();
+                self.send_message(ctx, conn, &Message::Addr(list));
+            }
+            Message::Inv(invs) => {
+                if invs.len() as u64 > MAX_INV_SZ {
+                    self.misbehaving(ctx, conn, Misbehavior::InvOversize);
+                    return;
+                }
+                let mut wanted = Vec::new();
+                for inv in invs {
+                    let known = match inv.kind {
+                        InvType::Tx | InvType::WitnessTx => self.mempool.contains(&inv.hash),
+                        InvType::Block | InvType::WitnessBlock | InvType::CmpctBlock => {
+                            self.chain.has_block(&inv.hash)
+                        }
+                        _ => true,
+                    };
+                    if !known {
+                        wanted.push(inv);
+                    }
+                }
+                if !wanted.is_empty() {
+                    self.send_message(ctx, conn, &Message::GetData(wanted));
+                }
+            }
+            Message::GetData(invs) => {
+                if invs.len() as u64 > MAX_INV_SZ {
+                    self.misbehaving(ctx, conn, Misbehavior::GetDataOversize);
+                    return;
+                }
+                let mut not_found = Vec::new();
+                for inv in invs {
+                    match inv.kind {
+                        InvType::Block | InvType::WitnessBlock => {
+                            if let Some(b) = self.chain.block(&inv.hash).cloned() {
+                                self.send_message(ctx, conn, &Message::Block(b));
+                            } else {
+                                not_found.push(inv);
+                            }
+                        }
+                        InvType::Tx | InvType::WitnessTx => {
+                            if let Some(t) = self.mempool.get(&inv.hash).cloned() {
+                                self.send_message(ctx, conn, &Message::Tx(t));
+                            } else {
+                                not_found.push(inv);
+                            }
+                        }
+                        InvType::CmpctBlock => {
+                            if let Some(b) = self.chain.block(&inv.hash).cloned() {
+                                let nonce = ctx.rng().next_u64();
+                                let cb = btc_wire::compact::CompactBlock::from_block(&b, nonce);
+                                self.send_message(ctx, conn, &Message::CmpctBlock(cb));
+                            } else {
+                                not_found.push(inv);
+                            }
+                        }
+                        InvType::FilteredBlock => {
+                            // BIP37: serve a MERKLEBLOCK plus the matching
+                            // transactions, filtered by the peer's loaded
+                            // bloom filter.
+                            let block = self.chain.block(&inv.hash).cloned();
+                            let filter = self
+                                .peers
+                                .get(&conn)
+                                .and_then(|p| p.filter.clone());
+                            match (block, filter) {
+                                (Some(b), Some(f)) => {
+                                    let mut matched = Vec::new();
+                                    let mut flags = Vec::new();
+                                    for (i, tx) in b.txs.iter().enumerate() {
+                                        if f.contains(tx.txid().as_bytes()) {
+                                            matched.push((i, tx.clone()));
+                                            flags.push(1u8);
+                                        } else {
+                                            flags.push(0u8);
+                                        }
+                                    }
+                                    let mb = MerkleBlockMsg {
+                                        header: b.header,
+                                        total_txs: b.txs.len() as u32,
+                                        hashes: matched.iter().map(|(_, t)| t.txid()).collect(),
+                                        flags,
+                                    };
+                                    self.send_message(ctx, conn, &Message::MerkleBlock(mb));
+                                    for (_, tx) in matched {
+                                        self.send_message(ctx, conn, &Message::Tx(tx));
+                                    }
+                                }
+                                _ => not_found.push(inv),
+                            }
+                        }
+                        _ => not_found.push(inv),
+                    }
+                }
+                if !not_found.is_empty() {
+                    self.send_message(ctx, conn, &Message::NotFound(not_found));
+                }
+            }
+            Message::GetHeaders(loc) => {
+                let headers = self
+                    .chain
+                    .headers_after(&loc.hashes, MAX_HEADERS_RESULTS as usize);
+                self.send_message(
+                    ctx,
+                    conn,
+                    &Message::Headers(headers.into_iter().map(HeadersEntry).collect()),
+                );
+            }
+            Message::GetBlocks(loc) => {
+                let headers = self.chain.headers_after(&loc.hashes, 500);
+                let invs: Vec<Inventory> = headers
+                    .iter()
+                    .map(|h| Inventory::new(InvType::Block, h.hash()))
+                    .collect();
+                if !invs.is_empty() {
+                    self.send_message(ctx, conn, &Message::Inv(invs));
+                }
+            }
+            Message::Headers(entries) => {
+                if entries.len() as u64 > MAX_HEADERS_RESULTS {
+                    self.misbehaving(ctx, conn, Misbehavior::HeadersOversize);
+                    return;
+                }
+                if entries.is_empty() {
+                    return;
+                }
+                // Non-connecting batch: first header's parent unknown.
+                if !self.chain.has_header(&entries[0].0.prev_block) {
+                    let strikes = if let Some(p) = self.peers.get_mut(&conn) {
+                        p.unconnecting_headers += 1;
+                        p.unconnecting_headers
+                    } else {
+                        return;
+                    };
+                    if strikes % MAX_UNCONNECTING_HEADERS == 0 {
+                        self.misbehaving(ctx, conn, Misbehavior::HeadersUnconnecting);
+                    }
+                    return;
+                }
+                // Batch must be internally continuous.
+                let mut prev = entries[0].0.prev_block;
+                for e in &entries {
+                    if e.0.prev_block != prev {
+                        self.misbehaving(ctx, conn, Misbehavior::HeadersNonContinuous);
+                        return;
+                    }
+                    prev = e.0.hash();
+                }
+                let mut fetch = Vec::new();
+                for e in &entries {
+                    if let HeaderVerdict::Accepted { .. } = self.chain.accept_header(&e.0) {
+                        let h = e.0.hash();
+                        if !self.chain.has_block(&h) {
+                            fetch.push(Inventory::new(InvType::Block, h));
+                        }
+                    }
+                }
+                if let Some(p) = self.peers.get_mut(&conn) {
+                    p.unconnecting_headers = 0;
+                }
+                if !fetch.is_empty() {
+                    self.send_message(ctx, conn, &Message::GetData(fetch));
+                }
+            }
+            Message::Tx(tx) => {
+                let txid = tx.txid();
+                match self.mempool.accept(&tx) {
+                    TxVerdict::InvalidSegwit(_) => {
+                        self.misbehaving(ctx, conn, Misbehavior::TxInvalidSegwit);
+                    }
+                    TxVerdict::Accepted => {
+                        self.broadcast_inv(ctx, Inventory::new(InvType::Tx, txid), Some(conn));
+                    }
+                    _ => {}
+                }
+            }
+            Message::Block(block) => {
+                self.process_block(ctx, conn, &block);
+            }
+            Message::Mempool => {
+                let invs: Vec<Inventory> = self
+                    .mempool
+                    .txids()
+                    .into_iter()
+                    .take(MAX_INV_SZ as usize)
+                    .map(|h| Inventory::new(InvType::Tx, h))
+                    .collect();
+                self.send_message(ctx, conn, &Message::Inv(invs));
+            }
+            Message::FilterLoad(f) => {
+                if !f.is_within_size_constraints() {
+                    self.misbehaving(ctx, conn, Misbehavior::FilterLoadOversize);
+                    return;
+                }
+                if let Some(p) = self.peers.get_mut(&conn) {
+                    p.filter = Some(f);
+                }
+            }
+            Message::FilterAdd(fa) => {
+                if !fa.is_within_size_constraints() {
+                    self.misbehaving(ctx, conn, Misbehavior::FilterAddOversize);
+                    return;
+                }
+                let has_filter = self
+                    .peers
+                    .get(&conn)
+                    .map(|p| p.filter.is_some())
+                    .unwrap_or(false);
+                if !has_filter {
+                    // 0.20.0: FILTERADD without a loaded filter from a
+                    // >=70011 peer is a 100-point misbehavior.
+                    self.misbehaving(ctx, conn, Misbehavior::FilterAddProtocolVersion);
+                    return;
+                }
+                if let Some(p) = self.peers.get_mut(&conn) {
+                    if let Some(f) = p.filter.as_mut() {
+                        f.insert(&fa.data);
+                    }
+                }
+            }
+            Message::FilterClear => {
+                if let Some(p) = self.peers.get_mut(&conn) {
+                    p.filter = None;
+                }
+            }
+            Message::SendHeaders => {
+                if let Some(p) = self.peers.get_mut(&conn) {
+                    p.prefers_headers = true;
+                }
+            }
+            Message::FeeFilter(rate) => {
+                if let Some(p) = self.peers.get_mut(&conn) {
+                    p.fee_filter = rate;
+                }
+            }
+            Message::SendCmpct(sc) => {
+                if let Some(p) = self.peers.get_mut(&conn) {
+                    p.cmpct_announce = sc.announce;
+                }
+            }
+            Message::CmpctBlock(cb) => {
+                if cb.check().is_err() {
+                    self.misbehaving(ctx, conn, Misbehavior::CmpctBlockInvalid);
+                    return;
+                }
+                let keys = short_id_keys(&cb.header, cb.nonce);
+                let mempool = &self.mempool;
+                match cb.reconstruct(&|sid| mempool.by_short_id(keys, sid)) {
+                    Ok(block) => {
+                        self.process_block(ctx, conn, &block);
+                    }
+                    Err(missing) => {
+                        let hash = cb.header.hash();
+                        let req = btc_wire::compact::BlockTxnRequest::from_absolute(hash, &missing);
+                        if let Some(p) = self.peers.get_mut(&conn) {
+                            p.pending_compact.insert(hash, cb);
+                        }
+                        self.send_message(ctx, conn, &Message::GetBlockTxn(req));
+                    }
+                }
+            }
+            Message::GetBlockTxn(req) => {
+                let Some(block) = self.chain.block(&req.block_hash).cloned() else {
+                    return;
+                };
+                match req.absolute_indices(block.txs.len() as u64) {
+                    Err(_) => {
+                        // Table I: out-of-bounds indices, +100.
+                        self.misbehaving(ctx, conn, Misbehavior::GetBlockTxnOutOfBounds);
+                    }
+                    Ok(idxs) => {
+                        let txs = idxs.iter().map(|i| block.txs[*i as usize].clone()).collect();
+                        self.send_message(
+                            ctx,
+                            conn,
+                            &Message::BlockTxn(btc_wire::compact::BlockTxn {
+                                block_hash: req.block_hash,
+                                txs,
+                            }),
+                        );
+                    }
+                }
+            }
+            Message::BlockTxn(bt) => {
+                let Some(cb) = self
+                    .peers
+                    .get_mut(&conn)
+                    .and_then(|p| p.pending_compact.remove(&bt.block_hash))
+                else {
+                    return;
+                };
+                let supplied = std::cell::RefCell::new(bt.txs.iter());
+                let keys = short_id_keys(&cb.header, cb.nonce);
+                let mempool = &self.mempool;
+                let reconstructed = cb.reconstruct(&|sid| {
+                    mempool
+                        .by_short_id(keys, sid)
+                        .or_else(|| supplied.borrow_mut().next().cloned())
+                });
+                if let Ok(block) = reconstructed {
+                    self.process_block(ctx, conn, &block);
+                }
+            }
+        }
+    }
+
+    fn process_block(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, block: &btc_wire::Block) {
+        let hash = block.hash();
+        match self.chain.accept_block(block) {
+            BlockVerdict::Accepted { .. } => {
+                if self.config.good_score {
+                    if let Some(p) = self.peers.get(&conn) {
+                        self.goodscore.credit(p.addr);
+                    }
+                }
+                for tx in &block.txs {
+                    self.mempool.remove(&tx.txid());
+                }
+                self.broadcast_inv(ctx, Inventory::new(InvType::Block, hash), Some(conn));
+            }
+            BlockVerdict::Duplicate => {}
+            BlockVerdict::Mutated(_) => {
+                self.misbehaving(ctx, conn, Misbehavior::BlockMutated);
+            }
+            BlockVerdict::CachedInvalid => {
+                self.misbehaving(ctx, conn, Misbehavior::BlockCachedInvalid);
+            }
+            BlockVerdict::PrevInvalid => {
+                self.misbehaving(ctx, conn, Misbehavior::BlockPrevInvalid);
+            }
+            BlockVerdict::PrevMissing => {
+                self.misbehaving(ctx, conn, Misbehavior::BlockPrevMissing);
+            }
+        }
+    }
+
+    /// Handshake gatekeeping; returns `true` when `msg` was consumed.
+    fn handshake(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: &Message) -> bool {
+        let Some(peer) = self.peers.get(&conn) else {
+            return true;
+        };
+        let inbound = peer.inbound;
+        let peer_addr = peer.addr;
+        let has_version = peer.version.is_some();
+        let got_verack = peer.got_verack;
+        match msg {
+            Message::Version(v) => {
+                if has_version {
+                    // Table I: duplicate VERSION, +1 (inbound only).
+                    self.misbehaving(ctx, conn, Misbehavior::DuplicateVersion);
+                    return true;
+                }
+                if let Some(p) = self.peers.get_mut(&conn) {
+                    p.version = Some(v.clone());
+                }
+                if inbound {
+                    self.send_version(ctx, conn, peer_addr);
+                }
+                self.send_message(ctx, conn, &Message::Verack);
+                // Ask for their chain once the session is up.
+                let loc = BlockLocator {
+                    version: btc_wire::types::PROTOCOL_VERSION,
+                    hashes: self.chain.locator(),
+                    stop: Hash256::ZERO,
+                };
+                self.send_message(ctx, conn, &Message::GetHeaders(loc));
+                true
+            }
+            Message::Verack => {
+                if !has_version {
+                    // A VERACK before VERSION is still "message before
+                    // VERSION".
+                    self.misbehaving(ctx, conn, Misbehavior::MessageBeforeVersion);
+                    return true;
+                }
+                if let Some(p) = self.peers.get_mut(&conn) {
+                    p.got_verack = true;
+                }
+                true
+            }
+            _ => {
+                if !has_version {
+                    // Table I: message before VERSION, +1.
+                    self.misbehaving(ctx, conn, Misbehavior::MessageBeforeVersion);
+                    return true;
+                }
+                if !got_verack {
+                    // Table I (0.20.0 only): message before VERACK, +1.
+                    self.misbehaving(ctx, conn, Misbehavior::MessageBeforeVerack);
+                    return true;
+                }
+                false
+            }
+        }
+    }
+
+    fn process_frames(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        loop {
+            let Some(peer) = self.peers.get_mut(&conn) else {
+                return;
+            };
+            let buf = std::mem::take(&mut peer.recv_buf);
+            match read_frame(self.config.network, &buf) {
+                Ok(FrameResult::Incomplete) => {
+                    if let Some(p) = self.peers.get_mut(&conn) {
+                        p.recv_buf = buf;
+                    }
+                    return;
+                }
+                Err(_) => {
+                    // Wrong magic / insane length: drop the connection (no
+                    // ban — transport-level garbage).
+                    self.disconnect(ctx, conn, true);
+                    return;
+                }
+                Ok(FrameResult::Frame { raw, consumed }) => {
+                    if let Some(p) = self.peers.get_mut(&conn) {
+                        p.recv_buf = buf[consumed..].to_vec();
+                        p.messages_received += 1;
+                    }
+                    // Stage 2: checksum. The victim pays the hash pass for
+                    // every frame, valid or not.
+                    ctx.charge_cpu(self.config.cost.checksum_cost(raw.payload.len()));
+                    if self.config.charge_interference {
+                        ctx.charge_cpu(self.config.cost.interference_cost(raw.payload.len()));
+                    }
+                    if verify_checksum(&raw).is_err() {
+                        // BM-DoS vector 2: dropped before misbehavior
+                        // tracking; the sender's score never moves.
+                        self.telemetry.bad_checksum_frames += 1;
+                        if let Some(points) = self.config.punish_bad_checksum_score {
+                            // Counterfactual design (ablation): treat a
+                            // checksum-corrupt frame as misbehavior.
+                            self.punish_raw(ctx, conn, points);
+                        }
+                        continue;
+                    }
+                    // Stage 3: decode.
+                    ctx.charge_cpu(self.config.cost.decode_cost(raw.payload.len()));
+                    let msg = match raw
+                        .header
+                        .command_str()
+                        .and_then(|cmd| Message::decode_payload(cmd, &raw.payload))
+                    {
+                        Ok(m) => m,
+                        Err(DecodeError::UnknownCommand(_)) => {
+                            // Unknown commands are ignored, like Core.
+                            self.telemetry.undecodable_frames += 1;
+                            continue;
+                        }
+                        Err(_) => {
+                            self.telemetry.undecodable_frames += 1;
+                            continue;
+                        }
+                    };
+                    // Stage 4: handler + misbehavior tracking.
+                    ctx.charge_cpu(self.config.cost.handler_cost(&msg));
+                    if let (Some(id), Some(p)) =
+                        (msg_type_id(msg.command()), self.peers.get(&conn))
+                    {
+                        self.telemetry
+                            .record_message(self.now, id, raw.payload.len() as u32, p.addr);
+                    }
+                    if !self.handshake(ctx, conn, &msg) {
+                        self.handle_message(ctx, conn, msg);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl App for Node {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.now = ctx.now();
+        ctx.listen(self.config.listen_port);
+        self.fill_outbound(ctx);
+        ctx.set_timer(SECS, timers::MAINTAIN);
+        if self.config.miner_enabled {
+            ctx.set_timer(self.config.miner_sample_interval, timers::MINER);
+        }
+        if self.config.ping_interval > 0 {
+            ctx.set_timer(self.config.ping_interval, timers::PING);
+        }
+    }
+
+    fn on_accept(&mut self, peer: SockAddr) -> bool {
+        if self.banman.is_banned(self.now, &peer) {
+            self.telemetry.refused_banned += 1;
+            return false;
+        }
+        // Count half-open accepts too: a burst of SYNs must not overshoot
+        // the slot limit before any handshake completes.
+        if self.inbound_count() + self.half_open_inbound >= self.config.max_inbound {
+            // Under the good-score countermeasure the node runs CKB-style
+            // eviction instead of refusing: accept, then evict the
+            // lowest-credit inbound peer (§IX-A).
+            if !self.config.good_score {
+                return false;
+            }
+        }
+        self.half_open_inbound += 1;
+        true
+    }
+
+    fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, peer: SockAddr, inbound: bool) {
+        self.now = ctx.now();
+        self.peers.insert(conn, Peer::new(conn, peer, inbound));
+        if inbound {
+            self.half_open_inbound = self.half_open_inbound.saturating_sub(1);
+            if self.config.good_score && self.inbound_count() > self.config.max_inbound {
+                // Slot pressure: evict the inbound peer with the least
+                // earned credit (ties broken deterministically). A fresh
+                // zero-credit connection evicts itself before it can push
+                // out anyone with history.
+                let candidates: Vec<SockAddr> = self
+                    .peers
+                    .values()
+                    .filter(|p| p.inbound)
+                    .map(|p| p.addr)
+                    .collect();
+                if let Some(victim) = self.goodscore.eviction_candidate(candidates.iter()) {
+                    if let Some(victim_conn) =
+                        self.peers.values().find(|p| p.addr == victim).map(|p| p.conn)
+                    {
+                        self.disconnect(ctx, victim_conn, true);
+                        if victim_conn == conn {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+        if !inbound {
+            self.pending_outbound.remove(&peer);
+            self.addrman.mark_success(self.now, &peer);
+            self.send_version(ctx, conn, peer);
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _peer: SockAddr, data: &[u8]) {
+        self.now = ctx.now();
+        if let Some(p) = self.peers.get_mut(&conn) {
+            p.recv_buf.extend_from_slice(data);
+            self.process_frames(ctx, conn);
+        }
+    }
+
+    fn on_closed(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _peer: SockAddr, _reason: CloseReason) {
+        self.now = ctx.now();
+        self.disconnect(ctx, conn, false);
+    }
+
+    fn on_connect_failed(&mut self, ctx: &mut Ctx<'_>, dst: SockAddr) {
+        self.now = ctx.now();
+        self.pending_outbound.remove(&dst);
+        self.addrman.mark_failure(&dst);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        self.now = ctx.now();
+        match token {
+            timers::MAINTAIN => {
+                self.banman.sweep(self.now);
+                if self.rebuild_requested {
+                    self.rebuild_requested = false;
+                    let inbound: Vec<ConnId> = self
+                        .peers
+                        .values()
+                        .filter(|p| p.inbound)
+                        .map(|p| p.conn)
+                        .collect();
+                    for conn in inbound {
+                        self.disconnect(ctx, conn, true);
+                    }
+                }
+                self.fill_outbound(ctx);
+                self.flush_local_submissions(ctx);
+                ctx.set_timer(SECS, timers::MAINTAIN);
+            }
+            timers::MINER => {
+                self.miner.sample(self.now, ctx.cpu());
+                ctx.set_timer(self.config.miner_sample_interval, timers::MINER);
+            }
+            timers::PING => {
+                let targets: Vec<ConnId> = self
+                    .peers
+                    .values()
+                    .filter(|p| p.handshake_complete())
+                    .map(|p| p.conn)
+                    .collect();
+                for conn in targets {
+                    let nonce = ctx.rng().next_u64();
+                    self.send_message(ctx, conn, &Message::Ping(nonce));
+                }
+                ctx.set_timer(self.config.ping_interval, timers::PING);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Convenience: a default node config with the given outbound targets and
+/// a deterministic regtest setup.
+pub fn node_with_targets(targets: Vec<SockAddr>) -> Node {
+    Node::new(NodeConfig {
+        outbound_targets: targets,
+        ..NodeConfig::default()
+    })
+}

@@ -1,0 +1,419 @@
+//! Block headers, full blocks, merkle trees and proof-of-work validation.
+//!
+//! The `BLOCK` ban-score rules ("block data was mutated", "previous block is
+//! invalid/missing") hang off exactly the checks implemented here.
+
+use crate::encode::{
+    decode_vec, encode_vec, Decodable, DecodeResult, Encodable, Reader, Writer,
+};
+use crate::tx::Transaction;
+use crate::types::Hash256;
+use serde::{Deserialize, Serialize};
+
+/// Maximum transactions we will decode in a block (sanity bound).
+const MAX_BLOCK_TXS: u64 = 1_000_000;
+
+/// An 80-byte block header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BlockHeader {
+    /// Version / BIP9 signal bits.
+    pub version: i32,
+    /// Hash of the previous block header.
+    pub prev_block: Hash256,
+    /// Merkle root over the block's txids.
+    pub merkle_root: Hash256,
+    /// Unix timestamp.
+    pub time: u32,
+    /// Compact difficulty target.
+    pub bits: u32,
+    /// PoW nonce.
+    pub nonce: u32,
+}
+
+impl BlockHeader {
+    /// The header's hash (double-SHA256 of its 80-byte serialization).
+    pub fn hash(&self) -> Hash256 {
+        Hash256::hash(&self.encode_to_vec())
+    }
+
+    /// Whether the header hash satisfies its own difficulty target.
+    pub fn check_pow(&self) -> bool {
+        self.hash().meets_target(self.bits)
+    }
+
+    /// Grinds `nonce` until the PoW check passes. Only usable with easy
+    /// (regtest-style) targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no nonce in `u32` satisfies the target.
+    pub fn mine(&mut self) {
+        for nonce in 0..=u32::MAX {
+            self.nonce = nonce;
+            if self.check_pow() {
+                return;
+            }
+        }
+        panic!("exhausted nonce space for target {:#x}", self.bits);
+    }
+}
+
+impl Default for BlockHeader {
+    fn default() -> Self {
+        BlockHeader {
+            version: 1,
+            prev_block: Hash256::ZERO,
+            merkle_root: Hash256::ZERO,
+            time: 0,
+            bits: crate::constants::REGTEST_BITS,
+            nonce: 0,
+        }
+    }
+}
+
+impl Encodable for BlockHeader {
+    fn encode(&self, w: &mut Writer) {
+        w.i32_le(self.version);
+        self.prev_block.encode(w);
+        self.merkle_root.encode(w);
+        w.u32_le(self.time);
+        w.u32_le(self.bits);
+        w.u32_le(self.nonce);
+    }
+}
+
+impl Decodable for BlockHeader {
+    fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
+        Ok(BlockHeader {
+            version: r.i32_le()?,
+            prev_block: Hash256::decode(r)?,
+            merkle_root: Hash256::decode(r)?,
+            time: r.u32_le()?,
+            bits: r.u32_le()?,
+            nonce: r.u32_le()?,
+        })
+    }
+}
+
+/// A header as carried inside a `HEADERS` payload: header + a (always zero)
+/// transaction count varint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct HeadersEntry(pub BlockHeader);
+
+impl Encodable for HeadersEntry {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        w.compact_size(0);
+    }
+}
+
+impl Decodable for HeadersEntry {
+    fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
+        let h = BlockHeader::decode(r)?;
+        let _txn_count = r.compact_size()?;
+        Ok(HeadersEntry(h))
+    }
+}
+
+/// A full block.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Block {
+    /// The header.
+    pub header: BlockHeader,
+    /// Transactions, coinbase first.
+    pub txs: Vec<Transaction>,
+}
+
+impl Block {
+    /// Computes the merkle root over this block's txids.
+    pub fn merkle_root(&self) -> Hash256 {
+        merkle_root(&self.txs.iter().map(|t| t.txid()).collect::<Vec<_>>())
+    }
+
+    /// Block hash (the header hash).
+    pub fn hash(&self) -> Hash256 {
+        self.header.hash()
+    }
+
+    /// Full validation as run on a received `BLOCK` message: PoW, merkle
+    /// commitment, and per-transaction structural checks.
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule, using Bitcoin Core's reject-reason strings.
+    /// `"bad-txnmrklroot"` is the "block data was mutated" condition of
+    /// Table I.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if !self.header.check_pow() {
+            return Err("high-hash");
+        }
+        if self.txs.is_empty() {
+            return Err("bad-blk-length");
+        }
+        if self.merkle_root() != self.header.merkle_root {
+            return Err("bad-txnmrklroot");
+        }
+        if !self.txs[0].is_coinbase() {
+            return Err("bad-cb-missing");
+        }
+        if self.txs.iter().skip(1).any(Transaction::is_coinbase) {
+            return Err("bad-cb-multiple");
+        }
+        // Duplicate txids would produce a malleated merkle tree (CVE-2012-2459).
+        let mut seen = std::collections::HashSet::with_capacity(self.txs.len());
+        for tx in &self.txs {
+            if !seen.insert(tx.txid()) {
+                return Err("bad-txns-duplicate");
+            }
+            tx.check()?;
+            tx.check_witness()?;
+        }
+        Ok(())
+    }
+}
+
+impl Encodable for Block {
+    fn encode(&self, w: &mut Writer) {
+        self.header.encode(w);
+        encode_vec(w, &self.txs);
+    }
+}
+
+impl Decodable for Block {
+    fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
+        Ok(Block {
+            header: BlockHeader::decode(r)?,
+            txs: decode_vec(r, "block txs", MAX_BLOCK_TXS)?,
+        })
+    }
+}
+
+/// Computes a Bitcoin merkle root over `leaves` (txids, internal byte order).
+///
+/// Returns [`Hash256::ZERO`] for an empty leaf set. Odd levels duplicate the
+/// last node, as consensus does.
+pub fn merkle_root(leaves: &[Hash256]) -> Hash256 {
+    if leaves.is_empty() {
+        return Hash256::ZERO;
+    }
+    let mut level: Vec<Hash256> = leaves.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            let left = pair[0];
+            let right = *pair.last().expect("non-empty chunk");
+            let mut cat = [0u8; 64];
+            cat[..32].copy_from_slice(left.as_bytes());
+            cat[32..].copy_from_slice(right.as_bytes());
+            next.push(Hash256::hash(&cat));
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// A merkle inclusion branch for one leaf, as served in `MERKLEBLOCK`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MerkleBranch {
+    /// Sibling hashes from leaf to root.
+    pub siblings: Vec<Hash256>,
+    /// Leaf index (determines left/right at each level).
+    pub index: u32,
+}
+
+impl MerkleBranch {
+    /// Builds the branch proving `index` within `leaves`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn build(leaves: &[Hash256], index: usize) -> Self {
+        assert!(index < leaves.len(), "leaf index out of range");
+        let mut siblings = Vec::new();
+        let mut level: Vec<Hash256> = leaves.to_vec();
+        let mut idx = index;
+        while level.len() > 1 {
+            let sib = if idx.is_multiple_of(2) {
+                *level.get(idx + 1).unwrap_or(&level[idx])
+            } else {
+                level[idx - 1]
+            };
+            siblings.push(sib);
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                let left = pair[0];
+                let right = *pair.last().expect("non-empty");
+                let mut cat = [0u8; 64];
+                cat[..32].copy_from_slice(left.as_bytes());
+                cat[32..].copy_from_slice(right.as_bytes());
+                next.push(Hash256::hash(&cat));
+            }
+            level = next;
+            idx /= 2;
+        }
+        MerkleBranch {
+            siblings,
+            index: index as u32,
+        }
+    }
+
+    /// Recomputes the root implied by `leaf` and this branch.
+    pub fn compute_root(&self, leaf: Hash256) -> Hash256 {
+        let mut acc = leaf;
+        let mut idx = self.index;
+        for sib in &self.siblings {
+            let (l, r) = if idx.is_multiple_of(2) { (acc, *sib) } else { (*sib, acc) };
+            let mut cat = [0u8; 64];
+            cat[..32].copy_from_slice(l.as_bytes());
+            cat[32..].copy_from_slice(r.as_bytes());
+            acc = Hash256::hash(&cat);
+            idx /= 2;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::REGTEST_BITS;
+
+    fn mined_block(tag: &[u8], ntx: usize) -> Block {
+        let mut txs = vec![Transaction::coinbase(50_0000_0000, tag)];
+        for i in 0..ntx {
+            let mut t = Transaction::coinbase(1, &[i as u8, 1, 2, 3]);
+            t.inputs[0].prevout = crate::tx::OutPoint::new(Hash256::hash(&[i as u8]), 0);
+            txs.push(t);
+        }
+        let mut block = Block {
+            header: BlockHeader {
+                bits: REGTEST_BITS,
+                ..BlockHeader::default()
+            },
+            txs,
+        };
+        block.header.merkle_root = block.merkle_root();
+        block.header.mine();
+        block
+    }
+
+    #[test]
+    fn header_is_80_bytes() {
+        assert_eq!(BlockHeader::default().encode_to_vec().len(), 80);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = BlockHeader {
+            version: 0x2000_0000,
+            prev_block: Hash256::hash(b"prev"),
+            merkle_root: Hash256::hash(b"root"),
+            time: 1_600_000_000,
+            bits: 0x1d00_ffff,
+            nonce: 42,
+        };
+        assert_eq!(BlockHeader::decode_all(&h.encode_to_vec()).unwrap(), h);
+    }
+
+    #[test]
+    fn mined_block_validates() {
+        let b = mined_block(b"ok", 3);
+        assert_eq!(b.check(), Ok(()));
+    }
+
+    #[test]
+    fn mutated_block_fails_merkle() {
+        let mut b = mined_block(b"mut", 3);
+        // Swap two non-coinbase transactions: PoW still valid, merkle not.
+        b.txs.swap(1, 2);
+        assert_eq!(b.check(), Err("bad-txnmrklroot"));
+    }
+
+    #[test]
+    fn bogus_pow_fails_high_hash() {
+        let mut b = mined_block(b"pow", 1);
+        b.header.bits = 0x1d00_ffff; // mainnet-hard target the nonce can't meet
+        assert_eq!(b.check(), Err("high-hash"));
+    }
+
+    #[test]
+    fn missing_coinbase_rejected() {
+        let mut b = mined_block(b"cb", 2);
+        b.txs.remove(0);
+        b.header.merkle_root = b.merkle_root();
+        b.header.mine();
+        assert_eq!(b.check(), Err("bad-cb-missing"));
+    }
+
+    #[test]
+    fn duplicate_tx_rejected() {
+        let mut b = mined_block(b"dup", 1);
+        b.txs.push(b.txs[1].clone());
+        b.header.merkle_root = b.merkle_root();
+        b.header.mine();
+        assert_eq!(b.check(), Err("bad-txns-duplicate"));
+    }
+
+    #[test]
+    fn merkle_single_leaf_is_identity() {
+        let h = Hash256::hash(b"only");
+        assert_eq!(merkle_root(&[h]), h);
+    }
+
+    #[test]
+    fn merkle_empty_is_zero() {
+        assert_eq!(merkle_root(&[]), Hash256::ZERO);
+    }
+
+    #[test]
+    fn merkle_odd_level_duplicates_last() {
+        let a = Hash256::hash(b"a");
+        let b = Hash256::hash(b"b");
+        let c = Hash256::hash(b"c");
+        // Three leaves: level 2 = [H(a|b), H(c|c)].
+        let mut ab = [0u8; 64];
+        ab[..32].copy_from_slice(a.as_bytes());
+        ab[32..].copy_from_slice(b.as_bytes());
+        let mut cc = [0u8; 64];
+        cc[..32].copy_from_slice(c.as_bytes());
+        cc[32..].copy_from_slice(c.as_bytes());
+        let l = Hash256::hash(&ab);
+        let r = Hash256::hash(&cc);
+        let mut lr = [0u8; 64];
+        lr[..32].copy_from_slice(l.as_bytes());
+        lr[32..].copy_from_slice(r.as_bytes());
+        assert_eq!(merkle_root(&[a, b, c]), Hash256::hash(&lr));
+    }
+
+    #[test]
+    fn merkle_branch_proves_every_leaf() {
+        let leaves: Vec<Hash256> = (0..7u8).map(|i| Hash256::hash(&[i])).collect();
+        let root = merkle_root(&leaves);
+        for (i, leaf) in leaves.iter().enumerate() {
+            let branch = MerkleBranch::build(&leaves, i);
+            assert_eq!(branch.compute_root(*leaf), root, "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn merkle_branch_detects_wrong_leaf() {
+        let leaves: Vec<Hash256> = (0..4u8).map(|i| Hash256::hash(&[i])).collect();
+        let root = merkle_root(&leaves);
+        let branch = MerkleBranch::build(&leaves, 2);
+        assert_ne!(branch.compute_root(Hash256::hash(b"evil")), root);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let b = mined_block(b"rt", 2);
+        assert_eq!(Block::decode_all(&b.encode_to_vec()).unwrap(), b);
+    }
+
+    #[test]
+    fn headers_entry_roundtrip() {
+        let e = HeadersEntry(BlockHeader::default());
+        let enc = e.encode_to_vec();
+        assert_eq!(enc.len(), 81);
+        assert_eq!(HeadersEntry::decode_all(&enc).unwrap(), e);
+    }
+}

@@ -1,0 +1,306 @@
+//! BIP37 bloom filters (`FILTERLOAD` / `FILTERADD` / `FILTERCLEAR`).
+//!
+//! Two of Table I's +100 rules live here: a `FILTERLOAD` whose serialized
+//! filter exceeds 36 000 bytes, and a `FILTERADD` data element over 520
+//! bytes.
+
+use crate::constants::{MAX_BLOOM_FILTER_SIZE, MAX_FILTERADD_SIZE, MAX_HASH_FUNCS};
+use crate::crypto::murmur3_32;
+use crate::encode::{Decodable, DecodeResult, Encodable, Reader, Writer};
+use serde::{Deserialize, Serialize};
+
+/// What the filter should do with outpoints of matched transactions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum BloomFlags {
+    /// Never update the filter.
+    #[default]
+    None,
+    /// Insert outpoints of all matches.
+    All,
+    /// Insert outpoints of pubkey-ish matches only.
+    PubkeyOnly,
+    /// Unknown flag byte, preserved for round-tripping.
+    Other(u8),
+}
+
+impl BloomFlags {
+    fn to_u8(self) -> u8 {
+        match self {
+            BloomFlags::None => 0,
+            BloomFlags::All => 1,
+            BloomFlags::PubkeyOnly => 2,
+            BloomFlags::Other(v) => v,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => BloomFlags::None,
+            1 => BloomFlags::All,
+            2 => BloomFlags::PubkeyOnly,
+            other => BloomFlags::Other(other),
+        }
+    }
+}
+
+/// A BIP37 bloom filter as carried by `FILTERLOAD`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BloomFilter {
+    /// Filter bit array.
+    pub data: Vec<u8>,
+    /// Number of hash functions.
+    pub n_hash_funcs: u32,
+    /// Random tweak added to each hash seed.
+    pub tweak: u32,
+    /// Update behaviour.
+    pub flags: BloomFlags,
+}
+
+impl BloomFilter {
+    /// Builds a filter sized for `n_elements` at false-positive rate `fp`,
+    /// using exactly Bitcoin Core's `CBloomFilter` sizing arithmetic
+    /// (integer truncation included) so serialized filters match Core's.
+    pub fn new(n_elements: usize, fp: f64, tweak: u32, flags: BloomFlags) -> Self {
+        let ln2sq = std::f64::consts::LN_2 * std::f64::consts::LN_2;
+        let n = n_elements.max(1) as f64;
+        let bits = (-1.0 / ln2sq * n * fp.ln()).min((MAX_BLOOM_FILTER_SIZE * 8) as f64);
+        let bytes = ((bits as u64) / 8).max(1) as usize;
+        let funcs = ((bytes as f64 * 8.0 / n) * std::f64::consts::LN_2) as u32;
+        BloomFilter {
+            data: vec![0u8; bytes],
+            n_hash_funcs: funcs.clamp(1, MAX_HASH_FUNCS),
+            tweak,
+            flags,
+        }
+    }
+
+    /// The `i`-th bit position for `item`.
+    fn bit(&self, i: u32, item: &[u8]) -> usize {
+        let seed = i.wrapping_mul(0xFBA4_C795).wrapping_add(self.tweak);
+        (murmur3_32(seed, item) as usize) % (self.data.len() * 8)
+    }
+
+    /// Inserts `item`.
+    pub fn insert(&mut self, item: &[u8]) {
+        if self.data.is_empty() {
+            return;
+        }
+        for i in 0..self.n_hash_funcs {
+            let b = self.bit(i, item);
+            self.data[b / 8] |= 1 << (b % 8);
+        }
+    }
+
+    /// Whether `item` may be in the filter (false positives possible, false
+    /// negatives impossible).
+    pub fn contains(&self, item: &[u8]) -> bool {
+        if self.data.is_empty() {
+            return false;
+        }
+        (0..self.n_hash_funcs).all(|i| {
+            let b = self.bit(i, item);
+            self.data[b / 8] & (1 << (b % 8)) != 0
+        })
+    }
+
+    /// Whether the filter respects the BIP37 size limits. Oversized filters
+    /// are exactly the Table-I `FILTERLOAD` +100 misbehavior.
+    pub fn is_within_size_constraints(&self) -> bool {
+        self.data.len() as u64 <= MAX_BLOOM_FILTER_SIZE
+            && self.n_hash_funcs <= MAX_HASH_FUNCS
+    }
+}
+
+impl Encodable for BloomFilter {
+    fn encode(&self, w: &mut Writer) {
+        w.var_bytes(&self.data);
+        w.u32_le(self.n_hash_funcs);
+        w.u32_le(self.tweak);
+        w.u8(self.flags.to_u8());
+    }
+}
+
+impl Decodable for BloomFilter {
+    fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
+        // Decode permits oversized filters: the *ban-score layer* must see
+        // them to punish the sender (dropping at decode would hide the
+        // misbehavior, which is vector 2 of the paper).
+        let data = r.var_bytes("bloom data", MAX_BLOOM_FILTER_SIZE * 4)?;
+        Ok(BloomFilter {
+            data,
+            n_hash_funcs: r.u32_le()?,
+            tweak: r.u32_le()?,
+            flags: BloomFlags::from_u8(r.u8()?),
+        })
+    }
+}
+
+/// A `FILTERADD` payload: one data element to insert into the loaded filter.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct FilterAdd {
+    /// The element (txid, pubkey, etc.).
+    pub data: Vec<u8>,
+}
+
+impl FilterAdd {
+    /// Whether the element respects the 520-byte limit (Table-I rule).
+    pub fn is_within_size_constraints(&self) -> bool {
+        self.data.len() as u64 <= MAX_FILTERADD_SIZE
+    }
+}
+
+impl Encodable for FilterAdd {
+    fn encode(&self, w: &mut Writer) {
+        w.var_bytes(&self.data);
+    }
+}
+
+impl Decodable for FilterAdd {
+    fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
+        Ok(FilterAdd {
+            data: r.var_bytes("filteradd data", MAX_FILTERADD_SIZE * 4)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let mut f = BloomFilter::new(100, 0.01, 0, BloomFlags::None);
+        for i in 0..100u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        for i in 0..100u32 {
+            assert!(f.contains(&i.to_le_bytes()), "lost element {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let mut f = BloomFilter::new(1000, 0.01, 7, BloomFlags::None);
+        for i in 0..1000u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let fps = (1000..11_000u32)
+            .filter(|i| f.contains(&i.to_le_bytes()))
+            .count();
+        // 1% nominal; allow generous slack.
+        assert!(fps < 500, "false positive count {fps} too high");
+    }
+
+    #[test]
+    fn tweak_changes_bits() {
+        let mut a = BloomFilter::new(10, 0.01, 0, BloomFlags::None);
+        let mut b = BloomFilter::new(10, 0.01, 12345, BloomFlags::None);
+        a.insert(b"item");
+        b.insert(b"item");
+        assert_ne!(a.data, b.data);
+    }
+
+    #[test]
+    fn size_constraints() {
+        let ok = BloomFilter {
+            data: vec![0; 36_000],
+            n_hash_funcs: 50,
+            tweak: 0,
+            flags: BloomFlags::None,
+        };
+        assert!(ok.is_within_size_constraints());
+        let big = BloomFilter {
+            data: vec![0; 36_001],
+            ..ok.clone()
+        };
+        assert!(!big.is_within_size_constraints());
+        let many = BloomFilter {
+            n_hash_funcs: 51,
+            ..ok
+        };
+        assert!(!many.is_within_size_constraints());
+    }
+
+    #[test]
+    fn oversized_filter_still_decodes() {
+        // The ban-score layer must observe oversized filters.
+        let big = BloomFilter {
+            data: vec![0xaa; 36_001],
+            n_hash_funcs: 1,
+            tweak: 0,
+            flags: BloomFlags::None,
+        };
+        let enc = big.encode_to_vec();
+        let dec = BloomFilter::decode_all(&enc).unwrap();
+        assert!(!dec.is_within_size_constraints());
+    }
+
+    #[test]
+    fn filteradd_size_rule() {
+        assert!(FilterAdd { data: vec![0; 520] }.is_within_size_constraints());
+        assert!(!FilterAdd { data: vec![0; 521] }.is_within_size_constraints());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut f = BloomFilter::new(5, 0.001, 99, BloomFlags::All);
+        f.insert(b"tx");
+        let dec = BloomFilter::decode_all(&f.encode_to_vec()).unwrap();
+        assert_eq!(dec, f);
+        assert!(dec.contains(b"tx"));
+    }
+
+    #[test]
+    fn bip37_reference_filter() {
+        // Bitcoin Core bloom_tests.cpp "bloom_create_insert_serialize":
+        // CBloomFilter(3, 0.01, 0, BLOOM_UPDATE_ALL) with three items
+        // serializes to 03614e9b 05000000 00000000 01.
+        fn unhex(s: &str) -> Vec<u8> {
+            (0..s.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+                .collect()
+        }
+        let mut f = BloomFilter::new(3, 0.01, 0, BloomFlags::All);
+        assert_eq!(f.data.len(), 3);
+        assert_eq!(f.n_hash_funcs, 5);
+        f.insert(&unhex("99108ad8ed9bb6274d3980bab5a85c048f0950c8"));
+        assert!(f.contains(&unhex("99108ad8ed9bb6274d3980bab5a85c048f0950c8")));
+        // One bit different: must not match.
+        assert!(!f.contains(&unhex("19108ad8ed9bb6274d3980bab5a85c048f0950c8")));
+        f.insert(&unhex("b5a2c786d9ef4658287ced5914b37a1b4aa32eee"));
+        f.insert(&unhex("b9300670b4c5366e95b2699e8b18bc75e5f729c5"));
+        assert_eq!(f.data, unhex("614e9b"));
+        assert_eq!(f.encode_to_vec(), unhex("03614e9b0500000000000000" ).iter().chain(&[1u8]).copied().collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn bip37_reference_filter_with_tweak() {
+        // Same vectors with tweak 2147483649 → data 614e9b with identical
+        // layout (Core's second test case, "bloom_create_insert_serialize_with_tweak").
+        fn unhex(s: &str) -> Vec<u8> {
+            (0..s.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+                .collect()
+        }
+        let mut f = BloomFilter::new(3, 0.01, 2_147_483_649, BloomFlags::All);
+        f.insert(&unhex("99108ad8ed9bb6274d3980bab5a85c048f0950c8"));
+        assert!(f.contains(&unhex("99108ad8ed9bb6274d3980bab5a85c048f0950c8")));
+        assert!(!f.contains(&unhex("19108ad8ed9bb6274d3980bab5a85c048f0950c8")));
+        f.insert(&unhex("b5a2c786d9ef4658287ced5914b37a1b4aa32eee"));
+        f.insert(&unhex("b9300670b4c5366e95b2699e8b18bc75e5f729c5"));
+        assert_eq!(f.data, unhex("ce4299"));
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter {
+            data: vec![],
+            n_hash_funcs: 3,
+            tweak: 0,
+            flags: BloomFlags::None,
+        };
+        assert!(!f.contains(b"anything"));
+    }
+}

@@ -1,0 +1,489 @@
+//! BIP152 compact block relay: `SENDCMPCT`, `CMPCTBLOCK`, `GETBLOCKTXN`,
+//! `BLOCKTXN`.
+//!
+//! Table I's `GETBLOCKTXN` rule ("out-of-bounds transaction indices", +100)
+//! and `CMPCTBLOCK` rule ("invalid compact block data", +100) are validated
+//! against the structures here.
+
+use crate::block::{Block, BlockHeader};
+use crate::crypto::{sha256_digest, siphash24};
+use crate::encode::{
+    decode_vec, encode_vec, Decodable, DecodeError, DecodeResult, Encodable, Reader, Writer,
+};
+use crate::tx::Transaction;
+use crate::types::Hash256;
+use serde::{Deserialize, Serialize};
+
+/// Maximum short-id / index count in one compact-block structure.
+const MAX_CMPCT_ITEMS: u64 = 1_000_000;
+
+/// A 6-byte transaction short ID.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ShortId(pub [u8; 6]);
+
+impl Encodable for ShortId {
+    fn encode(&self, w: &mut Writer) {
+        w.bytes(&self.0);
+    }
+}
+
+impl Decodable for ShortId {
+    fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
+        Ok(ShortId(r.take(6)?.try_into().expect("6")))
+    }
+}
+
+/// Computes the BIP152 SipHash keys for a header/nonce pair.
+pub fn short_id_keys(header: &BlockHeader, nonce: u64) -> (u64, u64) {
+    let mut w = Writer::new();
+    header.encode(&mut w);
+    w.u64_le(nonce);
+    let h = sha256_digest(&w.into_bytes());
+    (
+        u64::from_le_bytes(h[..8].try_into().expect("8")),
+        u64::from_le_bytes(h[8..16].try_into().expect("8")),
+    )
+}
+
+/// Computes the 6-byte short ID of a wtxid under `(k0, k1)`.
+pub fn short_id(keys: (u64, u64), wtxid: &Hash256) -> ShortId {
+    let tag = siphash24(keys.0, keys.1, wtxid.as_bytes());
+    let b = tag.to_le_bytes();
+    ShortId([b[0], b[1], b[2], b[3], b[4], b[5]])
+}
+
+/// A transaction pre-filled into a compact block, with a differentially
+/// encoded index.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PrefilledTx {
+    /// Differential index (BIP152: offset from the previous prefilled index
+    /// plus one).
+    pub diff_index: u64,
+    /// The transaction.
+    pub tx: Transaction,
+}
+
+impl Encodable for PrefilledTx {
+    fn encode(&self, w: &mut Writer) {
+        w.compact_size(self.diff_index);
+        self.tx.encode(w);
+    }
+}
+
+impl Decodable for PrefilledTx {
+    fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
+        Ok(PrefilledTx {
+            diff_index: r.compact_size()?,
+            tx: Transaction::decode(r)?,
+        })
+    }
+}
+
+/// A `CMPCTBLOCK` payload.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CompactBlock {
+    /// The block header.
+    pub header: BlockHeader,
+    /// SipHash key salt.
+    pub nonce: u64,
+    /// Short IDs of non-prefilled transactions.
+    pub short_ids: Vec<ShortId>,
+    /// Prefilled transactions (always includes the coinbase).
+    pub prefilled: Vec<PrefilledTx>,
+}
+
+impl CompactBlock {
+    /// Builds a compact block from a full block, prefilled with only the
+    /// coinbase (index 0), as Bitcoin Core does for announcements.
+    pub fn from_block(block: &Block, nonce: u64) -> Self {
+        let keys = short_id_keys(&block.header, nonce);
+        let short_ids = block
+            .txs
+            .iter()
+            .skip(1)
+            .map(|tx| short_id(keys, &tx.wtxid()))
+            .collect();
+        let prefilled = vec![PrefilledTx {
+            diff_index: 0,
+            tx: block.txs[0].clone(),
+        }];
+        CompactBlock {
+            header: block.header,
+            nonce,
+            short_ids,
+            prefilled,
+        }
+    }
+
+    /// Total transaction count the compact block claims.
+    pub fn tx_count(&self) -> usize {
+        self.short_ids.len() + self.prefilled.len()
+    }
+
+    /// Absolute indices of prefilled transactions, or an error when the
+    /// differential encoding overflows / collides — the "invalid compact
+    /// block data" condition of Table I.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the defect.
+    pub fn prefilled_indices(&self) -> Result<Vec<usize>, &'static str> {
+        let mut out = Vec::with_capacity(self.prefilled.len());
+        let mut next: u64 = 0;
+        for p in &self.prefilled {
+            let idx = next
+                .checked_add(p.diff_index)
+                .ok_or("cmpctblock-index-overflow")?;
+            if idx >= self.tx_count() as u64 {
+                return Err("cmpctblock-index-out-of-range");
+            }
+            out.push(idx as usize);
+            next = idx + 1;
+        }
+        Ok(out)
+    }
+
+    /// Structural validation of the compact block itself (not the underlying
+    /// block): header PoW and index sanity.
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if !self.header.check_pow() {
+            return Err("high-hash");
+        }
+        if self.prefilled.is_empty() {
+            return Err("cmpctblock-no-prefilled");
+        }
+        self.prefilled_indices()?;
+        Ok(())
+    }
+
+    /// Attempts to reconstruct the full block from a transaction pool keyed
+    /// by short ID. Returns the indices still missing if incomplete.
+    ///
+    /// # Errors
+    ///
+    /// `Err(missing)` lists absolute indices to request via `GETBLOCKTXN`.
+    pub fn reconstruct(
+        &self,
+        pool: &dyn Fn(&ShortId) -> Option<Transaction>,
+    ) -> Result<Block, Vec<u64>> {
+        let n = self.tx_count();
+        let mut txs: Vec<Option<Transaction>> = vec![None; n];
+        let indices = self.prefilled_indices().map_err(|_| Vec::new())?;
+        for (slot, p) in indices.iter().zip(&self.prefilled) {
+            txs[*slot] = Some(p.tx.clone());
+        }
+        let mut sid_iter = self.short_ids.iter();
+        let mut missing = Vec::new();
+        for (i, slot) in txs.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            let sid = sid_iter.next().expect("short id per empty slot");
+            match pool(sid) {
+                Some(tx) => *slot = Some(tx),
+                None => missing.push(i as u64),
+            }
+        }
+        if !missing.is_empty() {
+            return Err(missing);
+        }
+        Ok(Block {
+            header: self.header,
+            txs: txs.into_iter().map(|t| t.expect("filled")).collect(),
+        })
+    }
+}
+
+impl Encodable for CompactBlock {
+    fn encode(&self, w: &mut Writer) {
+        self.header.encode(w);
+        w.u64_le(self.nonce);
+        encode_vec(w, &self.short_ids);
+        encode_vec(w, &self.prefilled);
+    }
+}
+
+impl Decodable for CompactBlock {
+    fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
+        Ok(CompactBlock {
+            header: BlockHeader::decode(r)?,
+            nonce: r.u64_le()?,
+            short_ids: decode_vec(r, "short ids", MAX_CMPCT_ITEMS)?,
+            prefilled: decode_vec(r, "prefilled txs", MAX_CMPCT_ITEMS)?,
+        })
+    }
+}
+
+/// A `GETBLOCKTXN` payload: request transactions of `block_hash` at the
+/// (differentially encoded) `indices`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BlockTxnRequest {
+    /// Which block.
+    pub block_hash: Hash256,
+    /// Differentially encoded indices.
+    pub diff_indices: Vec<u64>,
+}
+
+impl BlockTxnRequest {
+    /// Builds a request from absolute indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `absolute` is not strictly increasing.
+    pub fn from_absolute(block_hash: Hash256, absolute: &[u64]) -> Self {
+        let mut diff = Vec::with_capacity(absolute.len());
+        let mut prev: Option<u64> = None;
+        for &idx in absolute {
+            match prev {
+                None => diff.push(idx),
+                Some(p) => {
+                    assert!(idx > p, "indices must be strictly increasing");
+                    diff.push(idx - p - 1);
+                }
+            }
+            prev = Some(idx);
+        }
+        BlockTxnRequest {
+            block_hash,
+            diff_indices: diff,
+        }
+    }
+
+    /// Decodes to absolute indices, validating against `tx_count`.
+    ///
+    /// An out-of-bounds index here is exactly Table I's `GETBLOCKTXN` +100
+    /// rule.
+    ///
+    /// # Errors
+    ///
+    /// `"getblocktxn-out-of-bounds"` on overflow or out-of-range indices.
+    pub fn absolute_indices(&self, tx_count: u64) -> Result<Vec<u64>, &'static str> {
+        let mut out = Vec::with_capacity(self.diff_indices.len());
+        let mut next: u64 = 0;
+        for &d in &self.diff_indices {
+            let idx = next.checked_add(d).ok_or("getblocktxn-out-of-bounds")?;
+            if idx >= tx_count {
+                return Err("getblocktxn-out-of-bounds");
+            }
+            out.push(idx);
+            next = idx + 1;
+        }
+        Ok(out)
+    }
+}
+
+impl Encodable for BlockTxnRequest {
+    fn encode(&self, w: &mut Writer) {
+        self.block_hash.encode(w);
+        w.compact_size(self.diff_indices.len() as u64);
+        for &d in &self.diff_indices {
+            w.compact_size(d);
+        }
+    }
+}
+
+impl Decodable for BlockTxnRequest {
+    fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
+        let block_hash = Hash256::decode(r)?;
+        let n = r.bounded_compact_size("getblocktxn indices", MAX_CMPCT_ITEMS)?;
+        let mut diff_indices = Vec::with_capacity((n as usize).min(crate::encode::MAX_VEC_PREALLOC));
+        for _ in 0..n {
+            diff_indices.push(r.compact_size()?);
+        }
+        Ok(BlockTxnRequest {
+            block_hash,
+            diff_indices,
+        })
+    }
+}
+
+/// A `BLOCKTXN` payload: the transactions answering a `GETBLOCKTXN`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BlockTxn {
+    /// Which block.
+    pub block_hash: Hash256,
+    /// The requested transactions, in request order.
+    pub txs: Vec<Transaction>,
+}
+
+impl Encodable for BlockTxn {
+    fn encode(&self, w: &mut Writer) {
+        self.block_hash.encode(w);
+        encode_vec(w, &self.txs);
+    }
+}
+
+impl Decodable for BlockTxn {
+    fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
+        Ok(BlockTxn {
+            block_hash: Hash256::decode(r)?,
+            txs: decode_vec(r, "blocktxn txs", MAX_CMPCT_ITEMS)?,
+        })
+    }
+}
+
+/// A `SENDCMPCT` payload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SendCmpct {
+    /// Whether the peer asks for high-bandwidth announcement mode.
+    pub announce: bool,
+    /// Compact block protocol version (1 or 2).
+    pub version: u64,
+}
+
+impl Encodable for SendCmpct {
+    fn encode(&self, w: &mut Writer) {
+        w.u8(self.announce as u8);
+        w.u64_le(self.version);
+    }
+}
+
+impl Decodable for SendCmpct {
+    fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
+        let announce = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(DecodeError::InvalidValue("sendcmpct announce flag")),
+        };
+        Ok(SendCmpct {
+            announce,
+            version: r.u64_le()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockHeader;
+    use std::collections::HashMap;
+
+    fn test_block(ntx: usize) -> Block {
+        let mut txs = vec![Transaction::coinbase(50_0000_0000, b"cb")];
+        for i in 0..ntx {
+            let mut t = Transaction::coinbase(1, &[1, 2, 3, i as u8]);
+            t.inputs[0].prevout = crate::tx::OutPoint::new(Hash256::hash(&[i as u8]), 0);
+            txs.push(t);
+        }
+        let mut b = Block {
+            header: BlockHeader::default(),
+            txs,
+        };
+        b.header.merkle_root = b.merkle_root();
+        b.header.mine();
+        b
+    }
+
+    #[test]
+    fn short_ids_are_deterministic_and_key_dependent() {
+        let b = test_block(2);
+        let k1 = short_id_keys(&b.header, 1);
+        let k2 = short_id_keys(&b.header, 2);
+        let w = b.txs[1].wtxid();
+        assert_eq!(short_id(k1, &w), short_id(k1, &w));
+        assert_ne!(short_id(k1, &w), short_id(k2, &w));
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        let b = test_block(3);
+        let cb = CompactBlock::from_block(&b, 77);
+        let enc = cb.encode_to_vec();
+        assert_eq!(CompactBlock::decode_all(&enc).unwrap(), cb);
+    }
+
+    #[test]
+    fn reconstruct_from_full_pool() {
+        let b = test_block(4);
+        let cb = CompactBlock::from_block(&b, 9);
+        let keys = short_id_keys(&b.header, 9);
+        let pool: HashMap<ShortId, Transaction> = b
+            .txs
+            .iter()
+            .skip(1)
+            .map(|t| (short_id(keys, &t.wtxid()), t.clone()))
+            .collect();
+        let rebuilt = cb.reconstruct(&|sid| pool.get(sid).cloned()).unwrap();
+        assert_eq!(rebuilt, b);
+        assert_eq!(rebuilt.check(), Ok(()));
+    }
+
+    #[test]
+    fn reconstruct_reports_missing() {
+        let b = test_block(4);
+        let cb = CompactBlock::from_block(&b, 9);
+        let missing = cb.reconstruct(&|_| None).unwrap_err();
+        assert_eq!(missing, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn prefilled_index_out_of_range_detected() {
+        let b = test_block(1);
+        let mut cb = CompactBlock::from_block(&b, 1);
+        cb.prefilled[0].diff_index = 10; // only 2 txs exist
+        assert_eq!(cb.check(), Err("cmpctblock-index-out-of-range"));
+    }
+
+    #[test]
+    fn prefilled_index_overflow_detected() {
+        let b = test_block(1);
+        let mut cb = CompactBlock::from_block(&b, 1);
+        cb.prefilled.push(PrefilledTx {
+            diff_index: u64::MAX,
+            tx: b.txs[0].clone(),
+        });
+        assert_eq!(cb.prefilled_indices(), Err("cmpctblock-index-overflow"));
+    }
+
+    #[test]
+    fn getblocktxn_differential_roundtrip() {
+        let req = BlockTxnRequest::from_absolute(Hash256::hash(b"b"), &[1, 3, 4, 10]);
+        assert_eq!(req.diff_indices, vec![1, 1, 0, 5]);
+        assert_eq!(req.absolute_indices(11).unwrap(), vec![1, 3, 4, 10]);
+    }
+
+    #[test]
+    fn getblocktxn_out_of_bounds_rule() {
+        let req = BlockTxnRequest::from_absolute(Hash256::hash(b"b"), &[5]);
+        assert_eq!(req.absolute_indices(5), Err("getblocktxn-out-of-bounds"));
+        // Overflow path.
+        let req = BlockTxnRequest {
+            block_hash: Hash256::ZERO,
+            diff_indices: vec![u64::MAX, 1],
+        };
+        assert_eq!(req.absolute_indices(10), Err("getblocktxn-out-of-bounds"));
+    }
+
+    #[test]
+    fn getblocktxn_wire_roundtrip() {
+        let req = BlockTxnRequest::from_absolute(Hash256::hash(b"x"), &[0, 2, 7]);
+        assert_eq!(
+            BlockTxnRequest::decode_all(&req.encode_to_vec()).unwrap(),
+            req
+        );
+    }
+
+    #[test]
+    fn blocktxn_roundtrip() {
+        let b = test_block(2);
+        let bt = BlockTxn {
+            block_hash: b.hash(),
+            txs: b.txs[1..].to_vec(),
+        };
+        assert_eq!(BlockTxn::decode_all(&bt.encode_to_vec()).unwrap(), bt);
+    }
+
+    #[test]
+    fn sendcmpct_roundtrip_and_bad_flag() {
+        let sc = SendCmpct {
+            announce: true,
+            version: 2,
+        };
+        assert_eq!(SendCmpct::decode_all(&sc.encode_to_vec()).unwrap(), sc);
+        assert!(SendCmpct::decode_all(&[2, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+}

@@ -1,0 +1,14 @@
+//! Cryptographic primitives implemented from scratch for the wire protocol.
+//!
+//! - [`sha256`] — SHA-256 and the Bitcoin double hash `sha256d`
+//!   (message checksums, txids, block hashes, merkle trees).
+//! - [`siphash`] — SipHash-2-4 (BIP152 compact-block short IDs).
+//! - [`murmur3`] — 32-bit MurmurHash3 (BIP37 bloom filters).
+
+pub mod murmur3;
+pub mod sha256;
+pub mod siphash;
+
+pub use murmur3::murmur3_32;
+pub use sha256::{sha256 as sha256_digest, sha256d, Sha256};
+pub use siphash::{siphash24, SipHasher24};

@@ -1,0 +1,49 @@
+//! # btc-wire
+//!
+//! A from-scratch implementation of the Bitcoin P2P wire protocol as spoken
+//! by Bitcoin Core 0.20.0 (protocol version 70015): all 26 message types,
+//! the 24-byte header framing with `sha256d` checksums, blocks,
+//! transactions (legacy + SegWit), BIP37 bloom filters, BIP152 compact
+//! blocks, and the crypto primitives they need (SHA-256, SipHash-2-4,
+//! MurmurHash3).
+//!
+//! This crate is the protocol substrate for the reproduction of *"The
+//! Security Investigation of Ban Score and Misbehavior Tracking in Bitcoin
+//! Network"* (ICDCS 2022). Everything a ban-score rule keys off — oversized
+//! lists, invalid PoW, mutated merkle roots, out-of-bounds compact-block
+//! indices, oversize bloom filters — is validated here and surfaced to the
+//! node layer rather than silently dropped.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use btc_wire::message::{decode_frame, read_frame, FrameResult, Message, RawMessage};
+//! use btc_wire::types::Network;
+//!
+//! # fn main() -> Result<(), btc_wire::encode::DecodeError> {
+//! let msg = Message::Ping(7);
+//! let raw = RawMessage::frame(Network::Regtest, &msg);
+//! let bytes = raw.to_bytes();
+//! if let FrameResult::Frame { raw, .. } = read_frame(Network::Regtest, &bytes)? {
+//!     assert_eq!(decode_frame(&raw)?, msg);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod bloom;
+pub mod compact;
+pub mod constants;
+pub mod crypto;
+pub mod encode;
+pub mod message;
+pub mod tx;
+pub mod types;
+
+pub use block::{Block, BlockHeader};
+pub use message::{Message, RawMessage};
+pub use tx::Transaction;
+pub use types::{Hash256, NetAddr, Network};
