@@ -16,7 +16,7 @@ use btc_netsim::sim::{App, Ctx, TapHandle};
 use btc_netsim::time::{Nanos, MILLIS};
 use btc_wire::message::{Message, RawMessage, VersionMessage};
 use btc_wire::types::{NetAddr, Network};
-use bytes::Bytes;
+use btc_wire::bytes::Bytes;
 use std::any::Any;
 use std::collections::BTreeMap;
 

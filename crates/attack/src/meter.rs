@@ -25,7 +25,7 @@ use btc_wire::tx::{OutPoint, Transaction, TxIn, TxOut};
 use btc_wire::types::{
     BlockLocator, Hash256, InvType, Inventory, NetAddr, Network, TimestampedAddr,
 };
-use bytes::Bytes;
+use btc_wire::bytes::Bytes;
 use std::collections::HashSet;
 use std::hint::black_box;
 use std::time::Instant;

@@ -6,7 +6,7 @@ use btc_wire::block::{Block, BlockHeader};
 use btc_wire::constants::{MAX_ADDR_TO_SEND, MAX_INV_SZ};
 use btc_wire::message::{Message, RawMessage, VersionMessage};
 use btc_wire::types::{Hash256, InvType, Inventory, NetAddr, Network, TimestampedAddr};
-use bytes::Bytes;
+use btc_wire::bytes::Bytes;
 
 /// Which message a flood sends each tick.
 #[derive(Clone, Debug, PartialEq)]

@@ -11,7 +11,7 @@
 use btc_netsim::packet::{make_segment, PacketBody, SockAddr, TcpFlags};
 use btc_netsim::sim::{App, Ctx, TapHandle};
 use btc_netsim::time::{Nanos, MILLIS};
-use bytes::Bytes;
+use btc_wire::bytes::Bytes;
 use std::any::Any;
 use std::collections::BTreeMap;
 

@@ -4,7 +4,8 @@
 use btc_detect::engine::AnalysisEngine;
 use btc_detect::features::TrafficWindow;
 use btc_detect::ml::all_baselines;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use btc_bench::harness::{BatchSize, Criterion};
+use btc_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn dataset() -> (Vec<TrafficWindow>, Vec<Vec<f64>>, Vec<f64>) {

@@ -7,7 +7,8 @@
 
 use banscore::scenario::fig6::run_fig6;
 use btc_wire::crypto::sha256d;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use btc_bench::harness::{Criterion, Throughput};
+use btc_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn mining_loop(c: &mut Criterion) {

@@ -5,7 +5,8 @@ use banscore::scenario::fig8::run_fig8;
 use btc_netsim::packet::SockAddr;
 use btc_node::banscore::{BanPolicy, CoreVersion, Misbehavior, MisbehaviorTracker};
 use btc_node::BanMan;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use btc_bench::harness::{BatchSize, Criterion, Throughput};
+use btc_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn tracker_micro(c: &mut Criterion) {

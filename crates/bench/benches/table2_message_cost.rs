@@ -6,8 +6,9 @@ use btc_node::mempool::Mempool;
 use btc_wire::message::{decode_frame, read_frame, FrameResult, Message, RawMessage, VersionMessage};
 use btc_wire::tx::{OutPoint, Transaction, TxIn, TxOut};
 use btc_wire::types::{Hash256, InvType, Inventory, Network};
-use bytes::Bytes;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use btc_wire::bytes::Bytes;
+use btc_bench::harness::{BatchSize, Criterion};
+use btc_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 const NET: Network = Network::Regtest;

@@ -5,7 +5,8 @@
 use banscore::scenario::table3::run_table3;
 use btc_wire::message::{read_frame, verify_checksum, FrameResult, Message, RawMessage};
 use btc_wire::types::Network;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use btc_bench::harness::{Criterion, Throughput};
+use btc_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn per_packet(c: &mut Criterion) {

@@ -5,7 +5,8 @@ use btc_wire::crypto::{sha256d, siphash24};
 use btc_wire::encode::{Decodable, Encodable};
 use btc_wire::tx::{OutPoint, Transaction, TxIn, TxOut};
 use btc_wire::types::Hash256;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use btc_bench::harness::{Criterion, Throughput};
+use btc_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
 fn crypto(c: &mut Criterion) {

@@ -1,0 +1,369 @@
+//! A minimal in-repo benchmark harness with a Criterion-shaped API.
+//!
+//! The six benches under `benches/` used to run on the external
+//! `criterion` crate; the hermetic build replaces it with this module,
+//! which keeps the call sites (`benchmark_group`, `bench_function`,
+//! `iter`, `iter_batched`, `Throughput`, `sample_size`) intact while
+//! measuring with one shared path:
+//!
+//! 1. **Warmup** — the routine runs for a fixed wall-clock budget so
+//!    caches, branch predictors and the allocator settle.
+//! 2. **Sampling** — `sample_size` samples are taken, each timing a batch
+//!    of iterations sized so a sample lasts long enough for the clock's
+//!    resolution not to matter.
+//! 3. **Report** — median, p10 and p90 per-iteration times, plus derived
+//!    throughput when the group declared one.
+//!
+//! Everything routed through [`Bencher::iter`] is wrapped in
+//! `std::hint::black_box`, so the optimizer cannot delete the measured
+//! work. The `repro`/`ablate` binaries can call [`measure`] directly —
+//! benches and experiment tables share this one measurement path.
+//!
+//! Environment overrides: `BANSCORE_BENCH_SAMPLES` (samples per
+//! benchmark), `BANSCORE_BENCH_WARMUP_MS`, `BANSCORE_BENCH_SAMPLE_MS`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How per-iteration batches are set up in [`Bencher::iter_batched`].
+///
+/// The harness re-runs setup before every timed batch either way; the
+/// variants exist for call-site compatibility with Criterion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; batch many iterations per sample.
+    SmallInput,
+    /// Setup output is large; batch few iterations per sample.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Declared per-iteration work, used to derive throughput in reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+}
+
+/// Per-iteration timing statistics from one benchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// 10th-percentile per-iteration time in nanoseconds.
+    pub p10_ns: f64,
+    /// 90th-percentile per-iteration time in nanoseconds.
+    pub p90_ns: f64,
+    /// Total iterations measured across all samples.
+    pub iters: u64,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Measurement configuration: warmup budget, sample count, sample budget.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Wall-clock warmup budget.
+    pub warmup: Duration,
+    /// Number of timed samples.
+    pub samples: u64,
+    /// Wall-clock budget per sample (sets the batch size).
+    pub sample_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            warmup: Duration::from_millis(env_u64("BANSCORE_BENCH_WARMUP_MS", 300)),
+            samples: env_u64("BANSCORE_BENCH_SAMPLES", 30),
+            sample_time: Duration::from_millis(env_u64("BANSCORE_BENCH_SAMPLE_MS", 20)),
+        }
+    }
+}
+
+/// The shared measurement path: warmup, then `samples` timed batches of
+/// `routine`, returning per-iteration statistics.
+pub fn measure(cfg: &Config, mut routine: impl FnMut()) -> Stats {
+    // Warmup, counting iterations to size the sample batches.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while warm_start.elapsed() < cfg.warmup || warm_iters == 0 {
+        routine();
+        warm_iters += 1;
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let batch = ((cfg.sample_time.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(cfg.samples as usize);
+    let mut iters = 0u64;
+    for _ in 0..cfg.samples {
+        let start = Instant::now();
+        for _ in 0..batch {
+            routine();
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        per_iter_ns.push(elapsed / batch as f64);
+        iters += batch;
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| {
+        let idx = ((per_iter_ns.len() - 1) as f64 * p).round() as usize;
+        per_iter_ns[idx]
+    };
+    Stats {
+        median_ns: pct(0.5),
+        p10_ns: pct(0.1),
+        p90_ns: pct(0.9),
+        iters,
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// Entry point handed to bench `main` functions; creates benchmark groups.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            throughput: None,
+            cfg: Config::default(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    cfg: Config,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) {
+        self.cfg.samples = (n as u64).max(2);
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] (or a variant) with the routine to measure.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into();
+        let mut b = Bencher {
+            cfg: self.cfg,
+            stats: None,
+        };
+        f(&mut b);
+        let Some(stats) = b.stats else {
+            println!("  {:40} <no measurement>", id);
+            return;
+        };
+        let mut line = format!(
+            "  {:40} median {:>10}   [p10 {:>10}, p90 {:>10}]",
+            id,
+            human_time(stats.median_ns),
+            human_time(stats.p10_ns),
+            human_time(stats.p90_ns),
+        );
+        match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!(
+                    "   {}",
+                    human_rate(n as f64 / (stats.median_ns / 1e9), "B")
+                ));
+            }
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!(
+                    "   {}",
+                    human_rate(n as f64 / (stats.median_ns / 1e9), "elem")
+                ));
+            }
+            None => {}
+        }
+        println!("{line}");
+        let _ = &self.name;
+    }
+
+    /// Ends the group (report lines are printed eagerly; kept for
+    /// call-site compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times a routine; handed to [`BenchmarkGroup::bench_function`] closures.
+pub struct Bencher {
+    cfg: Config,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Measures `routine`, preventing the optimizer from deleting its
+    /// result.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        self.stats = Some(measure(&self.cfg, || {
+            black_box(routine());
+        }));
+    }
+
+    /// Measures `routine` applied to a fresh `setup()` output each
+    /// iteration; setup time is excluded from the per-iteration budget
+    /// only statistically (it runs inside the batch, as Criterion's
+    /// `PerIteration` does).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        self.stats = Some(measure(&self.cfg, || {
+            let input = setup();
+            black_box(routine(input));
+        }));
+    }
+}
+
+/// Declares the benchmark functions of one bench target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            println!();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Config {
+        Config {
+            warmup: Duration::from_millis(1),
+            samples: 5,
+            sample_time: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn measure_orders_percentiles() {
+        let mut x = 0u64;
+        let s = measure(&quick(), || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        });
+        assert!(s.p10_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p90_ns);
+        assert!(s.iters >= 5);
+        assert!(s.median_ns > 0.0);
+    }
+
+    #[test]
+    fn measure_scales_with_work() {
+        let cheap = measure(&quick(), || {
+            black_box(1u64 + 1);
+        });
+        let costly = measure(&quick(), || {
+            let mut h = 0u64;
+            for i in 0..2000u64 {
+                h = h.wrapping_mul(31).wrapping_add(black_box(i));
+            }
+            black_box(h);
+        });
+        assert!(
+            costly.median_ns > cheap.median_ns,
+            "costly {} <= cheap {}",
+            costly.median_ns,
+            cheap.median_ns
+        );
+    }
+
+    #[test]
+    fn bencher_records_stats_for_iter_and_iter_batched() {
+        let mut b = Bencher {
+            cfg: quick(),
+            stats: None,
+        };
+        b.iter(|| 2 + 2);
+        assert!(b.stats.is_some());
+        let mut b = Bencher {
+            cfg: quick(),
+            stats: None,
+        };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.stats.unwrap().iters > 0);
+    }
+
+    #[test]
+    fn group_api_smoke() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test/group");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| ()));
+        g.bench_function(format!("named_{}", 1), |b| b.iter(|| black_box(3u32).pow(2)));
+        g.finish();
+    }
+
+    #[test]
+    fn human_formats() {
+        assert_eq!(human_time(12.0), "12.0 ns");
+        assert_eq!(human_time(1_500.0), "1.50 µs");
+        assert_eq!(human_time(2_000_000.0), "2.00 ms");
+        assert!(human_rate(2.5e9, "B").starts_with("2.50 G"));
+        assert!(human_rate(5.0e3, "elem").starts_with("5.00 K"));
+    }
+}

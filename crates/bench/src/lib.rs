@@ -1,14 +1,16 @@
 //! # btc-bench
 //!
-//! The benchmark harness of the reproduction: Criterion benches (one per
-//! paper table/figure plus ablations) and the `repro` binary, which
-//! regenerates every table and figure as text:
+//! The benchmark harness of the reproduction: wall-clock benches (one per
+//! paper table/figure plus ablations) on the in-repo [`harness`], and the
+//! `repro` binary, which regenerates every table and figure as text:
 //!
 //! ```text
 //! cargo run -p btc-bench --release --bin repro -- all
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use banscore::scenario::fig10::Fig10Config;
 use btc_netsim::time::MINUTES;

@@ -20,7 +20,6 @@
 //! cap and the ICMP comparison all then *emerge* from measured simulator
 //! traffic. EXPERIMENTS.md tabulates predicted vs. paper values.
 
-use serde::{Deserialize, Serialize};
 
 /// Idle mining rate of the victim (hashes/second) — the paper's 9.5·10⁵.
 pub const BASELINE_HASH_RATE: f64 = 950_000.0;
@@ -43,7 +42,7 @@ pub const PER_BYTE_CYCLES: f64 = 25.0;
 pub const ICMP_CYCLES: f64 = 7.5e3;
 
 /// The contention model.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ContentionModel {
     /// Idle hash rate `R0`.
     pub baseline_hash_rate: f64,

@@ -9,10 +9,9 @@ use btc_netsim::time::{MILLIS, SECS};
 use btc_node::banscore::BanPolicy;
 use btc_node::chain::mine_child;
 use btc_node::node::NodeConfig;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of running the Defamation attack under one node policy.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CounterOutcome {
     /// Policy name.
     pub policy: &'static str,
@@ -119,7 +118,7 @@ pub fn render_countermeasures(rows: &[CounterOutcome]) -> String {
 
 /// §VIII's authentication cost estimate for encrypting every connection
 /// (BIP324-style).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AuthOverhead {
     /// Node count (the paper cites >60 000).
     pub nodes: u64,

@@ -10,10 +10,9 @@
 //! (Figure 11) comes from.
 
 use crate::features::{correlation, TrafficWindow, NUM_TYPES};
-use serde::{Deserialize, Serialize};
 
 /// Which feature flagged a window.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Violation {
     /// Overall message rate `n` outside `τ_n`.
     MessageRate,
@@ -24,7 +23,7 @@ pub enum Violation {
 }
 
 /// The trained reference profile.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Profile {
     /// Message-rate band `τ_n` (messages/minute).
     pub tau_n: (f64, f64),
@@ -39,7 +38,7 @@ pub struct Profile {
 }
 
 /// One detection verdict.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Detection {
     /// Whether the window is anomalous.
     pub anomalous: bool,

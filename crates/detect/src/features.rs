@@ -6,13 +6,12 @@
 //! * `Λ` — **message count distribution** over the 26 message types,
 //!   compared by Pearson correlation, for both attacks.
 
-use serde::{Deserialize, Serialize};
 
 /// Number of P2P message types tracked (one slot per command).
 pub const NUM_TYPES: usize = 26;
 
 /// One observation window of node traffic.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TrafficWindow {
     /// Message count per type (indexed like
     /// `btc_wire::message::ALL_COMMANDS`).

@@ -39,6 +39,7 @@
 
 pub mod cpu;
 pub mod packet;
+pub mod prop;
 pub mod rng;
 pub mod sim;
 pub mod tcp;

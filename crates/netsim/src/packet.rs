@@ -1,8 +1,7 @@
 //! Simulated network packets: a TCP-lite transport segment and an ICMP echo,
 //! carried between hosts by the simulator.
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
+use btc_wire::bytes::Bytes;
 use std::fmt;
 
 /// An IPv4 address in the simulated network.
@@ -10,7 +9,7 @@ pub type Ipv4 = [u8; 4];
 
 /// A socket address — the *connection identifier* (`[IP:Port]`) that
 /// Bitcoin's ban-score mechanism bans.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
 pub struct SockAddr {
     /// Host address.
     pub ip: Ipv4,

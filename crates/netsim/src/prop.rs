@@ -1,0 +1,378 @@
+//! A compact property-testing harness driven by the simulator's
+//! deterministic [`SimRng`].
+//!
+//! The suite's property tests used to run on the external `proptest`
+//! crate; the hermetic build replaces it with this module. The model is
+//! deliberately simple:
+//!
+//! * **Generation.** A property is a closure over a [`Gen`], which wraps a
+//!   [`SimRng`] plus a *size* budget. Collection generators scale their
+//!   upper bounds by the size, so early cases are tiny and later cases
+//!   grow toward the declared maximum.
+//! * **Fixed-seed replay.** Case `i` of a run is seeded with
+//!   `base_seed ^ splitmix(i)` — reporting `(seed, size)` is enough to
+//!   re-execute the exact failing input. Set `BANSCORE_PROP_SEED` to
+//!   replay a reported seed, and `BANSCORE_PROP_CASES` to change the case
+//!   count (default 256).
+//! * **Halving shrink.** On failure the harness re-runs the failing seed
+//!   with the size budget halved until the property passes again, and
+//!   reports the smallest size that still fails. With the same seed, a
+//!   smaller size produces a strictly simpler input, which is usually
+//!   enough to make the counterexample readable.
+//!
+//! ```
+//! use btc_netsim::prop::{check, Gen};
+//!
+//! check("reverse twice is identity", |g: &mut Gen| {
+//!     let v = g.vec_u8(0, 64);
+//!     let mut w = v.clone();
+//!     w.reverse();
+//!     w.reverse();
+//!     assert_eq!(v, w);
+//! });
+//! ```
+
+use crate::rng::SimRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u64 = 256;
+
+/// Base seed used when `BANSCORE_PROP_SEED` is not set.
+pub const DEFAULT_SEED: u64 = 0x5eed_ba5e_b00c_5afe;
+
+/// Randomness plus a size budget handed to every property closure.
+pub struct Gen {
+    rng: SimRng,
+    size: usize,
+}
+
+impl Gen {
+    /// Creates a generator with an explicit seed and size budget.
+    pub fn new(seed: u64, size: usize) -> Self {
+        Gen {
+            rng: SimRng::new(seed),
+            size,
+        }
+    }
+
+    /// The current size budget (collection bounds scale with it).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.rng.next_u64() as u32
+    }
+
+    /// Uniform `u16`.
+    pub fn u16(&mut self) -> u16 {
+        self.rng.next_u64() as u16
+    }
+
+    /// Uniform `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.rng.next_u64() as u8
+    }
+
+    /// Uniform `i32`.
+    pub fn i32(&mut self) -> i32 {
+        self.rng.next_u64() as i32
+    }
+
+    /// Uniform `i64`.
+    pub fn i64(&mut self) -> i64 {
+        self.rng.next_u64() as i64
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.rng.gen_f64()
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.gen_f64() * (hi - lo)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "u64_in: empty range {lo}..{hi}");
+        lo + self.rng.gen_range(hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// A collection length in `[min, max)`, with `max` scaled down by the
+    /// current size budget so shrinking produces smaller collections.
+    pub fn len_in(&mut self, min: usize, max: usize) -> usize {
+        let scaled = min + (max - min).min(self.size.max(1));
+        if scaled <= min {
+            return min;
+        }
+        self.usize_in(min, scaled.max(min + 1))
+    }
+
+    /// A byte vector with length in `[min, max)` (max scaled by size).
+    pub fn vec_u8(&mut self, min: usize, max: usize) -> Vec<u8> {
+        let n = self.len_in(min, max);
+        (0..n).map(|_| self.u8()).collect()
+    }
+
+    /// A vector of `T`s with length in `[min, max)` (max scaled by size).
+    pub fn vec_with<T>(&mut self, min: usize, max: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.len_in(min, max);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A fixed 32-byte array (hash-sized).
+    pub fn array32(&mut self) -> [u8; 32] {
+        let mut a = [0u8; 32];
+        for b in &mut a {
+            *b = self.u8();
+        }
+        a
+    }
+
+    /// A fixed 4-byte array (IPv4-sized).
+    pub fn array4(&mut self) -> [u8; 4] {
+        let mut a = [0u8; 4];
+        for b in &mut a {
+            *b = self.u8();
+        }
+        a
+    }
+
+    /// Picks one element of a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose: empty slice");
+        &items[self.usize_in(0, items.len())]
+    }
+}
+
+/// The outcome of a failed property: everything needed to replay it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Failure {
+    /// Per-case seed that produced the counterexample.
+    pub seed: u64,
+    /// Smallest size budget that still fails (after halving shrink).
+    pub size: usize,
+    /// Case index within the run.
+    pub case: u64,
+    /// Panic message of the (shrunk) failing execution.
+    pub message: String,
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+/// Runs one case, converting a panic into `Err(message)`.
+fn run_case(f: &(impl Fn(&mut Gen) + ?Sized), seed: u64, size: usize) -> Result<(), String> {
+    let mut g = Gen::new(seed, size);
+    // The closure only borrows immutable test fixtures; a poisoned fixture
+    // cannot leak because every case rebuilds its state from the Gen.
+    catch_unwind(AssertUnwindSafe(|| f(&mut g))).map_err(panic_message)
+}
+
+/// Size budget ramp: case 0 is tiny, the last case reaches `max_size`.
+fn size_for_case(case: u64, cases: u64, max_size: usize) -> usize {
+    let cases = cases.max(1);
+    1 + (max_size.saturating_sub(1)) * case as usize / cases as usize
+}
+
+/// Core driver: runs `cases` cases, shrinking the first failure.
+///
+/// Returns the shrunk [`Failure`] instead of panicking, which is what the
+/// harness's own tests (and any tooling) use.
+pub fn run(f: impl Fn(&mut Gen), base_seed: u64, cases: u64, max_size: usize) -> Result<(), Failure> {
+    for case in 0..cases {
+        let seed = base_seed ^ splitmix(case);
+        let size = size_for_case(case, cases, max_size);
+        if let Err(message) = run_case(&f, seed, size) {
+            return Err(shrink(&f, seed, case, size, message));
+        }
+    }
+    Ok(())
+}
+
+/// Halving shrink: repeatedly halve the failing size while the property
+/// still fails; return the smallest failing configuration.
+fn shrink(f: &impl Fn(&mut Gen), seed: u64, case: u64, mut size: usize, mut message: String) -> Failure {
+    while size > 1 {
+        let candidate = size / 2;
+        match run_case(f, seed, candidate) {
+            Err(m) => {
+                size = candidate;
+                message = m;
+            }
+            Ok(()) => break,
+        }
+    }
+    Failure {
+        seed,
+        size,
+        case,
+        message,
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Checks a property over the default case count, panicking with a
+/// replayable report on failure.
+///
+/// Environment overrides: `BANSCORE_PROP_SEED` (base seed),
+/// `BANSCORE_PROP_CASES` (case count).
+pub fn check(name: &str, f: impl Fn(&mut Gen)) {
+    check_sized(name, 64, f);
+}
+
+/// [`check`] with an explicit maximum size budget (collection scale).
+pub fn check_sized(name: &str, max_size: usize, f: impl Fn(&mut Gen)) {
+    let base_seed = env_u64("BANSCORE_PROP_SEED").unwrap_or(DEFAULT_SEED);
+    let cases = env_u64("BANSCORE_PROP_CASES").unwrap_or(DEFAULT_CASES);
+    if let Err(fail) = run(f, base_seed, cases, max_size) {
+        panic!(
+            "property '{name}' failed at case {case}: {msg}\n  \
+             shrunk to seed={seed:#x} size={size}\n  \
+             replay the whole run with BANSCORE_PROP_SEED={base_seed}",
+            case = fail.case,
+            msg = fail.message,
+            seed = fail.seed,
+            size = fail.size,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        assert!(run(
+            |g| {
+                let v = g.vec_u8(0, 64);
+                let mut w = v.clone();
+                w.reverse();
+                w.reverse();
+                assert_eq!(v, w);
+            },
+            1,
+            128,
+            64,
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn failing_case_replays_deterministically() {
+        let prop = |g: &mut Gen| {
+            let v = g.vec_u8(0, 64);
+            assert!(v.len() < 10, "len {}", v.len());
+        };
+        let a = run(prop, DEFAULT_SEED, 256, 64).unwrap_err();
+        let b = run(prop, DEFAULT_SEED, 256, 64).unwrap_err();
+        assert_eq!(a, b, "same seed must reproduce the same failure");
+        // Replaying the reported (seed, size) alone re-fails.
+        assert!(run_case(&prop, a.seed, a.size).is_err());
+    }
+
+    #[test]
+    fn shrinking_halves_to_a_minimal_size() {
+        // Fails whenever the generated vec has >= 10 elements. The minimal
+        // failing size budget is the smallest one that still yields such a
+        // vec for the failing seed — shrink must walk down to it.
+        let prop = |g: &mut Gen| {
+            let v = g.vec_u8(0, 64);
+            assert!(v.len() < 10, "len {}", v.len());
+        };
+        let fail = run(prop, DEFAULT_SEED, 256, 64).unwrap_err();
+        assert!(fail.size <= 32, "not shrunk: size {}", fail.size);
+        // One halving further must pass (minimality of the halving walk).
+        if fail.size > 1 {
+            assert!(run_case(&prop, fail.seed, fail.size / 2).is_ok());
+        }
+    }
+
+    #[test]
+    fn sizes_ramp_up_across_cases() {
+        assert_eq!(size_for_case(0, 256, 64), 1);
+        assert!(size_for_case(255, 256, 64) >= 60);
+        let mut last = 0;
+        for c in 0..256 {
+            let s = size_for_case(c, 256, 64);
+            assert!(s >= last);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn generators_respect_bounds() {
+        let mut g = Gen::new(7, 64);
+        for _ in 0..200 {
+            let n = g.usize_in(3, 9);
+            assert!((3..9).contains(&n));
+            let v = g.vec_u8(2, 5);
+            assert!((2..5).contains(&v.len()));
+            let f = g.f64_in(-2.0, 2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let pick = *g.choose(&[1, 2, 3]);
+            assert!((1..=3).contains(&pick));
+        }
+    }
+
+    #[test]
+    fn small_size_budget_caps_collections() {
+        let mut g = Gen::new(3, 1);
+        for _ in 0..100 {
+            // With size 1 the scaled max is min+1, so length == min.
+            assert_eq!(g.vec_u8(0, 64).len(), 0);
+            assert_eq!(g.vec_with(2, 64, |g| g.u8()).len(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always fails' failed")]
+    fn check_panics_with_report() {
+        check("always fails", |_| panic!("nope"));
+    }
+}

@@ -14,7 +14,7 @@
 use crate::packet::{
     make_segment, tcp_checksum, Packet, SockAddr, TcpFlags, TcpSegment,
 };
-use bytes::Bytes;
+use btc_wire::bytes::Bytes;
 use std::collections::{HashMap, HashSet};
 
 /// Maximum payload bytes per segment.

@@ -1,10 +1,11 @@
 //! Property-based tests for the TCP-lite stack: arbitrary segment storms
-//! never panic, and data survives arbitrary chunking intact.
+//! never panic, and data survives arbitrary chunking intact. Driven by the
+//! in-repo `btc_netsim::prop` harness.
 
 use btc_netsim::packet::{make_segment, PacketBody, SockAddr, TcpFlags, TcpSegment};
+use btc_netsim::prop::{check, check_sized, Gen};
 use btc_netsim::tcp::{TcpEvent, TcpStack};
-use bytes::Bytes;
-use proptest::prelude::*;
+use btc_wire::bytes::Bytes;
 
 fn sa(last: u8, port: u16) -> SockAddr {
     SockAddr::new([10, 0, 0, last], port)
@@ -30,18 +31,16 @@ fn establish() -> (TcpStack, TcpStack, btc_netsim::tcp::ConnId, btc_netsim::tcp:
     (client, server, cid, sid)
 }
 
-proptest! {
-    #[test]
-    fn random_segments_never_panic(
-        seqs in proptest::collection::vec(
-            (any::<u32>(), any::<u32>(), 0u8..16, proptest::collection::vec(any::<u8>(), 0..64), any::<bool>()),
-            0..32,
-        ),
-    ) {
+#[test]
+fn random_segments_never_panic() {
+    check("random_segments_never_panic", |g: &mut Gen| {
+        let storm = g.vec_with(0, 32, |g| {
+            (g.u32(), g.u32(), g.u8() & 0x0f, g.vec_u8(0, 64), g.bool())
+        });
         let (_, mut server, _, _) = establish();
         let src = sa(7, 50_000);
         let dst = sa(2, 8333);
-        for (seq, ack, flags, payload, good_checksum) in seqs {
+        for (seq, ack, flags, payload, good_checksum) in storm {
             let flags = TcpFlags(flags);
             let mut pkt = make_segment(src, dst, seq, ack, flags, Bytes::from(payload));
             if !good_checksum {
@@ -52,13 +51,14 @@ proptest! {
             let PacketBody::Tcp(seg) = &pkt.body else { unreachable!() };
             let _ = server.handle_segment(pkt.src, pkt.dst, seg, &mut |_| true);
         }
-    }
+    });
+}
 
-    #[test]
-    fn data_integrity_through_arbitrary_chunking(
-        data in proptest::collection::vec(any::<u8>(), 1..8000),
-        chunk_sizes in proptest::collection::vec(1usize..2000, 1..16),
-    ) {
+#[test]
+fn data_integrity_through_arbitrary_chunking() {
+    check_sized("data_integrity_through_arbitrary_chunking", 8000, |g: &mut Gen| {
+        let data = g.vec_u8(1, 8000);
+        let chunk_sizes = g.vec_with(1, 16, |g| g.usize_in(1, 2000));
         let (mut client, mut server, cid, _) = establish();
         let mut received = Vec::new();
         let mut off = 0;
@@ -77,32 +77,35 @@ proptest! {
             }
             off += take;
         }
-        prop_assert_eq!(received, data);
-    }
+        assert_eq!(received, data);
+    });
+}
 
-    #[test]
-    fn replayed_segments_are_rejected(
-        payload in proptest::collection::vec(any::<u8>(), 1..256),
-    ) {
+#[test]
+fn replayed_segments_are_rejected() {
+    check("replayed_segments_are_rejected", |g: &mut Gen| {
+        let payload = g.vec_u8(1, 256);
         let (mut client, mut server, cid, _) = establish();
         let segs = client.send(cid, &payload).unwrap();
         let pkt = &segs[0];
         let PacketBody::Tcp(seg) = &pkt.body else { unreachable!() };
         let (first, _) = server.handle_segment(pkt.src, pkt.dst, seg, &mut |_| true);
-        let is_data = matches!(first[0], TcpEvent::Data { .. });
-        prop_assert!(is_data);
+        assert!(matches!(first[0], TcpEvent::Data { .. }));
         // Exact replay: stale seq, silently dropped.
         let (second, _) = server.handle_segment(pkt.src, pkt.dst, seg, &mut |_| true);
-        prop_assert!(second.is_empty());
-        prop_assert!(server.drops.bad_seq >= 1);
-    }
+        assert!(second.is_empty());
+        assert!(server.drops.bad_seq >= 1);
+    });
+}
 
-    #[test]
-    fn checksum_flip_always_detected(
-        payload in proptest::collection::vec(any::<u8>(), 1..256),
-        flip in any::<u16>(),
-    ) {
-        prop_assume!(flip != 0);
+#[test]
+fn checksum_flip_always_detected() {
+    check("checksum_flip_always_detected", |g: &mut Gen| {
+        let payload = g.vec_u8(1, 256);
+        let flip = g.u16();
+        if flip == 0 {
+            return;
+        }
         let (mut client, mut server, cid, _) = establish();
         let mut segs = client.send(cid, &payload).unwrap();
         let PacketBody::Tcp(seg) = &mut segs[0].body else { unreachable!() };
@@ -110,8 +113,8 @@ proptest! {
         let seg: TcpSegment = seg.clone();
         let before = server.drops.bad_checksum;
         let (events, replies) = server.handle_segment(segs[0].src, segs[0].dst, &seg, &mut |_| true);
-        prop_assert!(events.is_empty());
-        prop_assert!(replies.is_empty());
-        prop_assert_eq!(server.drops.bad_checksum, before + 1);
-    }
+        assert!(events.is_empty());
+        assert!(replies.is_empty());
+        assert_eq!(server.drops.bad_checksum, before + 1);
+    });
 }

@@ -11,11 +11,10 @@
 use crate::banman::BanMan;
 use btc_netsim::packet::SockAddr;
 use btc_netsim::time::Nanos;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// How an address entered the table.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AddrSource {
     /// Configured at start (`-addnode`-style).
     Seed,
@@ -26,7 +25,7 @@ pub enum AddrSource {
 }
 
 /// One known address.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct AddrEntry {
     /// Where it came from.
     pub source: AddrSource,

@@ -9,11 +9,10 @@
 
 use btc_netsim::packet::SockAddr;
 use btc_netsim::time::{Nanos, SECS};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One ban entry.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BanEntry {
     /// When the ban was created.
     pub created: Nanos,

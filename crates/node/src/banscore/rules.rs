@@ -7,11 +7,10 @@
 //! can hit (one rule only affects outbound peers, the handshake rules only
 //! inbound peers).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which Bitcoin Core rule set the node emulates.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum CoreVersion {
     /// Bitcoin Core 0.20.0 — the version the paper's testbed ran.
     #[default]
@@ -33,7 +32,7 @@ impl fmt::Display for CoreVersion {
 }
 
 /// Broad classification of a misbehavior (Table I's last column).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum MisbehaviorKind {
     /// Payload is consensus/protocol-invalid.
     Invalid,
@@ -57,7 +56,7 @@ impl fmt::Display for MisbehaviorKind {
 }
 
 /// Which peers a rule can punish (Table I's "Object of Ban" column).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BanObject {
     /// Any peer.
     AnyPeer,
@@ -78,7 +77,7 @@ impl fmt::Display for BanObject {
 }
 
 /// Every ban-score rule of Table I.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Misbehavior {
     /// `BLOCK`: block data was mutated (merkle/structure/PoW check failed).
     BlockMutated,

@@ -5,11 +5,10 @@
 use super::rules::{CoreVersion, Misbehavior};
 use btc_netsim::packet::SockAddr;
 use btc_netsim::time::Nanos;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// How the node reacts to misbehavior (§VIII of the paper).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum BanPolicy {
     /// Stock behaviour: ban at the threshold (100 by default).
     #[default]
@@ -21,7 +20,7 @@ pub enum BanPolicy {
 }
 
 /// One recorded score change (used for the Figure-8 staircase).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ScoreEvent {
     /// When it happened.
     pub time: Nanos,

@@ -8,7 +8,6 @@
 
 use btc_netsim::packet::SockAddr;
 use btc_netsim::time::Nanos;
-use serde::{Deserialize, Serialize};
 
 /// Compact message-type index (position in
 /// [`btc_wire::message::ALL_COMMANDS`]).
@@ -28,7 +27,7 @@ pub fn msg_type_name(id: MsgTypeId) -> &'static str {
 }
 
 /// One received-message record.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MsgRecord {
     /// Arrival time.
     pub time: Nanos,
@@ -42,7 +41,7 @@ pub struct MsgRecord {
 
 /// One outbound-reconnection record (a replacement outbound connection was
 /// initiated after losing one).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReconnectRecord {
     /// When the reconnection was initiated.
     pub time: Nanos,
@@ -51,7 +50,7 @@ pub struct ReconnectRecord {
 }
 
 /// The full telemetry log of a node.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Telemetry {
     /// Every accepted (checksum-valid, decodable) message.
     pub messages: Vec<MsgRecord>,

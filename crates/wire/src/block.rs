@@ -8,13 +8,12 @@ use crate::encode::{
 };
 use crate::tx::Transaction;
 use crate::types::Hash256;
-use serde::{Deserialize, Serialize};
 
 /// Maximum transactions we will decode in a block (sanity bound).
 const MAX_BLOCK_TXS: u64 = 1_000_000;
 
 /// An 80-byte block header.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct BlockHeader {
     /// Version / BIP9 signal bits.
     pub version: i32,
@@ -97,7 +96,7 @@ impl Decodable for BlockHeader {
 
 /// A header as carried inside a `HEADERS` payload: header + a (always zero)
 /// transaction count varint.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct HeadersEntry(pub BlockHeader);
 
 impl Encodable for HeadersEntry {
@@ -116,7 +115,7 @@ impl Decodable for HeadersEntry {
 }
 
 /// A full block.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Block {
     /// The header.
     pub header: BlockHeader,
@@ -213,7 +212,7 @@ pub fn merkle_root(leaves: &[Hash256]) -> Hash256 {
 }
 
 /// A merkle inclusion branch for one leaf, as served in `MERKLEBLOCK`.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct MerkleBranch {
     /// Sibling hashes from leaf to root.
     pub siblings: Vec<Hash256>,

@@ -7,10 +7,9 @@
 use crate::constants::{MAX_BLOOM_FILTER_SIZE, MAX_FILTERADD_SIZE, MAX_HASH_FUNCS};
 use crate::crypto::murmur3_32;
 use crate::encode::{Decodable, DecodeResult, Encodable, Reader, Writer};
-use serde::{Deserialize, Serialize};
 
 /// What the filter should do with outpoints of matched transactions.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum BloomFlags {
     /// Never update the filter.
     #[default]
@@ -44,7 +43,7 @@ impl BloomFlags {
 }
 
 /// A BIP37 bloom filter as carried by `FILTERLOAD`.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct BloomFilter {
     /// Filter bit array.
     pub data: Vec<u8>,
@@ -136,7 +135,7 @@ impl Decodable for BloomFilter {
 }
 
 /// A `FILTERADD` payload: one data element to insert into the loaded filter.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FilterAdd {
     /// The element (txid, pubkey, etc.).
     pub data: Vec<u8>,

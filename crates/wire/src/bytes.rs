@@ -1,0 +1,346 @@
+//! In-repo replacement for the external `bytes` crate.
+//!
+//! The workspace builds hermetically — no crates.io dependencies — so the
+//! subset of the `bytes` API the suite actually uses lives here:
+//!
+//! * [`Bytes`]: an immutable, cheaply cloneable byte buffer backed by
+//!   `Arc<[u8]>` plus an offset/length window, so clones and slices are
+//!   reference-count bumps, never copies. Message payloads cached by the
+//!   attack meter and replayed thousands of times rely on that.
+//! * [`BytesMut`]: a `Vec<u8>`-backed builder that [`BytesMut::freeze`]s
+//!   into a [`Bytes`] without copying.
+//! * [`BufMut`]: the little-endian/big-endian integer writer trait the
+//!   wire encoder drives.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable byte buffer with cheap clones and zero-copy slicing.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice (no allocation beyond the `Arc` header).
+    pub fn from_static(b: &'static [u8]) -> Self {
+        Bytes::from(b.to_vec())
+    }
+
+    /// Copies a slice into a fresh buffer.
+    pub fn copy_from_slice(b: &[u8]) -> Self {
+        Bytes::from(b.to_vec())
+    }
+
+    /// Length of the visible window in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the visible window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a sub-window sharing the same backing allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range falls outside the buffer.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end && end <= self.len, "slice {start}..{end} out of range for Bytes of length {}", self.len);
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + start,
+            len: end - start,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(b: &[u8]) -> Self {
+        Bytes::copy_from_slice(b)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+// Both buffers format as a hex prefix with an elided tail, so payloads in
+// test-failure output stay readable at any size.
+fn fmt_hex_prefix(bytes: &[u8], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "b\"")?;
+    for b in bytes.iter().take(32) {
+        write!(f, "\\x{b:02x}")?;
+    }
+    if bytes.len() > 32 {
+        write!(f, "…+{}", bytes.len() - 32)?;
+    }
+    write!(f, "\"")
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_hex_prefix(self, f)
+    }
+}
+
+/// A growable byte builder; [`BytesMut::freeze`] converts it into an
+/// immutable [`Bytes`] without copying.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty builder with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`], reusing the allocation.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_hex_prefix(self, f)
+    }
+}
+
+/// Byte-sink trait: appends raw slices and fixed-width integers in the
+/// endianness the Bitcoin wire format needs.
+pub trait BufMut {
+    /// Appends a raw slice.
+    fn put_slice(&mut self, b: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a `u16`, little-endian.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u16`, big-endian (network order — port numbers).
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i32`, little-endian.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`, little-endian.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, b: &[u8]) {
+        self.extend_from_slice(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = Bytes::from(vec![1, 2, 3, 4]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_ref().as_ptr(), b.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn slice_is_a_window_not_a_copy() {
+        let a = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = a.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        assert!(std::ptr::eq(mid.as_ref().as_ptr(), a[2..].as_ptr()));
+        let inner = mid.slice(1..3);
+        assert_eq!(&inner[..], &[3, 4]);
+        assert_eq!(a.slice(..).len(), 8);
+        assert_eq!(a.slice(4..).len(), 4);
+        assert_eq!(a.slice(..=3).len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    fn equality_ignores_backing_layout() {
+        let a = Bytes::from(vec![9, 9, 1, 2, 9]).slice(2..4);
+        let b = Bytes::from(vec![1, 2]);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        let h = |x: &Bytes| {
+            let mut s = DefaultHasher::new();
+            x.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn constructors() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(&Bytes::from_static(b"abc")[..], b"abc");
+        assert_eq!(&Bytes::copy_from_slice(&[5, 6])[..], &[5, 6]);
+        assert_eq!(Bytes::from(&b"xy"[..]).len(), 2);
+    }
+
+    #[test]
+    fn builder_writes_every_width() {
+        let mut m = BytesMut::with_capacity(64);
+        m.put_u8(0x01);
+        m.put_u16_le(0x0302);
+        m.put_u16(0x0405); // big-endian
+        m.put_u32_le(0x0908_0706);
+        m.put_u64_le(0x1111_1010_0f0e_0d0c);
+        m.put_i32_le(-2);
+        m.put_i64_le(-3);
+        m.put_slice(&[0xAA, 0xBB]);
+        let frozen = m.freeze();
+        let mut expect = vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09];
+        expect.extend_from_slice(&0x1111_1010_0f0e_0d0cu64.to_le_bytes());
+        expect.extend_from_slice(&(-2i32).to_le_bytes());
+        expect.extend_from_slice(&(-3i64).to_le_bytes());
+        expect.extend_from_slice(&[0xAA, 0xBB]);
+        assert_eq!(&frozen[..], &expect[..]);
+    }
+
+    #[test]
+    fn vec_is_also_a_bufmut() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u32_le(7);
+        v.put_slice(b"ok");
+        assert_eq!(v, [7, 0, 0, 0, b'o', b'k']);
+    }
+
+    #[test]
+    fn debug_elides_long_buffers() {
+        let short = format!("{:?}", Bytes::from(vec![0xAB; 2]));
+        assert_eq!(short, "b\"\\xab\\xab\"");
+        let long = format!("{:?}", Bytes::from(vec![0u8; 40]));
+        assert!(long.contains("…+8"), "{long}");
+    }
+}

@@ -12,13 +12,12 @@ use crate::encode::{
 };
 use crate::tx::Transaction;
 use crate::types::Hash256;
-use serde::{Deserialize, Serialize};
 
 /// Maximum short-id / index count in one compact-block structure.
 const MAX_CMPCT_ITEMS: u64 = 1_000_000;
 
 /// A 6-byte transaction short ID.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ShortId(pub [u8; 6]);
 
 impl Encodable for ShortId {
@@ -54,7 +53,7 @@ pub fn short_id(keys: (u64, u64), wtxid: &Hash256) -> ShortId {
 
 /// A transaction pre-filled into a compact block, with a differentially
 /// encoded index.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PrefilledTx {
     /// Differential index (BIP152: offset from the previous prefilled index
     /// plus one).
@@ -80,7 +79,7 @@ impl Decodable for PrefilledTx {
 }
 
 /// A `CMPCTBLOCK` payload.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CompactBlock {
     /// The block header.
     pub header: BlockHeader,
@@ -220,7 +219,7 @@ impl Decodable for CompactBlock {
 
 /// A `GETBLOCKTXN` payload: request transactions of `block_hash` at the
 /// (differentially encoded) `indices`.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct BlockTxnRequest {
     /// Which block.
     pub block_hash: Hash256,
@@ -302,7 +301,7 @@ impl Decodable for BlockTxnRequest {
 }
 
 /// A `BLOCKTXN` payload: the transactions answering a `GETBLOCKTXN`.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct BlockTxn {
     /// Which block.
     pub block_hash: Hash256,
@@ -327,7 +326,7 @@ impl Decodable for BlockTxn {
 }
 
 /// A `SENDCMPCT` payload.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SendCmpct {
     /// Whether the peer asks for high-bandwidth announcement mode.
     pub announce: bool,

@@ -7,7 +7,7 @@
 //! are all errors — several ban-score rules depend on spotting exactly these
 //! conditions.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use crate::bytes::{BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// Maximum payload size a node accepts (Bitcoin's `MAX_PROTOCOL_MESSAGE_LENGTH`).

@@ -35,6 +35,7 @@
 
 pub mod block;
 pub mod bloom;
+pub mod bytes;
 pub mod compact;
 pub mod constants;
 pub mod crypto;

@@ -18,8 +18,7 @@ use crate::encode::{
 };
 use crate::tx::Transaction;
 use crate::types::{BlockLocator, Hash256, Inventory, NetAddr, Network, ServiceFlags, TimestampedAddr};
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
+use crate::bytes::Bytes;
 
 /// Size of the fixed message header.
 pub const HEADER_SIZE: usize = 24;
@@ -29,7 +28,7 @@ pub const HEADER_SIZE: usize = 24;
 const OVERSIZE_SLACK: u64 = 4;
 
 /// A `VERSION` payload.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct VersionMessage {
     /// Highest protocol version the sender speaks.
     pub version: u32,
@@ -99,7 +98,7 @@ impl Decodable for VersionMessage {
 }
 
 /// A `MERKLEBLOCK` payload (BIP37 filtered block).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct MerkleBlockMsg {
     /// The block header.
     pub header: crate::block::BlockHeader,
@@ -132,7 +131,7 @@ impl Decodable for MerkleBlockMsg {
 }
 
 /// A (legacy) `REJECT` payload.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RejectMessage {
     /// Command being rejected.
     pub message: String,
@@ -179,7 +178,7 @@ impl Decodable for RejectMessage {
 /// The paper's Table I covers 12 of these with ban-score rules; the other 14
 /// (e.g. [`Message::Ping`]) are the "messages never getting banned" of
 /// BM-DoS vector 1.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum Message {
     /// `version` — session handshake, first message on a connection.
     Version(VersionMessage),
@@ -391,7 +390,7 @@ impl Message {
 }
 
 /// The fixed 24-byte message header.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct MessageHeader {
     /// Network magic.
     pub magic: u32,

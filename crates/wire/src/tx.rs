@@ -5,7 +5,6 @@ use crate::encode::{
     decode_vec, encode_vec, Decodable, DecodeError, DecodeResult, Encodable, Reader, Writer,
 };
 use crate::types::Hash256;
-use serde::{Deserialize, Serialize};
 
 /// Maximum serialized transaction weight Bitcoin accepts (BIP141).
 pub const MAX_TX_WEIGHT: usize = 400_000;
@@ -21,7 +20,7 @@ const MAX_TX_IO: u64 = 100_000;
 pub const MAX_MONEY: i64 = 21_000_000 * 100_000_000;
 
 /// A reference to a previous transaction output.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct OutPoint {
     /// Txid of the funding transaction.
     pub txid: Hash256,
@@ -64,7 +63,7 @@ impl Decodable for OutPoint {
 }
 
 /// A transaction input.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TxIn {
     /// Spent output.
     pub prevout: OutPoint,
@@ -108,7 +107,7 @@ impl Decodable for TxIn {
 }
 
 /// A transaction output.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TxOut {
     /// Value in satoshis.
     pub value: i64,
@@ -143,7 +142,7 @@ impl Decodable for TxOut {
 }
 
 /// A Bitcoin transaction (legacy or SegWit serialization).
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Transaction {
     /// Version (1 or 2 in practice).
     pub version: i32,

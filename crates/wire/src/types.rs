@@ -2,7 +2,6 @@
 //! service flags and protocol constants.
 
 use crate::encode::{Decodable, DecodeError, DecodeResult, Encodable, Reader, Writer};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The protocol version the paper's testbed speaks (Bitcoin Core 0.20.0).
@@ -18,7 +17,7 @@ pub const DEFAULT_PORT: u16 = 8333;
 /// A 256-bit hash (txid, block hash, merkle node).
 ///
 /// Displayed in the conventional reversed (big-endian) hex order.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Hash256(pub [u8; 32]);
 
 impl Hash256 {
@@ -124,7 +123,7 @@ pub fn compact_to_target(bits: u32) -> [u8; 32] {
 }
 
 /// Service bits advertised in `VERSION`/`ADDR`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct ServiceFlags(pub u64);
 
 impl ServiceFlags {
@@ -151,7 +150,7 @@ impl std::ops::BitOr for ServiceFlags {
 }
 
 /// The network a message belongs to, identified by its 4-byte magic.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Network {
     /// Bitcoin mainnet (magic `0xD9B4BEF9`).
     #[default]
@@ -181,7 +180,7 @@ impl Network {
 
 /// A peer address as carried in `ADDR` payloads and `VERSION` messages
 /// (IPv4-mapped-IPv6 + big-endian port, preceded by services).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct NetAddr {
     /// Services the peer claims to provide.
     pub services: ServiceFlags,
@@ -243,7 +242,7 @@ impl Decodable for NetAddr {
 }
 
 /// An `ADDR` entry: a [`NetAddr`] with a last-seen timestamp.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TimestampedAddr {
     /// Unix time the address was last seen.
     pub time: u32,
@@ -268,7 +267,7 @@ impl Decodable for TimestampedAddr {
 }
 
 /// The object class an inventory vector refers to.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum InvType {
     /// An unknown/reserved type carrying its raw discriminant.
     Error(u32),
@@ -315,7 +314,7 @@ impl InvType {
 }
 
 /// An inventory vector: `(type, hash)` as used by `INV`/`GETDATA`/`NOTFOUND`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Inventory {
     /// Object class.
     pub kind: InvType,
@@ -347,7 +346,7 @@ impl Decodable for Inventory {
 }
 
 /// A `GETBLOCKS`/`GETHEADERS` block locator.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct BlockLocator {
     /// Protocol version of the sender.
     pub version: u32,

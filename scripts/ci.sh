@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Hermetic CI gate: the workspace must build, test and compile its benches
+# OFFLINE, with no crates.io dependencies. A dependency creeping back into
+# any Cargo.toml fails here immediately (`--offline` + empty registry).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo tree: dependency graph must contain only workspace members"
+externals=$(cargo tree --offline --workspace --edges normal,build,dev \
+  | grep -oE '[a-zA-Z0-9_-]+ v[0-9][^ ]*' \
+  | awk '{print $1}' | sort -u \
+  | grep -vE '^(banscore|banscore-suite|btc-attack|btc-bench|btc-detect|btc-netsim|btc-node|btc-wire)$' \
+  || true)
+if [ -n "$externals" ]; then
+  echo "ERROR: external crates in the dependency graph:" >&2
+  echo "$externals" >&2
+  exit 1
+fi
+
+echo "==> release build (offline)"
+cargo build --release --offline --workspace
+
+echo "==> tests (offline)"
+cargo test -q --offline --workspace
+
+echo "==> benches compile (offline)"
+cargo bench --offline --workspace --no-run
+
+echo "CI OK: hermetic build, tests green, benches compile."
