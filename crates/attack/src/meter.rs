@@ -61,12 +61,12 @@ pub struct CostRow {
 const NET: Network = Network::Regtest;
 
 fn sample_tx(tag: u8) -> Transaction {
-    Transaction {
-        version: 2,
-        inputs: vec![TxIn::new(OutPoint::new(Hash256::hash(&[tag, 1]), 0))],
-        outputs: vec![TxOut::new(10_000, vec![0x51, 0x21, 0x03])],
-        lock_time: 0,
-    }
+    Transaction::new(
+        2,
+        vec![TxIn::new(OutPoint::new(Hash256::hash(&[tag, 1]), 0))],
+        vec![TxOut::new(10_000, vec![0x51, 0x21, 0x03])],
+        0,
+    )
 }
 
 /// The fixtures shared by build and process closures.

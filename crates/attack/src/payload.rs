@@ -98,18 +98,18 @@ impl FloodPayload {
                 RawMessage::frame(network, &Message::Inv(entries)).to_bytes()
             }
             FloodPayload::BenignTx => {
-                let tx = btc_wire::Transaction {
-                    version: 2,
-                    inputs: vec![btc_wire::tx::TxIn::new(btc_wire::tx::OutPoint::new(
+                let tx = btc_wire::Transaction::new(
+                    2,
+                    vec![btc_wire::tx::TxIn::new(btc_wire::tx::OutPoint::new(
                         Hash256::hash(&nonce.to_le_bytes()),
                         0,
                     ))],
-                    outputs: vec![btc_wire::tx::TxOut::new(
+                    vec![btc_wire::tx::TxOut::new(
                         1_000 + (nonce % 50_000) as i64,
                         vec![0x51],
                     )],
-                    lock_time: 0,
-                };
+                    0,
+                );
                 RawMessage::frame(network, &Message::Tx(tx)).to_bytes()
             }
             FloodPayload::BenignInv => {

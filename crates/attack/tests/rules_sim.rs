@@ -47,13 +47,13 @@ fn run_one_message(msg: Message, config: NodeConfig) -> (u32, u64) {
 }
 
 fn segwit_invalid_tx() -> Transaction {
-    let mut tx = Transaction {
-        version: 2,
-        inputs: vec![TxIn::new(OutPoint::new(Hash256::hash(b"in"), 0))],
-        outputs: vec![TxOut::new(1000, vec![0x51])],
-        lock_time: 0,
-    };
-    tx.inputs[0].witness = vec![vec![0u8; 521]]; // > 520-byte element
+    let mut tx = Transaction::new(
+        2,
+        vec![TxIn::new(OutPoint::new(Hash256::hash(b"in"), 0))],
+        vec![TxOut::new(1000, vec![0x51])],
+        0,
+    );
+    tx.inputs_mut()[0].witness = vec![vec![0u8; 521]]; // > 520-byte element
     tx
 }
 

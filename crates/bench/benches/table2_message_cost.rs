@@ -14,12 +14,12 @@ use std::hint::black_box;
 const NET: Network = Network::Regtest;
 
 fn sample_tx(tag: u8) -> Transaction {
-    Transaction {
-        version: 2,
-        inputs: vec![TxIn::new(OutPoint::new(Hash256::hash(&[tag]), 0))],
-        outputs: vec![TxOut::new(10_000, vec![0x51])],
-        lock_time: 0,
-    }
+    Transaction::new(
+        2,
+        vec![TxIn::new(OutPoint::new(Hash256::hash(&[tag]), 0))],
+        vec![TxOut::new(10_000, vec![0x51])],
+        0,
+    )
 }
 
 fn big_block() -> btc_wire::Block {

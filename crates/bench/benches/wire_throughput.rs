@@ -1,11 +1,12 @@
 //! Substrate bench: wire-protocol encode/decode and crypto throughput —
 //! the primitives every experiment sits on.
 
-use btc_wire::crypto::{sha256d, siphash24};
+use btc_wire::block::merkle_root;
+use btc_wire::crypto::{sha256d, sha256d_pair, siphash24};
 use btc_wire::encode::{Decodable, Encodable};
 use btc_wire::tx::{OutPoint, Transaction, TxIn, TxOut};
 use btc_wire::types::Hash256;
-use btc_bench::harness::{Criterion, Throughput};
+use btc_bench::harness::{BatchSize, Criterion, Throughput};
 use btc_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 
@@ -19,22 +20,39 @@ fn crypto(c: &mut Criterion) {
         });
     }
     g.throughput(Throughput::Elements(1));
+    g.bench_function("sha256d_pair", |b| {
+        let left = [0x11u8; 32];
+        let right = [0x22u8; 32];
+        b.iter(|| black_box(sha256d_pair(black_box(&left), black_box(&right))))
+    });
     g.bench_function("siphash24_wtxid", |b| {
         let wtxid = [7u8; 32];
         b.iter(|| black_box(siphash24(1, 2, black_box(&wtxid))))
     });
+    // A 1024-leaf tree: ~1023 pair hashes through the in-place fold.
+    let leaves: Vec<Hash256> = (0..1024u32)
+        .map(|i| Hash256::hash(&i.to_le_bytes()))
+        .collect();
+    g.throughput(Throughput::Elements(leaves.len() as u64));
+    g.bench_function("merkle_root_1024", |b| {
+        b.iter(|| black_box(merkle_root(black_box(&leaves))))
+    });
     g.finish();
 }
 
-fn serialization(c: &mut Criterion) {
-    let tx = Transaction {
-        version: 2,
-        inputs: (0..4u8)
+fn bench_tx() -> Transaction {
+    Transaction::new(
+        2,
+        (0..4u8)
             .map(|i| TxIn::new(OutPoint::new(Hash256::hash(&[i]), 0)))
             .collect(),
-        outputs: (0..4).map(|i| TxOut::new(1000 * i, vec![0x51; 25])).collect(),
-        lock_time: 0,
-    };
+        (0..4).map(|i| TxOut::new(1000 * i, vec![0x51; 25])).collect(),
+        0,
+    )
+}
+
+fn serialization(c: &mut Criterion) {
+    let tx = bench_tx();
     let encoded = tx.encode_to_vec();
     let mut g = c.benchmark_group("wire/serialization");
     g.throughput(Throughput::Bytes(encoded.len() as u64));
@@ -42,7 +60,13 @@ fn serialization(c: &mut Criterion) {
     g.bench_function("tx_decode", |b| {
         b.iter(|| black_box(Transaction::decode_all(black_box(&encoded)).unwrap()))
     });
+    // Memoized id: after the first call this is a cache read, which is what
+    // the mempool/merkle/short-id paths see on every repeat request.
     g.bench_function("txid", |b| b.iter(|| black_box(tx.txid())));
+    // Cold-cache id: fresh transaction value per measured call.
+    g.bench_function("txid_uncached", |b| {
+        b.iter_batched(bench_tx, |t| black_box(t.txid()), BatchSize::SmallInput)
+    });
     g.finish();
 }
 

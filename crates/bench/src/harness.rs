@@ -21,8 +21,15 @@
 //!
 //! Environment overrides: `BANSCORE_BENCH_SAMPLES` (samples per
 //! benchmark), `BANSCORE_BENCH_WARMUP_MS`, `BANSCORE_BENCH_SAMPLE_MS`.
+//!
+//! Machine-readable output: when `BANSCORE_BENCH_JSON` names a file, every
+//! finished benchmark appends one JSON object per line (group, bench,
+//! median/p10/p90 ns, iteration count, declared throughput). The perf
+//! trajectory under `results/BENCH_hashpath.json` is assembled from these
+//! records by `scripts/bench.sh`.
 
 use std::hint::black_box;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// How per-iteration batches are set up in [`Bencher::iter_batched`].
@@ -126,6 +133,62 @@ pub fn measure(cfg: &Config, mut routine: impl FnMut()) -> Stats {
     }
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One bench result as a single JSON line (no trailing newline).
+fn json_record(group: &str, bench: &str, stats: &Stats, throughput: Option<Throughput>) -> String {
+    let (unit, per_iter) = match throughput {
+        Some(Throughput::Bytes(n)) => ("\"bytes\"".to_string(), n.to_string()),
+        Some(Throughput::Elements(n)) => ("\"elements\"".to_string(), n.to_string()),
+        None => ("null".to_string(), "null".to_string()),
+    };
+    format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.2},\"p10_ns\":{:.2},\"p90_ns\":{:.2},\"iters\":{},\"throughput_unit\":{},\"throughput_per_iter\":{}}}",
+        json_escape(group),
+        json_escape(bench),
+        stats.median_ns,
+        stats.p10_ns,
+        stats.p90_ns,
+        stats.iters,
+        unit,
+        per_iter,
+    )
+}
+
+/// Appends a bench record to the `BANSCORE_BENCH_JSON` file, if configured.
+fn emit_json(group: &str, bench: &str, stats: &Stats, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("BANSCORE_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = json_record(group, bench, stats, throughput);
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = written {
+        eprintln!("warning: could not append bench JSON to {path}: {e}");
+    }
+}
+
 fn human_time(ns: f64) -> String {
     if ns < 1e3 {
         format!("{ns:.1} ns")
@@ -225,7 +288,7 @@ impl BenchmarkGroup<'_> {
             None => {}
         }
         println!("{line}");
-        let _ = &self.name;
+        emit_json(&self.name, &id, &stats, self.throughput);
     }
 
     /// Ends the group (report lines are printed eagerly; kept for
@@ -356,6 +419,34 @@ mod tests {
         g.bench_function("noop", |b| b.iter(|| ()));
         g.bench_function(format!("named_{}", 1), |b| b.iter(|| black_box(3u32).pow(2)));
         g.finish();
+    }
+
+    #[test]
+    fn json_record_shape() {
+        let stats = Stats {
+            median_ns: 123.456,
+            p10_ns: 100.0,
+            p90_ns: 150.0,
+            iters: 42,
+        };
+        let line = json_record("g/x", "bench_1", &stats, Some(Throughput::Bytes(80)));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"group\":\"g/x\""));
+        assert!(line.contains("\"bench\":\"bench_1\""));
+        assert!(line.contains("\"median_ns\":123.46"));
+        assert!(line.contains("\"throughput_unit\":\"bytes\""));
+        assert!(line.contains("\"throughput_per_iter\":80"));
+        let bare = json_record("g", "b", &stats, None);
+        assert!(bare.contains("\"throughput_unit\":null"));
+        assert!(bare.contains("\"throughput_per_iter\":null"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

@@ -103,18 +103,18 @@ impl MainnetPeer {
     fn fresh_tx(&mut self, ctx: &mut Ctx<'_>) -> Transaction {
         self.tx_counter += 1;
         let salt = ctx.rng().next_u64();
-        Transaction {
-            version: 2,
-            inputs: vec![TxIn::new(OutPoint::new(
+        Transaction::new(
+            2,
+            vec![TxIn::new(OutPoint::new(
                 Hash256::hash(&salt.to_le_bytes()),
                 (self.tx_counter % 4) as u32,
             ))],
-            outputs: vec![TxOut::new(
+            vec![TxOut::new(
                 1_000 + (salt % 100_000) as i64,
                 vec![0x51],
             )],
-            lock_time: 0,
-        }
+            0,
+        )
     }
 }
 

@@ -112,12 +112,12 @@ mod tests {
     use btc_wire::tx::{OutPoint, TxIn, TxOut};
 
     fn tx(tag: u8) -> Transaction {
-        Transaction {
-            version: 2,
-            inputs: vec![TxIn::new(OutPoint::new(Hash256::hash(&[tag]), 0))],
-            outputs: vec![TxOut::new(1000, vec![0x51])],
-            lock_time: 0,
-        }
+        Transaction::new(
+            2,
+            vec![TxIn::new(OutPoint::new(Hash256::hash(&[tag]), 0))],
+            vec![TxOut::new(1000, vec![0x51])],
+            0,
+        )
     }
 
     #[test]
@@ -142,7 +142,7 @@ mod tests {
     fn structural_invalid_is_not_segwit_invalid() {
         let mut mp = Mempool::default();
         let mut t = tx(1);
-        t.outputs.clear();
+        t.outputs_mut().clear();
         assert_eq!(mp.accept(&t), TxVerdict::Invalid("bad-txns-vout-empty"));
     }
 
@@ -150,7 +150,7 @@ mod tests {
     fn segwit_violation_detected() {
         let mut mp = Mempool::default();
         let mut t = tx(2);
-        t.inputs[0].witness = vec![vec![0u8; 521]];
+        t.inputs_mut()[0].witness = vec![vec![0u8; 521]];
         assert_eq!(
             mp.accept(&t),
             TxVerdict::InvalidSegwit("bad-witness-script-element-size")

@@ -87,15 +87,15 @@ fn transaction_propagates_between_nodes() {
     sim.run_for(2 * SECS);
     let txid = {
         let b: &mut Node = sim.app_mut(B).unwrap();
-        let tx = btc_wire::Transaction {
-            version: 2,
-            inputs: vec![btc_wire::tx::TxIn::new(btc_wire::tx::OutPoint::new(
+        let tx = btc_wire::Transaction::new(
+            2,
+            vec![btc_wire::tx::TxIn::new(btc_wire::tx::OutPoint::new(
                 btc_wire::Hash256::hash(b"funding"),
                 0,
             ))],
-            outputs: vec![btc_wire::tx::TxOut::new(5_000, vec![0x51])],
-            lock_time: 0,
-        };
+            vec![btc_wire::tx::TxOut::new(5_000, vec![0x51])],
+            0,
+        );
         let txid = tx.txid();
         b.submit_tx(tx);
         txid

@@ -124,7 +124,7 @@ fn submit_one_block(sim: &mut Simulator) -> btc_wire::Hash256 {
     let hdr = node.chain.block(&tip).unwrap().header;
     let tx = {
         let mut t = btc_wire::Transaction::coinbase(1, &[9, 9, 9]);
-        t.inputs[0].prevout = btc_wire::tx::OutPoint::new(btc_wire::Hash256::hash(b"f"), 0);
+        t.inputs_mut()[0].prevout = btc_wire::tx::OutPoint::new(btc_wire::Hash256::hash(b"f"), 0);
         t
     };
     let block = mine_child(&hdr, tip, 31, vec![tx]);
@@ -481,7 +481,7 @@ fn mempool_query_returns_tx_inventory() {
     let txid = {
         let node: &mut Node = sim.app_mut(A).unwrap();
         let mut tx = btc_wire::Transaction::coinbase(1, &[5, 5, 5]);
-        tx.inputs[0].prevout = btc_wire::tx::OutPoint::new(btc_wire::Hash256::hash(b"m"), 0);
+        tx.inputs_mut()[0].prevout = btc_wire::tx::OutPoint::new(btc_wire::Hash256::hash(b"m"), 0);
         let txid = tx.txid();
         node.submit_tx(tx);
         txid

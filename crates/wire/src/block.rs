@@ -3,6 +3,7 @@
 //! The `BLOCK` ban-score rules ("block data was mutated", "previous block is
 //! invalid/missing") hang off exactly the checks implemented here.
 
+use crate::crypto::sha256::{sha256d_pair, Midstate};
 use crate::encode::{
     decode_vec, encode_vec, Decodable, DecodeResult, Encodable, Reader, Writer,
 };
@@ -30,9 +31,22 @@ pub struct BlockHeader {
 }
 
 impl BlockHeader {
+    /// The header's consensus serialization, on the stack. Must stay
+    /// byte-identical to [`Encodable::encode`].
+    pub fn to_bytes(&self) -> [u8; 80] {
+        let mut b = [0u8; 80];
+        b[0..4].copy_from_slice(&self.version.to_le_bytes());
+        b[4..36].copy_from_slice(self.prev_block.as_bytes());
+        b[36..68].copy_from_slice(self.merkle_root.as_bytes());
+        b[68..72].copy_from_slice(&self.time.to_le_bytes());
+        b[72..76].copy_from_slice(&self.bits.to_le_bytes());
+        b[76..80].copy_from_slice(&self.nonce.to_le_bytes());
+        b
+    }
+
     /// The header's hash (double-SHA256 of its 80-byte serialization).
     pub fn hash(&self) -> Hash256 {
-        Hash256::hash(&self.encode_to_vec())
+        Hash256::hash(&self.to_bytes())
     }
 
     /// Whether the header hash satisfies its own difficulty target.
@@ -43,13 +57,22 @@ impl BlockHeader {
     /// Grinds `nonce` until the PoW check passes. Only usable with easy
     /// (regtest-style) targets.
     ///
+    /// The nonce occupies the last 4 of the header's 80 bytes, so the first
+    /// 64-byte block is nonce-independent: its [`Midstate`] is captured once
+    /// and each attempt costs one tail compression plus the second-pass
+    /// compression, instead of re-hashing the whole header.
+    ///
     /// # Panics
     ///
     /// Panics if no nonce in `u32` satisfies the target.
     pub fn mine(&mut self) {
+        let bytes = self.to_bytes();
+        let mid = Midstate::of(&bytes[..64]);
+        let mut tail: [u8; 16] = bytes[64..80].try_into().expect("16-byte header tail");
         for nonce in 0..=u32::MAX {
-            self.nonce = nonce;
-            if self.check_pow() {
+            tail[12..16].copy_from_slice(&nonce.to_le_bytes());
+            if Hash256(mid.sha256d_tail(&tail)).meets_target(self.bits) {
+                self.nonce = nonce;
                 return;
             }
         }
@@ -187,28 +210,39 @@ impl Decodable for Block {
     }
 }
 
+/// Folds `level[..n]` down to its parent level in place and returns the
+/// parent's length. Odd levels pair the last node with itself (consensus
+/// duplication) via an index clamp — no copy is pushed.
+fn fold_level(level: &mut [Hash256], n: usize) -> usize {
+    debug_assert!(n > 1);
+    let parents = n.div_ceil(2);
+    for p in 0..parents {
+        let left = 2 * p;
+        let right = (left + 1).min(n - 1);
+        level[p] = Hash256(sha256d_pair(
+            &level[left].0,
+            &level[right].0,
+        ));
+    }
+    parents
+}
+
 /// Computes a Bitcoin merkle root over `leaves` (txids, internal byte order).
 ///
 /// Returns [`Hash256::ZERO`] for an empty leaf set. Odd levels duplicate the
-/// last node, as consensus does.
+/// last node, as consensus does. One scratch buffer is allocated up front
+/// and every level is folded into it in place; each pairing step is the
+/// three-compression [`sha256d_pair`] fast path.
 pub fn merkle_root(leaves: &[Hash256]) -> Hash256 {
     if leaves.is_empty() {
         return Hash256::ZERO;
     }
-    let mut level: Vec<Hash256> = leaves.to_vec();
-    while level.len() > 1 {
-        let mut next = Vec::with_capacity(level.len().div_ceil(2));
-        for pair in level.chunks(2) {
-            let left = pair[0];
-            let right = *pair.last().expect("non-empty chunk");
-            let mut cat = [0u8; 64];
-            cat[..32].copy_from_slice(left.as_bytes());
-            cat[32..].copy_from_slice(right.as_bytes());
-            next.push(Hash256::hash(&cat));
-        }
-        level = next;
+    let mut scratch: Vec<Hash256> = leaves.to_vec();
+    let mut n = scratch.len();
+    while n > 1 {
+        n = fold_level(&mut scratch, n);
     }
-    level[0]
+    scratch[0]
 }
 
 /// A merkle inclusion branch for one leaf, as served in `MERKLEBLOCK`.
@@ -229,25 +263,18 @@ impl MerkleBranch {
     pub fn build(leaves: &[Hash256], index: usize) -> Self {
         assert!(index < leaves.len(), "leaf index out of range");
         let mut siblings = Vec::new();
-        let mut level: Vec<Hash256> = leaves.to_vec();
+        let mut scratch: Vec<Hash256> = leaves.to_vec();
+        let mut n = scratch.len();
         let mut idx = index;
-        while level.len() > 1 {
-            let sib = if idx.is_multiple_of(2) {
-                *level.get(idx + 1).unwrap_or(&level[idx])
+        while n > 1 {
+            // The sibling of an unpaired last node is the node itself.
+            let sib = if idx % 2 == 0 {
+                scratch[(idx + 1).min(n - 1)]
             } else {
-                level[idx - 1]
+                scratch[idx - 1]
             };
             siblings.push(sib);
-            let mut next = Vec::with_capacity(level.len().div_ceil(2));
-            for pair in level.chunks(2) {
-                let left = pair[0];
-                let right = *pair.last().expect("non-empty");
-                let mut cat = [0u8; 64];
-                cat[..32].copy_from_slice(left.as_bytes());
-                cat[32..].copy_from_slice(right.as_bytes());
-                next.push(Hash256::hash(&cat));
-            }
-            level = next;
+            n = fold_level(&mut scratch, n);
             idx /= 2;
         }
         MerkleBranch {
@@ -261,11 +288,11 @@ impl MerkleBranch {
         let mut acc = leaf;
         let mut idx = self.index;
         for sib in &self.siblings {
-            let (l, r) = if idx.is_multiple_of(2) { (acc, *sib) } else { (*sib, acc) };
-            let mut cat = [0u8; 64];
-            cat[..32].copy_from_slice(l.as_bytes());
-            cat[32..].copy_from_slice(r.as_bytes());
-            acc = Hash256::hash(&cat);
+            acc = if idx % 2 == 0 {
+                Hash256(sha256d_pair(&acc.0, &sib.0))
+            } else {
+                Hash256(sha256d_pair(&sib.0, &acc.0))
+            };
             idx /= 2;
         }
         acc
@@ -281,7 +308,7 @@ mod tests {
         let mut txs = vec![Transaction::coinbase(50_0000_0000, tag)];
         for i in 0..ntx {
             let mut t = Transaction::coinbase(1, &[i as u8, 1, 2, 3]);
-            t.inputs[0].prevout = crate::tx::OutPoint::new(Hash256::hash(&[i as u8]), 0);
+            t.inputs_mut()[0].prevout = crate::tx::OutPoint::new(Hash256::hash(&[i as u8]), 0);
             txs.push(t);
         }
         let mut block = Block {
@@ -302,6 +329,19 @@ mod tests {
     }
 
     #[test]
+    fn to_bytes_matches_encoder() {
+        let h = BlockHeader {
+            version: 0x2000_0000,
+            prev_block: Hash256::hash(b"prev"),
+            merkle_root: Hash256::hash(b"root"),
+            time: 1_600_000_000,
+            bits: 0x1d00_ffff,
+            nonce: 0xdead_beef,
+        };
+        assert_eq!(h.to_bytes().as_slice(), h.encode_to_vec().as_slice());
+    }
+
+    #[test]
     fn header_roundtrip() {
         let h = BlockHeader {
             version: 0x2000_0000,
@@ -312,6 +352,24 @@ mod tests {
             nonce: 42,
         };
         assert_eq!(BlockHeader::decode_all(&h.encode_to_vec()).unwrap(), h);
+    }
+
+    #[test]
+    fn mine_finds_lowest_satisfying_nonce() {
+        // The midstate loop must preserve the original semantics: scan from
+        // zero, stop at the first nonce whose hash meets the target.
+        let mut h = BlockHeader {
+            bits: REGTEST_BITS,
+            ..BlockHeader::default()
+        };
+        h.mine();
+        let mined = h.nonce;
+        for nonce in 0..mined {
+            h.nonce = nonce;
+            assert!(!h.check_pow(), "nonce {nonce} below {mined} satisfies target");
+        }
+        h.nonce = mined;
+        assert!(h.check_pow());
     }
 
     #[test]

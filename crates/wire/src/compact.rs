@@ -33,11 +33,14 @@ impl Decodable for ShortId {
 }
 
 /// Computes the BIP152 SipHash keys for a header/nonce pair.
+///
+/// The 88-byte preimage (80-byte header + nonce) is assembled on the stack
+/// via [`BlockHeader::to_bytes`] — no `Writer` allocation per compact block.
 pub fn short_id_keys(header: &BlockHeader, nonce: u64) -> (u64, u64) {
-    let mut w = Writer::new();
-    header.encode(&mut w);
-    w.u64_le(nonce);
-    let h = sha256_digest(&w.into_bytes());
+    let mut buf = [0u8; 88];
+    buf[..80].copy_from_slice(&header.to_bytes());
+    buf[80..].copy_from_slice(&nonce.to_le_bytes());
+    let h = sha256_digest(&buf);
     (
         u64::from_le_bytes(h[..8].try_into().expect("8")),
         u64::from_le_bytes(h[8..16].try_into().expect("8")),
@@ -365,7 +368,7 @@ mod tests {
         let mut txs = vec![Transaction::coinbase(50_0000_0000, b"cb")];
         for i in 0..ntx {
             let mut t = Transaction::coinbase(1, &[1, 2, 3, i as u8]);
-            t.inputs[0].prevout = crate::tx::OutPoint::new(Hash256::hash(&[i as u8]), 0);
+            t.inputs_mut()[0].prevout = crate::tx::OutPoint::new(Hash256::hash(&[i as u8]), 0);
             txs.push(t);
         }
         let mut b = Block {

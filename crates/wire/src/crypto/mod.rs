@@ -10,5 +10,7 @@ pub mod sha256;
 pub mod siphash;
 
 pub use murmur3::murmur3_32;
-pub use sha256::{sha256 as sha256_digest, sha256d, Sha256};
+pub use sha256::{
+    sha256 as sha256_digest, sha256d, sha256d_into, sha256d_pair, Midstate, Sha256,
+};
 pub use siphash::{siphash24, SipHasher24};

@@ -1,10 +1,34 @@
-//! A from-scratch SHA-256 implementation (FIPS 180-4).
+//! A from-scratch SHA-256 implementation (FIPS 180-4), tuned for the
+//! double-SHA256 ("sha256d") hot path.
 //!
 //! The wire protocol needs SHA-256 in two places: the message-header checksum
 //! (first four bytes of `sha256d`) and block/transaction identifiers. The
 //! offline-crate policy for this workspace does not include a hashing crate,
 //! so the primitive is implemented here and exhaustively tested against the
 //! FIPS / NIST vectors.
+//!
+//! # Performance structure
+//!
+//! All hashing funnels into one free function, [`compress_blocks`], which
+//! dispatches at runtime between:
+//!
+//! - an x86-64 SHA-NI path (`_mm_sha256rnds2_epu32` and friends) when the CPU
+//!   advertises the SHA extensions, and
+//! - a macro-unrolled scalar path (64 rounds flattened over 8 statically
+//!   rotated registers, ring-buffer message schedule) everywhere else.
+//!
+//! On top of the compressor sit allocation-free composites used by the wire
+//! and consensus code:
+//!
+//! - [`Midstate`] — hash state after absorbing a block-aligned prefix. The
+//!   miner captures the first 64 bytes of an 80-byte header once, then pays
+//!   only one tail compression + one second-pass compression per nonce.
+//! - [`sha256d_pair`] — double hash of two concatenated 32-byte nodes, the
+//!   merkle-tree step, with the padding block for 64-byte messages
+//!   precomputed as a constant.
+//! - [`sha256d_into`] / [`sha256d`] — one-shot double hash that keeps both
+//!   passes entirely on the stack (the second pass is a single compression
+//!   since a 32-byte digest always fits one padded block).
 
 /// Output size of SHA-256 in bytes.
 pub const DIGEST_LEN: usize = 32;
@@ -23,6 +47,373 @@ const K: [u32; 64] = [
 const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
+
+/// The padding block that completes a message of exactly 64 bytes
+/// (0x80, zeros, then the 512-bit length big-endian).
+const PAD64: [u8; 64] = {
+    let mut b = [0u8; 64];
+    b[0] = 0x80;
+    b[62] = 0x02; // 512 = 0x0200 bits, big-endian in bytes 56..64
+    b
+};
+
+/// Portable unrolled compression: 64 rounds flattened with statically
+/// rotated registers and a 16-word ring buffer for the message schedule.
+mod soft {
+    use super::K;
+
+    #[inline(always)]
+    fn load_be(block: &[u8], i: usize) -> u32 {
+        u32::from_be_bytes([block[4 * i], block[4 * i + 1], block[4 * i + 2], block[4 * i + 3]])
+    }
+
+    /// Message-schedule extension `w[i] += s0(w[i-15]) + w[i-7] + s1(w[i-2])`
+    /// on the 16-word ring; returns the freshly extended word.
+    #[inline(always)]
+    fn sched(w: &mut [u32; 16], i: usize) -> u32 {
+        let w15 = w[(i + 1) & 15];
+        let w2 = w[(i + 14) & 15];
+        let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+        let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+        w[i & 15] = w[i & 15]
+            .wrapping_add(s0)
+            .wrapping_add(w[(i + 9) & 15])
+            .wrapping_add(s1);
+        w[i & 15]
+    }
+
+    /// One FIPS 180-4 round with the register rotation resolved statically:
+    /// instead of shuffling eight variables every round, each invocation
+    /// names the registers in their rotated positions.
+    macro_rules! round {
+        ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $kw:expr) => {{
+            let t1 = $h
+                .wrapping_add($e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25))
+                .wrapping_add(($e & $f) ^ (!$e & $g))
+                .wrapping_add($kw);
+            let t2 = ($a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22))
+                .wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+            $d = $d.wrapping_add(t1);
+            $h = t1.wrapping_add(t2);
+        }};
+    }
+
+    /// Eight consecutive rounds, cycling through all register rotations.
+    macro_rules! round8 {
+        ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $kw:expr, $base:expr) => {{
+            round!($a, $b, $c, $d, $e, $f, $g, $h, $kw($base));
+            round!($h, $a, $b, $c, $d, $e, $f, $g, $kw($base + 1));
+            round!($g, $h, $a, $b, $c, $d, $e, $f, $kw($base + 2));
+            round!($f, $g, $h, $a, $b, $c, $d, $e, $kw($base + 3));
+            round!($e, $f, $g, $h, $a, $b, $c, $d, $kw($base + 4));
+            round!($d, $e, $f, $g, $h, $a, $b, $c, $kw($base + 5));
+            round!($c, $d, $e, $f, $g, $h, $a, $b, $kw($base + 6));
+            round!($b, $c, $d, $e, $f, $g, $h, $a, $kw($base + 7));
+        }};
+    }
+
+    pub fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+        debug_assert!(data.len() % 64 == 0);
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+        for block in data.chunks_exact(64) {
+            let mut w = [0u32; 16];
+            for (i, slot) in w.iter_mut().enumerate() {
+                *slot = load_be(block, i);
+            }
+            let mut first = |i: usize| K[i].wrapping_add(w[i]);
+            round8!(a, b, c, d, e, f, g, h, &mut first, 0);
+            round8!(a, b, c, d, e, f, g, h, &mut first, 8);
+            let mut ext = |i: usize| K[i].wrapping_add(sched(&mut w, i));
+            round8!(a, b, c, d, e, f, g, h, &mut ext, 16);
+            round8!(a, b, c, d, e, f, g, h, &mut ext, 24);
+            round8!(a, b, c, d, e, f, g, h, &mut ext, 32);
+            round8!(a, b, c, d, e, f, g, h, &mut ext, 40);
+            round8!(a, b, c, d, e, f, g, h, &mut ext, 48);
+            round8!(a, b, c, d, e, f, g, h, &mut ext, 56);
+            a = a.wrapping_add(state[0]);
+            b = b.wrapping_add(state[1]);
+            c = c.wrapping_add(state[2]);
+            d = d.wrapping_add(state[3]);
+            e = e.wrapping_add(state[4]);
+            f = f.wrapping_add(state[5]);
+            g = g.wrapping_add(state[6]);
+            h = h.wrapping_add(state[7]);
+            *state = [a, b, c, d, e, f, g, h];
+        }
+    }
+}
+
+/// x86-64 SHA-NI compression (the canonical Intel two-lane sequence:
+/// `sha256rnds2` consumes two rounds per issue, `sha256msg1`/`sha256msg2`
+/// extend the message schedule four words at a time).
+#[cfg(target_arch = "x86_64")]
+mod ni {
+    use super::K;
+    use core::arch::x86_64::*;
+
+    /// Whether the CPU supports the instructions `compress_blocks` uses.
+    /// `is_x86_feature_detected!` caches its own answer, so this is cheap.
+    #[inline]
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("sha")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+            && std::arch::is_x86_feature_detected!("ssse3")
+    }
+
+    /// Round constants for rounds `i..i+4`, packed for `sha256rnds2`.
+    #[inline(always)]
+    unsafe fn k4(i: usize) -> __m128i {
+        _mm_set_epi32(
+            K[i + 3] as i32,
+            K[i + 2] as i32,
+            K[i + 1] as i32,
+            K[i] as i32,
+        )
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure [`available`] returned `true`.
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    pub unsafe fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+        debug_assert!(data.len() % 64 == 0);
+        // Big-endian word loads for each 16-byte lane.
+        let mask = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0bu64 as i64, 0x0405_0607_0001_0203);
+
+        // Repack the linear state (a..h) into the ABEF/CDGH lane order the
+        // sha256rnds2 instruction expects.
+        let mut tmp = _mm_loadu_si128(state.as_ptr() as *const __m128i); // DCBA
+        let mut state1 = _mm_loadu_si128(state.as_ptr().add(4) as *const __m128i); // HGFE
+        tmp = _mm_shuffle_epi32(tmp, 0xB1); // CDAB
+        state1 = _mm_shuffle_epi32(state1, 0x1B); // EFGH
+        let mut state0 = _mm_alignr_epi8(tmp, state1, 8); // ABEF
+        state1 = _mm_blend_epi16(state1, tmp, 0xF0); // CDGH
+
+        for block in data.chunks_exact(64) {
+            let abef_save = state0;
+            let cdgh_save = state1;
+            let p = block.as_ptr() as *const __m128i;
+
+            // Rounds 0-3.
+            let mut msg0 = _mm_shuffle_epi8(_mm_loadu_si128(p), mask);
+            let mut msg = _mm_add_epi32(msg0, k4(0));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+            msg = _mm_shuffle_epi32(msg, 0x0E);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+            // Rounds 4-7.
+            let mut msg1 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(1)), mask);
+            msg = _mm_add_epi32(msg1, k4(4));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+            msg = _mm_shuffle_epi32(msg, 0x0E);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+            msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+            // Rounds 8-11.
+            let mut msg2 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(2)), mask);
+            msg = _mm_add_epi32(msg2, k4(8));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+            msg = _mm_shuffle_epi32(msg, 0x0E);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+            msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+            // Rounds 12-15.
+            let mut msg3 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(3)), mask);
+            msg = _mm_add_epi32(msg3, k4(12));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+            msg = _mm_shuffle_epi32(msg, 0x0E);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+            let mut t = _mm_alignr_epi8(msg3, msg2, 4);
+            msg0 = _mm_add_epi32(msg0, t);
+            msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+            msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+            // Rounds 16-47: steady-state schedule, four words per group.
+            macro_rules! quad {
+                ($cur:ident, $prev:ident, $next:ident, $m1:ident, $base:expr) => {{
+                    msg = _mm_add_epi32($cur, k4($base));
+                    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+                    msg = _mm_shuffle_epi32(msg, 0x0E);
+                    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+                    t = _mm_alignr_epi8($cur, $prev, 4);
+                    $next = _mm_add_epi32($next, t);
+                    $next = _mm_sha256msg2_epu32($next, $cur);
+                    $m1 = _mm_sha256msg1_epu32($m1, $cur);
+                }};
+            }
+            quad!(msg0, msg3, msg1, msg3, 16);
+            quad!(msg1, msg0, msg2, msg0, 20);
+            quad!(msg2, msg1, msg3, msg1, 24);
+            quad!(msg3, msg2, msg0, msg2, 28);
+            quad!(msg0, msg3, msg1, msg3, 32);
+            quad!(msg1, msg0, msg2, msg0, 36);
+            quad!(msg2, msg1, msg3, msg1, 40);
+            quad!(msg3, msg2, msg0, msg2, 44);
+
+            // Rounds 48-51 still extend the schedule (W60..63 needs the
+            // msg1 pass over W44..51); only rounds 52+ can drop it.
+            quad!(msg0, msg3, msg1, msg3, 48);
+
+            // Rounds 52-59: schedule tail, no more msg1 extensions needed.
+            macro_rules! quad_tail {
+                ($cur:ident, $prev:ident, $next:ident, $base:expr) => {{
+                    msg = _mm_add_epi32($cur, k4($base));
+                    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+                    msg = _mm_shuffle_epi32(msg, 0x0E);
+                    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+                    t = _mm_alignr_epi8($cur, $prev, 4);
+                    $next = _mm_add_epi32($next, t);
+                    $next = _mm_sha256msg2_epu32($next, $cur);
+                }};
+            }
+            quad_tail!(msg1, msg0, msg2, 52);
+            quad_tail!(msg2, msg1, msg3, 56);
+
+            // Rounds 60-63.
+            msg = _mm_add_epi32(msg3, k4(60));
+            state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+            msg = _mm_shuffle_epi32(msg, 0x0E);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+            state0 = _mm_add_epi32(state0, abef_save);
+            state1 = _mm_add_epi32(state1, cdgh_save);
+        }
+
+        // Repack ABEF/CDGH back to the linear a..h order.
+        tmp = _mm_shuffle_epi32(state0, 0x1B); // FEBA
+        state1 = _mm_shuffle_epi32(state1, 0xB1); // DCHG
+        state0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+        state1 = _mm_alignr_epi8(state1, tmp, 8); // HGFE
+        _mm_storeu_si128(state.as_mut_ptr() as *mut __m128i, state0);
+        _mm_storeu_si128(state.as_mut_ptr().add(4) as *mut __m128i, state1);
+    }
+}
+
+/// Compresses `data` (length must be a multiple of 64) into `state`,
+/// picking the fastest implementation the CPU supports.
+#[inline]
+fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+    debug_assert!(data.len() % 64 == 0);
+    #[cfg(target_arch = "x86_64")]
+    if ni::available() {
+        // SAFETY: feature presence just checked.
+        unsafe { ni::compress_blocks(state, data) };
+        return;
+    }
+    soft::compress_blocks(state, data);
+}
+
+#[inline]
+fn digest_bytes(state: &[u32; 8]) -> [u8; DIGEST_LEN] {
+    let mut out = [0u8; DIGEST_LEN];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Pads a sub-block tail (`tail.len() < 64`) of a `total_len`-byte message
+/// and runs the final one or two compressions.
+fn finish(mut state: [u32; 8], total_len: u64, tail: &[u8]) -> [u8; DIGEST_LEN] {
+    debug_assert!(tail.len() < 64);
+    let mut buf = [0u8; 128];
+    buf[..tail.len()].copy_from_slice(tail);
+    buf[tail.len()] = 0x80;
+    let blocks = if tail.len() < 56 { 64 } else { 128 };
+    buf[blocks - 8..blocks].copy_from_slice(&total_len.wrapping_mul(8).to_be_bytes());
+    compress_blocks(&mut state, &buf[..blocks]);
+    digest_bytes(&state)
+}
+
+/// SHA-256 of a 32-byte digest: the second pass of every double hash. The
+/// padded message is exactly one block, so this is a single compression.
+#[inline]
+fn sha256_digest32(digest: &[u8; DIGEST_LEN]) -> [u8; DIGEST_LEN] {
+    let mut block = [0u8; 64];
+    block[..32].copy_from_slice(digest);
+    block[32] = 0x80;
+    block[62] = 0x01; // 256 = 0x0100 bits, big-endian in bytes 56..64
+    let mut state = H0;
+    compress_blocks(&mut state, &block);
+    digest_bytes(&state)
+}
+
+/// SHA-256 state captured after a block-aligned prefix, reusable across
+/// many messages that share that prefix.
+///
+/// The miner's case: an 80-byte header is one 64-byte block plus a 16-byte
+/// tail containing the nonce. Capturing the midstate of the first block once
+/// reduces each nonce attempt from three compressions to two (one padded
+/// tail block + one second-pass block).
+///
+/// # Examples
+///
+/// ```
+/// use btc_wire::crypto::sha256::{sha256d, Midstate};
+///
+/// let header = [7u8; 80];
+/// let mid = Midstate::of(&header[..64]);
+/// assert_eq!(mid.sha256d_tail(&header[64..]), sha256d(&header));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Midstate {
+    state: [u32; 8],
+    /// Bytes absorbed so far (always a multiple of 64).
+    bytes: u64,
+}
+
+impl Default for Midstate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Midstate {
+    /// The initial (empty-prefix) midstate.
+    pub fn new() -> Self {
+        Midstate { state: H0, bytes: 0 }
+    }
+
+    /// Captures the state after absorbing `prefix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix.len()` is not a multiple of 64 — a midstate is only
+    /// defined on block boundaries.
+    pub fn of(prefix: &[u8]) -> Self {
+        let mut m = Midstate::new();
+        m.absorb(prefix);
+        m
+    }
+
+    /// Absorbs further whole blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks.len()` is not a multiple of 64.
+    pub fn absorb(&mut self, blocks: &[u8]) {
+        assert!(
+            blocks.len() % 64 == 0,
+            "midstate prefix must be block-aligned (got {} bytes)",
+            blocks.len()
+        );
+        compress_blocks(&mut self.state, blocks);
+        self.bytes += blocks.len() as u64;
+    }
+
+    /// SHA-256 of `prefix ∥ tail` without re-hashing the prefix.
+    pub fn sha256_tail(&self, tail: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut state = self.state;
+        let whole = tail.len() - tail.len() % 64;
+        compress_blocks(&mut state, &tail[..whole]);
+        finish(state, self.bytes + tail.len() as u64, &tail[whole..])
+    }
+
+    /// Double SHA-256 of `prefix ∥ tail` without re-hashing the prefix.
+    pub fn sha256d_tail(&self, tail: &[u8]) -> [u8; DIGEST_LEN] {
+        sha256_digest32(&self.sha256_tail(tail))
+    }
+}
 
 /// Incremental SHA-256 hasher.
 ///
@@ -76,17 +467,14 @@ impl Sha256 {
             data = &data[take..];
             if self.buf_len == 64 {
                 let block = self.buf;
-                self.compress(&block);
+                compress_blocks(&mut self.state, &block);
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let (block, rest) = data.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
-            data = rest;
-        }
+        // Aligned middle: compress straight from the input, no copying.
+        let whole = data.len() - data.len() % 64;
+        compress_blocks(&mut self.state, &data[..whole]);
+        data = &data[whole..];
         if !data.is_empty() {
             self.buf[..data.len()].copy_from_slice(data);
             self.buf_len = data.len();
@@ -94,66 +482,8 @@ impl Sha256 {
     }
 
     /// Finishes the hash and returns the 32-byte digest.
-    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
-        let bit_len = self.len.wrapping_mul(8);
-        // Padding: 0x80, zeros, 8-byte big-endian bit length.
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0x00]);
-        }
-        // Manual length append: bypass `update`'s length bookkeeping.
-        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        let block = self.buf;
-        self.compress(&block);
-        let mut out = [0u8; DIGEST_LEN];
-        for (i, word) in self.state.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
-        }
-        out
-    }
-
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        finish(self.state, self.len, &self.buf[..self.buf_len])
     }
 }
 
@@ -166,12 +496,16 @@ impl Sha256 {
 /// assert_eq!(d[0], 0xe3);
 /// ```
 pub fn sha256(data: &[u8]) -> [u8; DIGEST_LEN] {
-    let mut h = Sha256::new();
-    h.update(data);
-    h.finalize()
+    let mut state = H0;
+    let whole = data.len() - data.len() % 64;
+    compress_blocks(&mut state, &data[..whole]);
+    finish(state, data.len() as u64, &data[whole..])
 }
 
 /// Double SHA-256, Bitcoin's workhorse hash (`SHA256(SHA256(x))`).
+///
+/// Both passes stay on the stack: the second pass is a single compression
+/// of the padded 32-byte first-pass digest.
 ///
 /// # Examples
 ///
@@ -180,7 +514,28 @@ pub fn sha256(data: &[u8]) -> [u8; DIGEST_LEN] {
 /// assert_eq!(d.len(), 32);
 /// ```
 pub fn sha256d(data: &[u8]) -> [u8; DIGEST_LEN] {
-    sha256(&sha256(data))
+    sha256_digest32(&sha256(data))
+}
+
+/// Double SHA-256 written into a caller-provided buffer — the
+/// allocation-free path for callers that keep digests in place.
+pub fn sha256d_into(data: &[u8], out: &mut [u8; DIGEST_LEN]) {
+    *out = sha256d(data);
+}
+
+/// Double SHA-256 of two concatenated 32-byte nodes: the merkle-tree step.
+///
+/// The concatenation fills exactly one block, so the first pass is that
+/// block plus the constant [`PAD64`] padding block, and the second pass is
+/// a single compression — three compressions total, no buffering.
+pub fn sha256d_pair(left: &[u8; 32], right: &[u8; 32]) -> [u8; DIGEST_LEN] {
+    let mut block = [0u8; 64];
+    block[..32].copy_from_slice(left);
+    block[32..].copy_from_slice(right);
+    let mut state = H0;
+    compress_blocks(&mut state, &block);
+    compress_blocks(&mut state, &PAD64);
+    sha256_digest32(&digest_bytes(&state))
 }
 
 #[cfg(test)]
@@ -288,5 +643,78 @@ hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
             hex(&d),
             "000000000019d6689c085ae165831e934ff763ae46a2a6c172b3f1b60a8ce26f"
         );
+    }
+
+    #[test]
+    fn soft_path_matches_dispatch() {
+        // On SHA-NI hardware this cross-checks the intrinsics sequence
+        // against the portable rounds; elsewhere it is trivially true.
+        let data: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 256) as u8).collect();
+        for len in [0usize, 64, 128, 192, 1024, 4096] {
+            let mut a = H0;
+            let mut b = H0;
+            compress_blocks(&mut a, &data[..len]);
+            soft::compress_blocks(&mut b, &data[..len]);
+            assert_eq!(a, b, "len {len}");
+        }
+    }
+
+    #[test]
+    fn midstate_matches_oneshot() {
+        let data: Vec<u8> = (0..512u32).map(|i| (i * 13 % 256) as u8).collect();
+        for prefix in [0usize, 64, 128, 256, 448] {
+            let mid = Midstate::of(&data[..prefix]);
+            for end in [prefix, prefix + 1, prefix + 16, data.len()] {
+                assert_eq!(
+                    mid.sha256_tail(&data[prefix..end]),
+                    sha256(&data[..end]),
+                    "prefix {prefix} end {end}"
+                );
+                assert_eq!(
+                    mid.sha256d_tail(&data[prefix..end]),
+                    sha256d(&data[..end]),
+                    "d: prefix {prefix} end {end}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn midstate_rejects_unaligned_prefix() {
+        Midstate::of(&[0u8; 63]);
+    }
+
+    #[test]
+    fn pair_matches_concatenated_sha256d() {
+        let left = sha256(b"left");
+        let right = sha256(b"right");
+        let mut cat = [0u8; 64];
+        cat[..32].copy_from_slice(&left);
+        cat[32..].copy_from_slice(&right);
+        assert_eq!(sha256d_pair(&left, &right), sha256d(&cat));
+    }
+
+    #[test]
+    fn into_matches_oneshot() {
+        let mut out = [0u8; DIGEST_LEN];
+        sha256d_into(b"some payload", &mut out);
+        assert_eq!(out, sha256d(b"some payload"));
+    }
+
+    #[test]
+    fn streaming_across_block_boundaries_matches() {
+        // Long-message agreement between the streaming struct, the one-shot,
+        // and a maximally awkward update pattern.
+        let data: Vec<u8> = (0..777u32).map(|i| (i * 3 % 256) as u8).collect();
+        let mut h = Sha256::new();
+        let mut off = 0usize;
+        for chunk in [1usize, 62, 64, 65, 127, 129, 300, 129] {
+            let end = (off + chunk).min(data.len());
+            h.update(&data[off..end]);
+            off = end;
+        }
+        h.update(&data[off..]);
+        assert_eq!(h.finalize(), sha256(&data));
     }
 }

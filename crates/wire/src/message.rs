@@ -458,6 +458,11 @@ impl Decodable for MessageHeader {
 }
 
 /// Computes the header checksum over a payload.
+///
+/// Rides the allocation-free [`crate::crypto::sha256d`] path: both hash
+/// passes stay on the stack, so checksumming adds no per-message heap
+/// traffic on either send ([`RawMessage::frame`]) or receive
+/// ([`verify_checksum`]).
 pub fn payload_checksum(payload: &[u8]) -> [u8; 4] {
     let d = crate::crypto::sha256d(payload);
     [d[0], d[1], d[2], d[3]]

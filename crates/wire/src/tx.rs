@@ -1,5 +1,15 @@
 //! Transactions: inputs, outputs, witnesses, txid/wtxid computation and the
 //! structural + SegWit checks the `TX` ban-score rule keys off.
+//!
+//! `Transaction` memoizes its txid/wtxid: the mempool, merkle-root
+//! construction and compact-block short-id computation all re-request the
+//! same identifiers, and re-serializing the transaction each time dominated
+//! their cost. The fields are private so every mutation path (the `*_mut`
+//! accessors and setters) can invalidate the cache; construction goes
+//! through [`Transaction::new`].
+
+use std::fmt;
+use std::sync::OnceLock;
 
 use crate::encode::{
     decode_vec, encode_vec, Decodable, DecodeError, DecodeResult, Encodable, Reader, Writer,
@@ -141,31 +151,146 @@ impl Decodable for TxOut {
     }
 }
 
+/// Lazily computed txid/wtxid. Not part of the transaction's value: cloning
+/// carries it, comparison and hashing ignore it.
+#[derive(Default)]
+struct IdCache {
+    txid: OnceLock<Hash256>,
+    wtxid: OnceLock<Hash256>,
+}
+
+impl IdCache {
+    fn cloned(&self) -> IdCache {
+        let c = IdCache::default();
+        if let Some(t) = self.txid.get() {
+            let _ = c.txid.set(*t);
+        }
+        if let Some(w) = self.wtxid.get() {
+            let _ = c.wtxid.set(*w);
+        }
+        c
+    }
+}
+
 /// A Bitcoin transaction (legacy or SegWit serialization).
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Fields are private to keep the memoized txid/wtxid coherent: read through
+/// the getters, mutate through the `*_mut` accessors or setters (which drop
+/// the cache), construct with [`Transaction::new`].
 pub struct Transaction {
     /// Version (1 or 2 in practice).
-    pub version: i32,
+    version: i32,
     /// Inputs.
-    pub inputs: Vec<TxIn>,
+    inputs: Vec<TxIn>,
     /// Outputs.
-    pub outputs: Vec<TxOut>,
+    outputs: Vec<TxOut>,
     /// Lock time.
-    pub lock_time: u32,
+    lock_time: u32,
+    /// Memoized identifiers.
+    ids: IdCache,
+}
+
+impl Clone for Transaction {
+    fn clone(&self) -> Self {
+        Transaction {
+            version: self.version,
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            lock_time: self.lock_time,
+            ids: self.ids.cloned(),
+        }
+    }
+}
+
+impl PartialEq for Transaction {
+    fn eq(&self, other: &Self) -> bool {
+        self.version == other.version
+            && self.inputs == other.inputs
+            && self.outputs == other.outputs
+            && self.lock_time == other.lock_time
+    }
+}
+
+impl Eq for Transaction {}
+
+impl fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Transaction")
+            .field("version", &self.version)
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .field("lock_time", &self.lock_time)
+            .finish()
+    }
 }
 
 impl Transaction {
+    /// Creates a transaction from its four consensus fields.
+    pub fn new(version: i32, inputs: Vec<TxIn>, outputs: Vec<TxOut>, lock_time: u32) -> Self {
+        Transaction {
+            version,
+            inputs,
+            outputs,
+            lock_time,
+            ids: IdCache::default(),
+        }
+    }
+
     /// A minimal coinbase transaction paying `value` with `tag` as the
     /// script-sig payload (used to make distinct txids).
     pub fn coinbase(value: i64, tag: &[u8]) -> Self {
         let mut input = TxIn::new(OutPoint::NULL);
         input.script_sig = tag.to_vec();
-        Transaction {
-            version: 1,
-            inputs: vec![input],
-            outputs: vec![TxOut::new(value, vec![0x51])], // OP_TRUE
-            lock_time: 0,
-        }
+        Transaction::new(
+            1,
+            vec![input],
+            vec![TxOut::new(value, vec![0x51])], // OP_TRUE
+            0,
+        )
+    }
+
+    /// Version field.
+    pub fn version(&self) -> i32 {
+        self.version
+    }
+
+    /// Lock time field.
+    pub fn lock_time(&self) -> u32 {
+        self.lock_time
+    }
+
+    /// Inputs, read-only.
+    pub fn inputs(&self) -> &[TxIn] {
+        &self.inputs
+    }
+
+    /// Outputs, read-only.
+    pub fn outputs(&self) -> &[TxOut] {
+        &self.outputs
+    }
+
+    /// Mutable access to the inputs. Drops the memoized ids.
+    pub fn inputs_mut(&mut self) -> &mut Vec<TxIn> {
+        self.ids = IdCache::default();
+        &mut self.inputs
+    }
+
+    /// Mutable access to the outputs. Drops the memoized ids.
+    pub fn outputs_mut(&mut self) -> &mut Vec<TxOut> {
+        self.ids = IdCache::default();
+        &mut self.outputs
+    }
+
+    /// Sets the version. Drops the memoized ids.
+    pub fn set_version(&mut self, version: i32) {
+        self.ids = IdCache::default();
+        self.version = version;
+    }
+
+    /// Sets the lock time. Drops the memoized ids.
+    pub fn set_lock_time(&mut self, lock_time: u32) {
+        self.ids = IdCache::default();
+        self.lock_time = lock_time;
     }
 
     /// Whether this transaction is a coinbase.
@@ -178,21 +303,27 @@ impl Transaction {
         self.inputs.iter().any(|i| !i.witness.is_empty())
     }
 
-    /// Txid: double-SHA256 of the *legacy* serialization (witnesses stripped).
+    /// Txid: double-SHA256 of the *legacy* serialization (witnesses
+    /// stripped). Memoized; the serialization happens at most once per
+    /// transaction value.
     pub fn txid(&self) -> Hash256 {
-        let mut w = Writer::new();
-        self.encode_legacy(&mut w);
-        Hash256::hash(&w.into_bytes())
+        *self.ids.txid.get_or_init(|| {
+            let mut w = Writer::new();
+            self.encode_legacy(&mut w);
+            Hash256::hash(&w.into_bytes())
+        })
     }
 
-    /// Wtxid: double-SHA256 of the full (witness) serialization.
+    /// Wtxid: double-SHA256 of the full (witness) serialization. Memoized.
     pub fn wtxid(&self) -> Hash256 {
         if !self.has_witness() {
             return self.txid();
         }
-        let mut w = Writer::new();
-        self.encode(&mut w);
-        Hash256::hash(&w.into_bytes())
+        *self.ids.wtxid.get_or_init(|| {
+            let mut w = Writer::new();
+            self.encode(&mut w);
+            Hash256::hash(&w.into_bytes())
+        })
     }
 
     /// Serializes without witness data (txid preimage).
@@ -366,12 +497,7 @@ impl Decodable for Transaction {
             }
         }
         let lock_time = r.u32_le()?;
-        Ok(Transaction {
-            version,
-            inputs,
-            outputs,
-            lock_time,
-        })
+        Ok(Transaction::new(version, inputs, outputs, lock_time))
     }
 }
 
@@ -380,12 +506,12 @@ mod tests {
     use super::*;
 
     fn sample_tx() -> Transaction {
-        Transaction {
-            version: 2,
-            inputs: vec![TxIn::new(OutPoint::new(Hash256::hash(b"prev"), 0))],
-            outputs: vec![TxOut::new(50_000, vec![0x51])],
-            lock_time: 0,
-        }
+        Transaction::new(
+            2,
+            vec![TxIn::new(OutPoint::new(Hash256::hash(b"prev"), 0))],
+            vec![TxOut::new(50_000, vec![0x51])],
+            0,
+        )
     }
 
     #[test]
@@ -398,7 +524,7 @@ mod tests {
     #[test]
     fn segwit_roundtrip() {
         let mut tx = sample_tx();
-        tx.inputs[0].witness = vec![vec![1, 2, 3], vec![4; 70]];
+        tx.inputs_mut()[0].witness = vec![vec![1, 2, 3], vec![4; 70]];
         let enc = tx.encode_to_vec();
         let dec = Transaction::decode_all(&enc).unwrap();
         assert_eq!(dec, tx);
@@ -409,7 +535,7 @@ mod tests {
     fn txid_ignores_witness() {
         let mut a = sample_tx();
         let txid_before = a.txid();
-        a.inputs[0].witness = vec![vec![9; 32]];
+        a.inputs_mut()[0].witness = vec![vec![9; 32]];
         assert_eq!(a.txid(), txid_before);
         assert_ne!(a.wtxid(), a.txid());
     }
@@ -418,6 +544,30 @@ mod tests {
     fn wtxid_equals_txid_without_witness() {
         let tx = sample_tx();
         assert_eq!(tx.wtxid(), tx.txid());
+    }
+
+    #[test]
+    fn cached_ids_survive_clone_and_invalidate_on_mutation() {
+        let mut tx = sample_tx();
+        let id = tx.txid();
+        let cloned = tx.clone();
+        assert_eq!(cloned.txid(), id);
+        // Any mutation path must drop the cache and change the id.
+        tx.outputs_mut()[0].value += 1;
+        assert_ne!(tx.txid(), id);
+        tx.set_lock_time(7);
+        let id2 = tx.txid();
+        assert_ne!(id2, id);
+        tx.set_version(3);
+        assert_ne!(tx.txid(), id2);
+    }
+
+    #[test]
+    fn equality_ignores_cache_state() {
+        let warm = sample_tx();
+        let _ = warm.txid();
+        let cold = sample_tx();
+        assert_eq!(warm, cold);
     }
 
     #[test]
@@ -431,37 +581,38 @@ mod tests {
     #[test]
     fn check_rejects_empty_io() {
         let mut tx = sample_tx();
-        tx.inputs.clear();
+        tx.inputs_mut().clear();
         assert_eq!(tx.check(), Err("bad-txns-vin-empty"));
         let mut tx = sample_tx();
-        tx.outputs.clear();
+        tx.outputs_mut().clear();
         assert_eq!(tx.check(), Err("bad-txns-vout-empty"));
     }
 
     #[test]
     fn check_rejects_bad_values() {
         let mut tx = sample_tx();
-        tx.outputs[0].value = -1;
+        tx.outputs_mut()[0].value = -1;
         assert_eq!(tx.check(), Err("bad-txns-vout-negative"));
         let mut tx = sample_tx();
-        tx.outputs[0].value = MAX_MONEY + 1;
+        tx.outputs_mut()[0].value = MAX_MONEY + 1;
         assert_eq!(tx.check(), Err("bad-txns-vout-toolarge"));
         let mut tx = sample_tx();
-        tx.outputs = vec![TxOut::new(MAX_MONEY, vec![]), TxOut::new(1, vec![])];
+        *tx.outputs_mut() = vec![TxOut::new(MAX_MONEY, vec![]), TxOut::new(1, vec![])];
         assert_eq!(tx.check(), Err("bad-txns-txouttotal-toolarge"));
     }
 
     #[test]
     fn check_rejects_duplicate_inputs() {
         let mut tx = sample_tx();
-        tx.inputs.push(tx.inputs[0].clone());
+        let dup = tx.inputs()[0].clone();
+        tx.inputs_mut().push(dup);
         assert_eq!(tx.check(), Err("bad-txns-inputs-duplicate"));
     }
 
     #[test]
     fn check_rejects_null_prevout_in_non_coinbase() {
         let mut tx = sample_tx();
-        tx.inputs.push(TxIn::new(OutPoint::NULL));
+        tx.inputs_mut().push(TxIn::new(OutPoint::NULL));
         assert_eq!(tx.check(), Err("bad-txns-prevout-null"));
     }
 
@@ -476,16 +627,16 @@ mod tests {
     #[test]
     fn witness_element_size_rule() {
         let mut tx = sample_tx();
-        tx.inputs[0].witness = vec![vec![0u8; 521]];
+        tx.inputs_mut()[0].witness = vec![vec![0u8; 521]];
         assert_eq!(tx.check_witness(), Err("bad-witness-script-element-size"));
-        tx.inputs[0].witness = vec![vec![0u8; 520]];
+        tx.inputs_mut()[0].witness = vec![vec![0u8; 520]];
         assert!(tx.check_witness().is_ok());
     }
 
     #[test]
     fn witness_stack_size_rule() {
         let mut tx = sample_tx();
-        tx.inputs[0].witness = vec![vec![1]; 101];
+        tx.inputs_mut()[0].witness = vec![vec![1]; 101];
         assert_eq!(tx.check_witness(), Err("bad-witness-stack-size"));
     }
 
@@ -493,7 +644,7 @@ mod tests {
     fn weight_counts_witness_once() {
         let legacy = sample_tx();
         let mut segwit = sample_tx();
-        segwit.inputs[0].witness = vec![vec![0u8; 100]];
+        segwit.inputs_mut()[0].witness = vec![vec![0u8; 100]];
         assert!(segwit.weight() > legacy.weight());
         // Witness bytes cost 1 weight unit, legacy bytes 4.
         assert!(segwit.weight() < legacy.weight() + 4 * 110);
@@ -502,7 +653,7 @@ mod tests {
     #[test]
     fn bad_segwit_flag_rejected() {
         let mut tx = sample_tx();
-        tx.inputs[0].witness = vec![vec![1]];
+        tx.inputs_mut()[0].witness = vec![vec![1]];
         let mut enc = tx.encode_to_vec();
         enc[5] = 0x02; // corrupt the flag byte
         assert!(matches!(

@@ -1,0 +1,182 @@
+//! Hash-path equivalence properties: the optimized hashing routes
+//! (midstate mining, memoized txid/wtxid, in-place merkle fold) must be
+//! bit-for-bit indistinguishable from the straightforward definitions they
+//! replaced. Driven by the in-repo `btc_netsim::prop` harness.
+
+use btc_netsim::prop::{check, Gen};
+use btc_wire::block::{merkle_root, BlockHeader, MerkleBranch};
+use btc_wire::crypto::sha256::{sha256, sha256d, Midstate};
+use btc_wire::crypto::{sha256d_pair, Sha256};
+use btc_wire::encode::{Encodable, Writer};
+use btc_wire::tx::{OutPoint, Transaction, TxIn, TxOut};
+use btc_wire::types::Hash256;
+
+fn arb_hash(g: &mut Gen) -> Hash256 {
+    Hash256::from(g.array32())
+}
+
+fn arb_header(g: &mut Gen) -> BlockHeader {
+    BlockHeader {
+        version: g.i32(),
+        prev_block: arb_hash(g),
+        merkle_root: arb_hash(g),
+        time: g.u32(),
+        bits: g.u32(),
+        nonce: g.u32(),
+    }
+}
+
+fn arb_tx(g: &mut Gen) -> Transaction {
+    Transaction::new(
+        g.i32(),
+        g.vec_with(1, 4, |g| TxIn {
+            prevout: OutPoint::new(arb_hash(g), g.u32()),
+            script_sig: g.vec_u8(0, 64),
+            sequence: g.u32(),
+            witness: g.vec_with(0, 3, |g| g.vec_u8(0, 32)),
+        }),
+        g.vec_with(1, 4, |g| TxOut::new(g.i64(), g.vec_u8(0, 32))),
+        g.u32(),
+    )
+}
+
+/// The naive full-header hash `mine()` used before midstate reuse.
+fn naive_header_sha256d(header: &BlockHeader) -> Hash256 {
+    Hash256(sha256d(&header.encode_to_vec()))
+}
+
+/// The pre-overhaul `merkle_root`: fresh level vector per round, odd levels
+/// extended by cloning the last node. Kept here as the reference model.
+fn reference_merkle_root(leaves: &[Hash256]) -> Hash256 {
+    if leaves.is_empty() {
+        return Hash256::ZERO;
+    }
+    let mut level: Vec<Hash256> = leaves.to_vec();
+    while level.len() > 1 {
+        if level.len() % 2 == 1 {
+            level.push(*level.last().unwrap());
+        }
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks(2) {
+            let mut cat = [0u8; 64];
+            cat[..32].copy_from_slice(pair[0].as_bytes());
+            cat[32..].copy_from_slice(pair[1].as_bytes());
+            next.push(Hash256(sha256d(&cat)));
+        }
+        level = next;
+    }
+    level[0]
+}
+
+#[test]
+fn midstate_mined_header_hash_equals_naive() {
+    check("midstate_mined_header_hash_equals_naive", |g| {
+        let mut header = arb_header(g);
+        // The miner's exact routine: midstate of the first 64 bytes, then a
+        // nonce patched into the 16-byte tail.
+        let bytes = header.to_bytes();
+        let mid = Midstate::of(&bytes[..64]);
+        let mut tail: [u8; 16] = bytes[64..80].try_into().unwrap();
+        for _ in 0..4 {
+            let nonce = g.u32();
+            tail[12..16].copy_from_slice(&nonce.to_le_bytes());
+            header.nonce = nonce;
+            assert_eq!(
+                Hash256(mid.sha256d_tail(&tail)),
+                naive_header_sha256d(&header),
+                "nonce {nonce}"
+            );
+            assert_eq!(header.hash(), naive_header_sha256d(&header));
+        }
+    });
+}
+
+#[test]
+fn header_to_bytes_matches_encoder() {
+    check("header_to_bytes_matches_encoder", |g| {
+        let h = arb_header(g);
+        assert_eq!(h.to_bytes().as_slice(), h.encode_to_vec().as_slice());
+    });
+}
+
+#[test]
+fn cached_txid_wtxid_equal_recomputation() {
+    check("cached_txid_wtxid_equal_recomputation", |g| {
+        let tx = arb_tx(g);
+        // Recompute both ids from the serializations, bypassing the cache.
+        let mut w = Writer::new();
+        tx.encode_legacy(&mut w);
+        let fresh_txid = Hash256(sha256d(&w.into_bytes()));
+        let fresh_wtxid = Hash256(sha256d(&tx.encode_to_vec()));
+        // First call fills the cache, second reads it; both must agree
+        // with the recomputation, before and after a clone.
+        for t in [&tx, &tx, &tx.clone()] {
+            assert_eq!(t.txid(), fresh_txid);
+            assert_eq!(t.wtxid(), fresh_wtxid);
+        }
+        // Mutation invalidates: nudge an output value, ids must track.
+        let mut tx = tx;
+        tx.outputs_mut()[0].value = tx.outputs()[0].value.wrapping_add(1);
+        let mut w = Writer::new();
+        tx.encode_legacy(&mut w);
+        assert_eq!(tx.txid(), Hash256(sha256d(&w.into_bytes())));
+    });
+}
+
+#[test]
+fn merkle_root_matches_reference() {
+    check("merkle_root_matches_reference", |g| {
+        // Sizes biased to cover empty, single, odd and power-of-two levels.
+        let n = *g.choose(&[0usize, 1, 2, 3, 4, 5, 6, 7, 8, 13, 16, 33]);
+        let leaves = g.vec_with(n, n, arb_hash);
+        assert_eq!(merkle_root(&leaves), reference_merkle_root(&leaves), "n={n}");
+    });
+}
+
+#[test]
+fn merkle_branches_stay_byte_identical() {
+    check("merkle_branches_stay_byte_identical", |g| {
+        let n = g.usize_in(1, 12);
+        let leaves = g.vec_with(n, n, arb_hash);
+        let root = reference_merkle_root(&leaves);
+        let index = g.usize_in(0, n);
+        let branch = MerkleBranch::build(&leaves, index);
+        // The proof must verify against the reference root…
+        assert_eq!(branch.compute_root(leaves[index]), root, "n={n} i={index}");
+        // …and each sibling must equal the reference sibling at that level
+        // (odd tail nodes are their own sibling).
+        let mut level: Vec<Hash256> = leaves.clone();
+        let mut idx = index;
+        for (depth, sib) in branch.siblings.iter().enumerate() {
+            let expect = if idx % 2 == 0 {
+                *level.get(idx + 1).unwrap_or(&level[idx])
+            } else {
+                level[idx - 1]
+            };
+            assert_eq!(*sib, expect, "depth {depth}");
+            if level.len() % 2 == 1 {
+                level.push(*level.last().unwrap());
+            }
+            level = level
+                .chunks(2)
+                .map(|p| Hash256(sha256d_pair(&p[0].0, &p[1].0)))
+                .collect();
+            idx /= 2;
+        }
+    });
+}
+
+#[test]
+fn oneshot_equals_streaming_equals_midstate() {
+    check("oneshot_equals_streaming_equals_midstate", |g| {
+        let data = g.vec_u8(0, 300);
+        let oneshot = sha256(&data);
+        let mut h = Sha256::new();
+        let split = g.usize_in(0, data.len() + 1);
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        assert_eq!(h.finalize(), oneshot);
+        assert_eq!(Midstate::new().sha256_tail(&data), oneshot);
+        assert_eq!(Hash256::hash(&data), Hash256(sha256d(&data)));
+    });
+}

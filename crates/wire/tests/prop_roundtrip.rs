@@ -36,12 +36,12 @@ fn arb_txin(g: &mut Gen) -> TxIn {
 }
 
 fn arb_tx(g: &mut Gen) -> Transaction {
-    Transaction {
-        version: g.i32(),
-        inputs: g.vec_with(1, 4, arb_txin),
-        outputs: g.vec_with(1, 4, |g| TxOut::new(g.i64(), g.vec_u8(0, 32))),
-        lock_time: g.u32(),
-    }
+    Transaction::new(
+        g.i32(),
+        g.vec_with(1, 4, arb_txin),
+        g.vec_with(1, 4, |g| TxOut::new(g.i64(), g.vec_u8(0, 32))),
+        g.u32(),
+    )
 }
 
 fn arb_header(g: &mut Gen) -> BlockHeader {
@@ -92,7 +92,7 @@ fn txid_is_witness_independent() {
     check("txid_is_witness_independent", |g| {
         let mut tx = arb_tx(g);
         let before = tx.txid();
-        for i in &mut tx.inputs {
+        for i in tx.inputs_mut() {
             i.witness.clear();
         }
         assert_eq!(tx.txid(), before);

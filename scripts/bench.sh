@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs the six benches with pinned BANSCORE_BENCH_* settings and writes
+# results/BENCH_hashpath.json: median/p10/p90 per bench for the current
+# tree (the "current" section), next to the committed pre-overhaul
+# baseline (the "baseline" section).
+#
+# Usage:
+#   scripts/bench.sh              # refresh the "current" section
+#   scripts/bench.sh --baseline   # ALSO overwrite the committed baseline
+#                                 # (only when re-seeding on a new machine)
+#
+# The per-bench JSON lines come from the harness itself (BANSCORE_BENCH_JSON,
+# see crates/bench/src/harness.rs); this script only pins the measurement
+# settings and assembles the two sections into one document.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=current
+if [ "${1:-}" = "--baseline" ]; then
+  MODE=baseline
+fi
+
+# Pinned measurement settings — keep baseline and current comparable.
+export BANSCORE_BENCH_SAMPLES="${BANSCORE_BENCH_SAMPLES:-30}"
+export BANSCORE_BENCH_WARMUP_MS="${BANSCORE_BENCH_WARMUP_MS:-300}"
+export BANSCORE_BENCH_SAMPLE_MS="${BANSCORE_BENCH_SAMPLE_MS:-20}"
+
+jsonl=$(mktemp)
+trap 'rm -f "$jsonl"' EXIT
+export BANSCORE_BENCH_JSON="$jsonl"
+
+cargo bench --offline --workspace
+
+if [ ! -s "$jsonl" ]; then
+  echo "ERROR: benches produced no JSON records (BANSCORE_BENCH_JSON broken?)" >&2
+  exit 1
+fi
+
+baseline=results/BENCH_hashpath_baseline.jsonl
+if [ "$MODE" = baseline ]; then
+  cp "$jsonl" "$baseline"
+fi
+
+mkdir -p results
+{
+  echo '{'
+  echo '  "schema": "banscore-bench-hashpath-v1",'
+  echo "  \"settings\": {\"samples\": ${BANSCORE_BENCH_SAMPLES}, \"warmup_ms\": ${BANSCORE_BENCH_WARMUP_MS}, \"sample_ms\": ${BANSCORE_BENCH_SAMPLE_MS}},"
+  echo '  "baseline": ['
+  if [ -f "$baseline" ]; then
+    sed 's/^/    /; $!s/$/,/' "$baseline"
+  fi
+  echo '  ],'
+  echo '  "current": ['
+  sed 's/^/    /; $!s/$/,/' "$jsonl"
+  echo '  ]'
+} > results/BENCH_hashpath.json
+echo '}' >> results/BENCH_hashpath.json
+echo "wrote results/BENCH_hashpath.json ($MODE run, $(wc -l < "$jsonl") bench records)"

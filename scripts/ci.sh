@@ -26,4 +26,16 @@ cargo test -q --offline --workspace
 echo "==> benches compile (offline)"
 cargo bench --offline --workspace --no-run
 
-echo "CI OK: hermetic build, tests green, benches compile."
+echo "==> bench smoke: 1-iteration run must emit JSON records"
+smoke_json=$(mktemp)
+trap 'rm -f "$smoke_json"' EXIT
+BANSCORE_BENCH_SAMPLES=2 BANSCORE_BENCH_WARMUP_MS=1 BANSCORE_BENCH_SAMPLE_MS=1 \
+  BANSCORE_BENCH_JSON="$smoke_json" \
+  cargo bench --offline -p btc-bench --bench wire_throughput
+if ! grep -q '"median_ns"' "$smoke_json"; then
+  echo "ERROR: bench smoke produced no JSON records (BANSCORE_BENCH_JSON broken?)" >&2
+  exit 1
+fi
+echo "    $(wc -l < "$smoke_json") bench records OK"
+
+echo "CI OK: hermetic build, tests green, benches compile, bench smoke emits JSON."
