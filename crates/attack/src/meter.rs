@@ -69,8 +69,11 @@ fn sample_tx(tag: u8) -> Transaction {
     )
 }
 
-/// The fixtures shared by build and process closures.
-struct Fixtures {
+/// The fixtures shared by build and process closures: a mined 60-block
+/// chain plus the measurement block in its full, compact and blocktxn
+/// forms. Build once via [`fixtures`] and share across rows — mining it
+/// is the expensive part of a Table-II run.
+pub struct Fixtures {
     chain: Chain,
     block: btc_wire::Block,
     compact: CompactBlock,
@@ -78,7 +81,8 @@ struct Fixtures {
     locator: BlockLocator,
 }
 
-fn fixtures() -> Fixtures {
+/// Mines the shared Table-II fixtures.
+pub fn fixtures() -> Fixtures {
     let mut chain = Chain::new();
     // A 60-block chain so GETHEADERS has something to serve.
     for i in 0..60u64 {
@@ -249,7 +253,7 @@ fn victim_process(fx: &Fixtures, bytes: &[u8]) {
     }
 }
 
-type Builder = Box<dyn Fn() -> Message>;
+type Builder = Box<dyn Fn() -> Message + Send + Sync>;
 
 fn specs(fx: &Fixtures) -> Vec<(&'static str, AttackerMode, Builder)> {
     let block = fx.block.clone();
@@ -402,56 +406,90 @@ pub fn sample_merkleblock() -> MerkleBlockMsg {
     }
 }
 
+/// Measures one Table-II row: attacker cost, then victim impact, over
+/// `iters` iterations against the shared (read-only) fixtures.
+fn measure_row(
+    fx: &Fixtures,
+    command: &'static str,
+    mode: AttackerMode,
+    build: &Builder,
+    iters: u32,
+) -> CostRow {
+    // Attacker cost.
+    let attacker_ns = match mode {
+        AttackerMode::Build => {
+            let start = Instant::now();
+            for _ in 0..iters {
+                let msg = build();
+                black_box(RawMessage::frame(NET, &msg).to_bytes());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        }
+        AttackerMode::Replay => {
+            let cached = RawMessage::frame(NET, &build()).to_bytes();
+            let start = Instant::now();
+            for _ in 0..iters {
+                // A replay is a buffer handoff to the socket layer.
+                black_box(Bytes::clone(&cached));
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        }
+    };
+    // Victim impact.
+    let bytes = RawMessage::frame(NET, &build()).to_bytes();
+    let start = Instant::now();
+    for _ in 0..iters {
+        victim_process(fx, black_box(&bytes));
+    }
+    let victim_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    let attacker_clocks = attacker_ns * CLOCKS_PER_NS;
+    let victim_clocks = victim_ns * CLOCKS_PER_NS;
+    CostRow {
+        command,
+        attacker_clocks,
+        victim_clocks,
+        ratio: victim_clocks / attacker_clocks.max(f64::MIN_POSITIVE),
+        mode,
+    }
+}
+
 /// Measures Table II with `iters` iterations per row.
 pub fn measure_table2(iters: u32) -> Vec<CostRow> {
-    let fx = fixtures();
-    let mut rows = Vec::new();
-    for (command, mode, build) in specs(&fx) {
-        // Attacker cost.
-        let attacker_ns = match mode {
-            AttackerMode::Build => {
-                let start = Instant::now();
-                for _ in 0..iters {
-                    let msg = build();
-                    black_box(RawMessage::frame(NET, &msg).to_bytes());
-                }
-                start.elapsed().as_nanos() as f64 / iters as f64
-            }
-            AttackerMode::Replay => {
-                let cached = RawMessage::frame(NET, &build()).to_bytes();
-                let start = Instant::now();
-                for _ in 0..iters {
-                    // A replay is a buffer handoff to the socket layer.
-                    black_box(Bytes::clone(&cached));
-                }
-                start.elapsed().as_nanos() as f64 / iters as f64
-            }
-        };
-        // Victim impact.
-        let bytes = RawMessage::frame(NET, &build()).to_bytes();
-        let start = Instant::now();
-        for _ in 0..iters {
-            victim_process(&fx, black_box(&bytes));
-        }
-        let victim_ns = start.elapsed().as_nanos() as f64 / iters as f64;
-        let attacker_clocks = attacker_ns * CLOCKS_PER_NS;
-        let victim_clocks = victim_ns * CLOCKS_PER_NS;
-        rows.push(CostRow {
-            command,
-            attacker_clocks,
-            victim_clocks,
-            ratio: victim_clocks / attacker_clocks.max(f64::MIN_POSITIVE),
-            mode,
-        });
-    }
-    rows
+    measure_table2_jobs(iters, 1)
+}
+
+/// [`measure_table2`] with rows fanned across `jobs` workers. The 60-block
+/// fixture chain is mined once and shared read-only by every row (it used
+/// to be rebuilt by the bogus-block row as well — see
+/// [`measure_bogus_block_with`]).
+///
+/// Note: rows time *wall-clock* work, so unlike the simulation sweeps the
+/// measured numbers are not reproducible byte-for-byte — and with `jobs >
+/// 1` concurrent rows contend for cores, so use parallelism here only for
+/// smoke runs, never for calibrated measurements.
+pub fn measure_table2_jobs(iters: u32, jobs: usize) -> Vec<CostRow> {
+    measure_table2_with(&fixtures(), iters, jobs)
+}
+
+/// [`measure_table2_jobs`] against caller-provided fixtures, so a combined
+/// Table-II + bogus-block run mines the fixture chain exactly once.
+pub fn measure_table2_with(fx: &Fixtures, iters: u32, jobs: usize) -> Vec<CostRow> {
+    btc_par::par_map(jobs, specs(fx), |(command, mode, build)| {
+        measure_row(fx, command, mode, &build, iters)
+    })
 }
 
 /// Additionally measures the *bogus* `BLOCK` (corrupted checksum) the
 /// paper's footnote 1 reports: the victim pays only the checksum pass yet
 /// the impact-cost ratio stays in the thousands.
 pub fn measure_bogus_block(iters: u32, payload_bytes: usize) -> CostRow {
-    let fx = fixtures();
+    measure_bogus_block_with(&fixtures(), iters, payload_bytes)
+}
+
+/// [`measure_bogus_block`] against caller-provided fixtures, so a combined
+/// Table-II + bogus-block run mines the fixture chain once instead of
+/// twice.
+pub fn measure_bogus_block_with(fx: &Fixtures, iters: u32, payload_bytes: usize) -> CostRow {
     let raw = RawMessage::frame_raw(NET, "block", Bytes::from(vec![0xAB; payload_bytes]))
         .corrupt_checksum();
     let cached = raw.to_bytes();
@@ -462,7 +500,7 @@ pub fn measure_bogus_block(iters: u32, payload_bytes: usize) -> CostRow {
     let attacker_ns = start.elapsed().as_nanos() as f64 / iters as f64;
     let start = Instant::now();
     for _ in 0..iters {
-        victim_process(&fx, black_box(&cached));
+        victim_process(fx, black_box(&cached));
     }
     let victim_ns = start.elapsed().as_nanos() as f64 / iters as f64;
     let attacker_clocks = attacker_ns * CLOCKS_PER_NS;

@@ -1,0 +1,73 @@
+//! Wall-clock benchmark of the experiment *sweeps* themselves — the
+//! fig6 + table3 + evasion point lists the `repro` binary fans out. The
+//! serial benches are the committed pre-parallelism baseline in
+//! `results/BENCH_sweep.json`; the `jobsN` benches run the same sweeps
+//! through the `btc_par` pool at `max(available_parallelism, 4)` — the
+//! floor keeps the stealing path exercised (and its overhead visible)
+//! even on a single-core runner — and must produce identical rows
+//! (asserted below on every run).
+//!
+//! Measurement settings are deliberately light (`sample_size(2)`): one
+//! sweep iteration simulates tens of virtual minutes and takes seconds of
+//! wall clock, so batches are size 1 and the medians are of whole-sweep
+//! runs.
+
+use btc_bench::harness::Criterion;
+use btc_bench::{criterion_group, criterion_main};
+use std::hint::black_box;
+
+use banscore::scenario::evasion::{run_evasion, run_evasion_jobs, EvasionConfig};
+use banscore::scenario::fig6::{run_fig6, run_fig6_jobs};
+use banscore::scenario::table3::{run_table3, run_table3_jobs};
+use btc_netsim::time::MINUTES;
+
+const FLOOD_SECS: u64 = 2;
+
+fn evasion_cfg() -> (EvasionConfig, [f64; 4]) {
+    (
+        EvasionConfig {
+            train: 12 * MINUTES,
+            window: 3 * MINUTES,
+            test: 2 * MINUTES,
+            attack_weight: 0.3,
+        },
+        [30.0, 150.0, 1_000.0, 12_000.0],
+    )
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let jobs = btc_par::default_jobs().max(4);
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(2);
+    g.bench_function("fig6_serial", |b| b.iter(|| black_box(run_fig6(FLOOD_SECS))));
+    g.bench_function(format!("fig6_jobs{jobs}"), |b| {
+        b.iter(|| black_box(run_fig6_jobs(FLOOD_SECS, jobs)))
+    });
+    g.bench_function("table3_serial", |b| {
+        b.iter(|| black_box(run_table3(FLOOD_SECS)))
+    });
+    g.bench_function(format!("table3_jobs{jobs}"), |b| {
+        b.iter(|| black_box(run_table3_jobs(FLOOD_SECS, jobs)))
+    });
+    let (cfg, rates) = evasion_cfg();
+    g.bench_function("evasion_serial", |b| {
+        b.iter(|| black_box(run_evasion(cfg, &rates)))
+    });
+    g.bench_function(format!("evasion_jobs{jobs}"), |b| {
+        b.iter(|| black_box(run_evasion_jobs(cfg, &rates, jobs)))
+    });
+    g.finish();
+
+    // Cross-check once per bench run: the parallel sweeps must reproduce
+    // the serial rows exactly (the pool's determinism contract).
+    let serial = render(&run_fig6(FLOOD_SECS));
+    let parallel = render(&run_fig6_jobs(FLOOD_SECS, jobs));
+    assert_eq!(serial, parallel, "fig6 sweep diverged under the pool");
+}
+
+fn render(points: &[banscore::scenario::fig6::Fig6Point]) -> String {
+    banscore::scenario::fig6::render_fig6(points)
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

@@ -1,6 +1,14 @@
 //! `ablate` — ablation studies for the design choices DESIGN.md §5 calls
 //! out: ban threshold, ban duration, checksum-check ordering, good-score
 //! credit requirement, and detection window length.
+//!
+//! ```text
+//! ablate [--jobs N] [threshold|check-order|duration|good-score|window|reconnect|all]
+//! ```
+//!
+//! The simulator-driven sweeps (threshold, reconnect pacing) run their
+//! independently-seeded points on `N` workers; rows are collected first
+//! and printed in sweep order, so the output is identical for any `N`.
 
 use banscore::testbed::{addrs, Testbed, TestbedConfig};
 use btc_attack::flood::{FloodConfig, Flooder};
@@ -15,13 +23,13 @@ fn section(title: &str) {
 }
 
 /// How long a Defamation ban takes as the `-banscore` threshold varies.
-fn threshold_sweep() {
+fn threshold_sweep(jobs: usize) {
     section("ban threshold (default 100)");
     println!(
         "{:<10} {:>14} {:>18}",
         "threshold", "msgs to ban", "time to ban (s)"
     );
-    for threshold in [10u32, 50, 100, 200, 500] {
+    let rows = btc_par::par_map(jobs, vec![10u32, 50, 100, 200, 500], |threshold| {
         let mut tb = Testbed::build(TestbedConfig {
             feeders: 0,
             node: NodeConfig {
@@ -45,6 +53,9 @@ fn threshold_sweep() {
         let attacker: &Flooder = tb.sim.app(addrs::ATTACKER).expect("flooder");
         let msgs = attacker.stats.bans.first().map(|b| b.messages).unwrap_or(0);
         let ttb = attacker.mean_time_to_ban().unwrap_or(f64::NAN);
+        (threshold, msgs, ttb)
+    });
+    for (threshold, msgs, ttb) in rows {
         println!("{threshold:<10} {msgs:>14} {ttb:>18.3}");
     }
     println!("\nLinear in the threshold: raising it only rescales the Defamation");
@@ -167,10 +178,11 @@ fn detection_window() {
 }
 
 /// Sybil reconnect pacing: attacker cost of the 0.2 s socket latency.
-fn reconnect_pacing() {
+fn reconnect_pacing(jobs: usize) {
     section("serial-Sybil reconnect latency");
     println!("{:<16} {:>10} {:>18}", "setup delay", "bans/5s", "bans/min (extrap)");
-    for (name, delay) in [("50 ms", 50 * MILLIS), ("200 ms (paper)", 200 * MILLIS), ("1 s", SECS)] {
+    let pacings = vec![("50 ms", 50 * MILLIS), ("200 ms (paper)", 200 * MILLIS), ("1 s", SECS)];
+    let rows = btc_par::par_map(jobs, pacings, |(name, delay)| {
         let mut tb = Testbed::build(TestbedConfig {
             feeders: 0,
             ..TestbedConfig::default()
@@ -189,32 +201,44 @@ fn reconnect_pacing() {
         );
         tb.sim.run_for(5 * SECS);
         let attacker: &Flooder = tb.sim.app(addrs::ATTACKER).expect("flooder");
-        let bans = attacker.stats.bans.len();
+        (name, attacker.stats.bans.len())
+    });
+    for (name, bans) in rows {
         println!("{:<16} {:>10} {:>18.1}", name, bans, bans as f64 * 12.0);
     }
 }
 
+const USAGE: &str =
+    "usage: ablate [--jobs N] [threshold|check-order|duration|good-score|window|reconnect|all]";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
+    let args = match btc_bench::ReproArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let what = args.what.first().map(String::as_str).unwrap_or("all");
     match what {
-        "threshold" => threshold_sweep(),
+        "threshold" => threshold_sweep(args.jobs),
         "check-order" => check_order(),
         "duration" => ban_duration(),
         "good-score" => good_score_credit(),
         "window" => detection_window(),
-        "reconnect" => reconnect_pacing(),
+        "reconnect" => reconnect_pacing(args.jobs),
         "all" => {
-            threshold_sweep();
+            threshold_sweep(args.jobs);
             check_order();
             ban_duration();
             good_score_credit();
             detection_window();
-            reconnect_pacing();
+            reconnect_pacing(args.jobs);
         }
         other => {
             eprintln!("unknown ablation {other:?}");
-            eprintln!("usage: ablate [threshold|check-order|duration|good-score|window|reconnect|all]");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     }

@@ -1,20 +1,26 @@
 //! `repro` — regenerates every table and figure of the paper as text.
 //!
 //! ```text
-//! repro [--quick] [table1|table2|fig6|fig7|table3|fig8|fig10|fig11|counter|all]
+//! repro [--quick] [--csv] [--jobs N]
+//!       [table1|table2|fig6|fig7|table3|fig8|fig10|fig11|counter|evasion|all]
 //! ```
+//!
+//! `--jobs N` fans each experiment's independent, deterministically-seeded
+//! points across `N` worker threads (default: available parallelism). The
+//! simulation-derived outputs are byte-identical for any job count; only
+//! the wall-clock measurements of table2/fig11 vary run to run.
 
 use banscore::countermeasure::{auth_overhead, evaluate_countermeasures, render_countermeasures};
-use banscore::scenario::evasion::{render_evasion, run_evasion, EvasionConfig};
-use banscore::scenario::fig10::{render_fig10, run_fig10};
-use banscore::scenario::fig6::{render_fig6, run_fig6};
-use banscore::scenario::fig8::{render_fig8, run_fig8};
-use banscore::scenario::table3::{render_table3, run_table3};
-use btc_attack::meter::{measure_bogus_block, measure_table2, render_table2};
-use btc_bench::ReproConfig;
+use banscore::scenario::evasion::{render_evasion, run_evasion_jobs, EvasionConfig};
+use banscore::scenario::fig10::{render_fig10, run_fig10_jobs};
+use banscore::scenario::fig6::{render_fig6, run_fig6_jobs};
+use banscore::scenario::fig8::{render_fig8, run_fig8_jobs};
+use banscore::scenario::table3::{render_table3, run_table3_jobs};
+use btc_attack::meter::{fixtures, measure_bogus_block_with, measure_table2_with, render_table2};
+use btc_bench::{ReproArgs, ReproConfig};
 use btc_detect::dataset::Dataset;
-use btc_detect::eval::{compare_accuracy, render_accuracy};
-use btc_detect::latency::{compare_latencies, render_fig11};
+use btc_detect::eval::{compare_accuracy_jobs, render_accuracy};
+use btc_detect::latency::{compare_latencies_jobs, render_fig11};
 use btc_node::banscore::render_table1;
 
 fn section(title: &str) {
@@ -22,8 +28,8 @@ fn section(title: &str) {
 }
 
 /// When `--csv` is given, experiment results are also written here.
-fn csv_out(name: &str, contents: &str) {
-    if !std::env::args().any(|a| a == "--csv") {
+fn csv_out(args: &ReproArgs, name: &str, contents: &str) {
+    if !args.csv {
         return;
     }
     let dir = std::path::Path::new("results");
@@ -50,52 +56,55 @@ fn table1() {
     );
 }
 
-fn table2(cfg: &ReproConfig) {
+fn table2(cfg: &ReproConfig, args: &ReproArgs) {
     section("Table II — per-message attacker cost vs victim impact (measured)");
-    let mut rows = measure_table2(cfg.table2_iters);
-    rows.push(measure_bogus_block(cfg.table2_iters, 200_000));
+    // One fixture chain serves both the 19 regular rows and the bogus
+    // block (it used to be mined twice).
+    let fx = fixtures();
+    let mut rows = measure_table2_with(&fx, cfg.table2_iters, args.jobs);
+    rows.push(measure_bogus_block_with(&fx, cfg.table2_iters, 200_000));
     rows.sort_by(|a, b| b.ratio.partial_cmp(&a.ratio).expect("no NaN"));
     print!("{}", render_table2(&rows));
-    csv_out("table2.csv", &btc_bench::csv::table2(&rows));
+    csv_out(args, "table2.csv", &btc_bench::csv::table2(&rows));
     println!("\n(paper: BLOCK ratio 26323, BLOCKTXN 5849, CMPCTBLOCK 3192; bogus BLOCK 2133)");
 }
 
-fn fig6(cfg: &ReproConfig) {
+fn fig6(cfg: &ReproConfig, args: &ReproArgs) {
     section("Figure 6 — BM-DoS impact on mining rate");
-    let points = run_fig6(cfg.flood_secs);
+    let points = run_fig6_jobs(cfg.flood_secs, args.jobs);
     print!("{}", render_fig6(&points));
-    csv_out("fig6.csv", &btc_bench::csv::fig6(&points));
+    csv_out(args, "fig6.csv", &btc_bench::csv::fig6(&points));
     println!("\n(paper: none 9.5e5; block 3.5/2.8/2.6e5; ping 5.5/4.6/3.5e5 at 1/10/20 conns)");
 }
 
-fn table3(cfg: &ReproConfig) {
+fn table3(cfg: &ReproConfig, args: &ReproArgs) {
     section("Table III / Figure 7 — BM-DoS vs network-layer flooding");
-    let rows = run_table3(cfg.flood_secs);
+    let rows = run_table3_jobs(cfg.flood_secs, args.jobs);
     print!("{}", render_table3(&rows));
-    csv_out("table3.csv", &btc_bench::csv::table3(&rows));
+    csv_out(args, "table3.csv", &btc_bench::csv::table3(&rows));
     println!("\n(paper: PING capped at 1e3 msg/s; ICMP reaches 1e6 pps; at equal rates the");
     println!(" application-layer flood degrades mining more)");
 }
 
-fn fig8(cfg: &ReproConfig) {
+fn fig8(cfg: &ReproConfig, args: &ReproArgs) {
     section("Figure 8 / §VI-D — Defamation timing");
-    let r = run_fig8(cfg.fig8_secs);
+    let r = run_fig8_jobs(cfg.fig8_secs, args.jobs);
     print!("{}", render_fig8(&r));
-    csv_out("fig8_staircase.csv", &btc_bench::csv::fig8_staircase(&r));
+    csv_out(args, "fig8_staircase.csv", &btc_bench::csv::fig8_staircase(&r));
 }
 
-fn fig10(cfg: &ReproConfig) {
+fn fig10(cfg: &ReproConfig, args: &ReproArgs) {
     section("Figure 10 — anomaly detection (normal vs BM-DoS vs Defamation)");
-    let r = run_fig10(cfg.fig10);
+    let r = run_fig10_jobs(cfg.fig10, args.jobs);
     print!("{}", render_fig10(&r));
     println!("\n(paper: τ_n=[252,390], τ_c=[0,2.1], τ_Λ=0.993; ρ=0.05 under BM-DoS,");
     println!(" ρ=0.88 under Defamation, c=5.3/min)");
 }
 
-fn fig11(cfg: &ReproConfig) {
+fn fig11(cfg: &ReproConfig, args: &ReproArgs) {
     section("Figure 11 — detection training/testing latency vs ML baselines");
     // Build a labelled dataset from the trained scenario traffic.
-    let r = run_fig10(cfg.fig10);
+    let r = run_fig10_jobs(cfg.fig10, args.jobs);
     let mut windows = Vec::new();
     let mut labels = Vec::new();
     // Replicate the aggregate case windows into a training corpus.
@@ -111,9 +120,9 @@ fn fig11(cfg: &ReproConfig) {
             labels.push(label);
         }
     }
-    let rows = compare_latencies(&windows, &labels);
+    let rows = compare_latencies_jobs(&windows, &labels, args.jobs);
     print!("{}", render_fig11(&rows));
-    csv_out("fig11.csv", &btc_bench::csv::fig11(&rows));
+    csv_out(args, "fig11.csv", &btc_bench::csv::fig11(&rows));
     println!("\n(paper: the statistical engine is ≥4 orders of magnitude faster than the");
     println!(" Python/sklearn baselines; our compiled-Rust baselines narrow the absolute");
     println!(" gap but preserve the ordering — see EXPERIMENTS.md)");
@@ -125,17 +134,21 @@ fn fig11(cfg: &ReproConfig) {
         ds.push(*w, *l);
     }
     println!("\nDetection accuracy (held-out every 4th window):");
-    print!("{}", render_accuracy(&compare_accuracy(&ds, 4)));
+    print!(
+        "{}",
+        render_accuracy(&compare_accuracy_jobs(&ds, 4, args.jobs))
+    );
 }
 
-fn evasion() {
+fn evasion(args: &ReproArgs) {
     section("Extension (§VII future work) — the intelligent/evasive attacker");
-    let r = run_evasion(
+    let r = run_evasion_jobs(
         EvasionConfig::default(),
         &[30.0, 150.0, 1_000.0, 12_000.0],
+        args.jobs,
     );
     print!("{}", render_evasion(&r));
-    csv_out("evasion.csv", &btc_bench::csv::evasion(&r));
+    csv_out(args, "evasion.csv", &btc_bench::csv::evasion(&r));
     println!("\nThe paper's mitigation argument, quantified: staying under the");
     println!("detector's thresholds caps the attacker's damage.");
 }
@@ -155,45 +168,49 @@ fn counter() {
     );
 }
 
+const USAGE: &str = "usage: repro [--quick] [--csv] [--jobs N] \
+[table1|table2|fig6|fig7|table3|fig8|fig10|fig11|evasion|counter|all]";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let cfg = if quick {
-        ReproConfig::quick()
-    } else {
-        ReproConfig::default()
+    let args = match ReproArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
     };
-    let what: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let what = if what.is_empty() { vec!["all"] } else { what };
-    for w in what {
-        match w {
+    let cfg = args.config();
+    let what: Vec<String> = if args.what.is_empty() {
+        vec!["all".to_owned()]
+    } else {
+        args.what.clone()
+    };
+    for w in &what {
+        match w.as_str() {
             "table1" => table1(),
-            "table2" => table2(&cfg),
-            "fig6" => fig6(&cfg),
-            "fig7" | "table3" => table3(&cfg),
-            "fig8" => fig8(&cfg),
-            "fig10" => fig10(&cfg),
-            "fig11" => fig11(&cfg),
+            "table2" => table2(&cfg, &args),
+            "fig6" => fig6(&cfg, &args),
+            "fig7" | "table3" => table3(&cfg, &args),
+            "fig8" => fig8(&cfg, &args),
+            "fig10" => fig10(&cfg, &args),
+            "fig11" => fig11(&cfg, &args),
             "counter" => counter(),
-            "evasion" => evasion(),
+            "evasion" => evasion(&args),
             "all" => {
                 table1();
-                table2(&cfg);
-                fig6(&cfg);
-                table3(&cfg);
-                fig8(&cfg);
-                fig10(&cfg);
-                fig11(&cfg);
-                evasion();
+                table2(&cfg, &args);
+                fig6(&cfg, &args);
+                table3(&cfg, &args);
+                fig8(&cfg, &args);
+                fig10(&cfg, &args);
+                fig11(&cfg, &args);
+                evasion(&args);
                 counter();
             }
             other => {
                 eprintln!("unknown experiment {other:?}");
-                        eprintln!("usage: repro [--quick] [table1|table2|fig6|fig7|table3|fig8|fig10|fig11|evasion|counter|all]");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }

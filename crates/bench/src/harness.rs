@@ -25,8 +25,16 @@
 //! Machine-readable output: when `BANSCORE_BENCH_JSON` names a file, every
 //! finished benchmark appends one JSON object per line (group, bench,
 //! median/p10/p90 ns, iteration count, declared throughput). The perf
-//! trajectory under `results/BENCH_hashpath.json` is assembled from these
-//! records by `scripts/bench.sh`.
+//! trajectory under `results/BENCH_hashpath.json` and
+//! `results/BENCH_sweep.json` is assembled from these records by
+//! `scripts/bench.sh`.
+//!
+//! The warmup/sampling loop itself is **deliberately serial**: a timed
+//! sample that shares its cores with other samples measures scheduler
+//! contention, not the routine. Parallelism belongs *inside* the benched
+//! function — the `sweep_repro` bench times `run_*_jobs` (the `btc_par`
+//! fan-out) against the serial sweeps as separate benchmarks, which keeps
+//! every individual sample contention-free and the comparison honest.
 
 use std::hint::black_box;
 use std::io::Write;

@@ -61,6 +61,132 @@ impl ReproConfig {
     }
 }
 
+/// Parsed command line of the `repro` binary. Flags are scanned **once**
+/// at startup (`csv_out` used to re-scan `std::env::args()` on every
+/// call) and carried through every experiment section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReproArgs {
+    /// `--quick`: use [`ReproConfig::quick`] experiment sizes.
+    pub quick: bool,
+    /// `--csv`: also write results/<experiment>.csv files.
+    pub csv: bool,
+    /// `--jobs N` (or `--jobs=N`): worker threads for the experiment
+    /// sweeps. Defaults to the machine's available parallelism.
+    pub jobs: usize,
+    /// The experiments to run, in order; empty means "all".
+    pub what: Vec<String>,
+}
+
+impl Default for ReproArgs {
+    fn default() -> Self {
+        ReproArgs {
+            quick: false,
+            csv: false,
+            jobs: btc_par::default_jobs(),
+            what: Vec::new(),
+        }
+    }
+}
+
+impl ReproArgs {
+    /// Parses the argument list (without the program name). Unknown
+    /// `--flags` and malformed `--jobs` values are errors; bare words are
+    /// collected as experiment names and validated by the dispatcher.
+    pub fn parse<I, S>(args: I) -> Result<ReproArgs, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = ReproArgs::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let arg = arg.as_ref();
+            match arg {
+                "--quick" => out.quick = true,
+                "--csv" => out.csv = true,
+                "--jobs" => {
+                    let v = iter
+                        .next()
+                        .ok_or_else(|| "--jobs requires a value".to_owned())?;
+                    out.jobs = parse_jobs(v.as_ref())?;
+                }
+                _ if arg.starts_with("--jobs=") => {
+                    out.jobs = parse_jobs(&arg["--jobs=".len()..])?;
+                }
+                _ if arg.starts_with("--") => {
+                    return Err(format!("unknown flag {arg:?}"));
+                }
+                _ => out.what.push(arg.to_owned()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The experiment sizes selected by the flags.
+    pub fn config(&self) -> ReproConfig {
+        if self.quick {
+            ReproConfig::quick()
+        } else {
+            ReproConfig::default()
+        }
+    }
+}
+
+fn parse_jobs(v: &str) -> Result<usize, String> {
+    let n: usize = v
+        .parse()
+        .map_err(|_| format!("--jobs expects a positive integer, got {v:?}"))?;
+    if n == 0 {
+        return Err("--jobs must be at least 1".to_owned());
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let a = ReproArgs::parse(Vec::<String>::new()).unwrap();
+        assert!(!a.quick);
+        assert!(!a.csv);
+        assert!(a.jobs >= 1);
+        assert!(a.what.is_empty());
+    }
+
+    #[test]
+    fn parse_flags_and_experiments() {
+        let a = ReproArgs::parse(["--quick", "fig6", "--csv", "table3"]).unwrap();
+        assert!(a.quick);
+        assert!(a.csv);
+        assert_eq!(a.what, vec!["fig6", "table3"]);
+    }
+
+    #[test]
+    fn parse_jobs_both_spellings() {
+        assert_eq!(ReproArgs::parse(["--jobs", "4"]).unwrap().jobs, 4);
+        assert_eq!(ReproArgs::parse(["--jobs=7"]).unwrap().jobs, 7);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(ReproArgs::parse(["--jobs"]).is_err());
+        assert!(ReproArgs::parse(["--jobs", "zero"]).is_err());
+        assert!(ReproArgs::parse(["--jobs", "0"]).is_err());
+        assert!(ReproArgs::parse(["--jobs=-3"]).is_err());
+        assert!(ReproArgs::parse(["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn quick_selects_quick_config() {
+        let a = ReproArgs::parse(["--quick"]).unwrap();
+        assert_eq!(a.config().flood_secs, ReproConfig::quick().flood_secs);
+        let b = ReproArgs::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(b.config().flood_secs, ReproConfig::default().flood_secs);
+    }
+}
+
 /// CSV serializers for the experiment results — written next to the text
 /// tables when `repro --csv` is used, so figures can be re-plotted with
 /// any external tool.

@@ -61,8 +61,60 @@ impl Default for EvasionConfig {
     }
 }
 
+/// Runs one evasion operating point: a fresh per-rate-seeded testbed with
+/// an evasive flooder, judged against the (shared, immutable) trained
+/// profile. The seed depends on the point's *index*, not the thread that
+/// runs it, so fan-out cannot change the result.
+pub fn run_point(
+    index: usize,
+    rate: f64,
+    cfg: &EvasionConfig,
+    engine: &AnalysisEngine,
+    profile: &Profile,
+    model: &ContentionModel,
+) -> EvasionPoint {
+    let settle = MINUTES;
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 100 + index as u64,
+        ..TestbedConfig::default()
+    });
+    tb.sim.add_host(
+        addrs::ATTACKER,
+        Box::new(EvasiveFlooder::new(EvasiveConfig::stealthy(
+            tb.target_addr,
+            rate,
+            cfg.attack_weight,
+        ))),
+        HostConfig::default(),
+    );
+    tb.sim.run_for(settle + cfg.test);
+    let window = tb.single_window(settle, settle + cfg.test);
+    let detection = engine.detect(profile, &window);
+    let attacker: &EvasiveFlooder = tb.sim.app(addrs::ATTACKER).expect("evasive flooder");
+    let secs = as_secs_f64(cfg.test);
+    let load = model.app_layer_load(
+        attacker.stats.messages_sent,
+        attacker.stats.bytes_sent,
+        secs,
+    );
+    let mining_rate = model.mining_rate(load);
+    EvasionPoint {
+        rate_per_min: rate,
+        sent: attacker.stats.messages_sent,
+        detected: detection.anomalous,
+        mining_rate,
+        damage: 1.0 - mining_rate / model.baseline_hash_rate,
+    }
+}
+
 /// Runs the evasion sweep over attacker rates.
 pub fn run_evasion(cfg: EvasionConfig, rates_per_min: &[f64]) -> EvasionResult {
+    run_evasion_jobs(cfg, rates_per_min, 1)
+}
+
+/// [`run_evasion`] with the per-rate testbeds fanned across `jobs`
+/// workers (training stays serial — every point needs the profile).
+pub fn run_evasion_jobs(cfg: EvasionConfig, rates_per_min: &[f64], jobs: usize) -> EvasionResult {
     let engine = AnalysisEngine::default();
     let model = ContentionModel::default();
     // Train on clean traffic.
@@ -75,40 +127,10 @@ pub fn run_evasion(cfg: EvasionConfig, rates_per_min: &[f64]) -> EvasionResult {
     let profile = engine
         .train(&tb.windows(settle, cfg.train, cfg.window))
         .expect("training windows");
-    let mut points = Vec::new();
-    for (i, rate) in rates_per_min.iter().enumerate() {
-        let mut tb = Testbed::build(TestbedConfig {
-            seed: 100 + i as u64,
-            ..TestbedConfig::default()
-        });
-        tb.sim.add_host(
-            addrs::ATTACKER,
-            Box::new(EvasiveFlooder::new(EvasiveConfig::stealthy(
-                tb.target_addr,
-                *rate,
-                cfg.attack_weight,
-            ))),
-            HostConfig::default(),
-        );
-        tb.sim.run_for(settle + cfg.test);
-        let window = tb.single_window(settle, settle + cfg.test);
-        let detection = engine.detect(&profile, &window);
-        let attacker: &EvasiveFlooder = tb.sim.app(addrs::ATTACKER).expect("evasive flooder");
-        let secs = as_secs_f64(cfg.test);
-        let load = model.app_layer_load(
-            attacker.stats.messages_sent,
-            attacker.stats.bytes_sent,
-            secs,
-        );
-        let mining_rate = model.mining_rate(load);
-        points.push(EvasionPoint {
-            rate_per_min: *rate,
-            sent: attacker.stats.messages_sent,
-            detected: detection.anomalous,
-            mining_rate,
-            damage: 1.0 - mining_rate / model.baseline_hash_rate,
-        });
-    }
+    let indexed: Vec<(usize, f64)> = rates_per_min.iter().copied().enumerate().collect();
+    let points = btc_par::par_map(jobs, indexed, |(i, rate)| {
+        run_point(i, rate, &cfg, &engine, &profile, &model)
+    });
     EvasionResult { profile, points }
 }
 

@@ -69,8 +69,62 @@ fn normal_testbed(innocents: usize, target_outbound: usize, seed: u64) -> Testbe
     })
 }
 
+/// The evaluated cases in presentation order.
+const CASES: [&str; 3] = ["normal", "bm-dos", "defamation"];
+
+/// Builds, runs and reduces one case's testbed to its aggregate test
+/// window. Each case has its own fixed seed, so the result is independent
+/// of which thread (or order) runs it.
+fn run_case_window(name: &str, cfg: &Fig10Config) -> TrafficWindow {
+    let settle = MINUTES; // ignore the handshake minute
+    match name {
+        // Clean test traffic (fresh seed).
+        "normal" => {
+            let mut tb = normal_testbed(0, 0, 2);
+            tb.sim.run_for(settle + cfg.test);
+            tb.single_window(settle, settle + cfg.test)
+        }
+        // Under BM-DoS (PING flood on top of normal traffic).
+        "bm-dos" => {
+            let mut tb = normal_testbed(0, 0, 3);
+            tb.sim.add_host(
+                addrs::ATTACKER,
+                Box::new(Flooder::new(FloodConfig {
+                    target: tb.target_addr,
+                    payload: FloodPayload::Ping,
+                    ..FloodConfig::default()
+                })),
+                HostConfig::default(),
+            );
+            tb.sim.run_for(settle + cfg.test);
+            tb.single_window(settle, settle + cfg.test)
+        }
+        // Under Defamation of the target's outbound peers.
+        "defamation" => {
+            let mut tb = normal_testbed(cfg.innocents, 2, 4);
+            let tap = tb.sim.add_tap(TapFilter::Host(addrs::TARGET));
+            let victim_ips = tb.innocent_ips.clone();
+            let mut defamer = PostConnDefamer::new(tb.target_addr, victim_ips, tap);
+            // Pace the strikes so the defamation spans the whole measurement
+            // window (each wave hits both live outbound peers): ~6 bans/minute,
+            // the order of the paper's measured c = 5.3/min.
+            defamer.poll = 20 * SECS;
+            tb.sim.add_host(addrs::ATTACKER, Box::new(defamer), HostConfig::default());
+            tb.sim.run_for(settle + cfg.test);
+            tb.single_window(settle, settle + cfg.test)
+        }
+        other => panic!("unknown case {other}"),
+    }
+}
+
 /// Runs the Figure-10 study.
 pub fn run_fig10(cfg: Fig10Config) -> Fig10Result {
+    run_fig10_jobs(cfg, 1)
+}
+
+/// [`run_fig10`] with the three evaluation cases fanned across `jobs`
+/// workers (training stays serial — every case depends on the profile).
+pub fn run_fig10_jobs(cfg: Fig10Config, jobs: usize) -> Fig10Result {
     let engine = AnalysisEngine::default();
     // ---- Training on clean traffic.
     let mut tb = normal_testbed(0, 0, 1);
@@ -79,43 +133,10 @@ pub fn run_fig10(cfg: Fig10Config) -> Fig10Result {
     let windows = tb.windows(settle, cfg.train, cfg.window);
     let profile = engine.train(&windows).expect("training windows");
 
-    let mut cases = Vec::new();
-
-    // ---- Case 1: clean test traffic (fresh seed).
-    let mut tb = normal_testbed(0, 0, 2);
-    tb.sim.run_for(settle + cfg.test);
-    let window = tb.single_window(settle, settle + cfg.test);
-    cases.push(case("normal", &engine, &profile, window));
-
-    // ---- Case 2: under BM-DoS (PING flood on top of normal traffic).
-    let mut tb = normal_testbed(0, 0, 3);
-    tb.sim.add_host(
-        addrs::ATTACKER,
-        Box::new(Flooder::new(FloodConfig {
-            target: tb.target_addr,
-            payload: FloodPayload::Ping,
-            ..FloodConfig::default()
-        })),
-        HostConfig::default(),
-    );
-    tb.sim.run_for(settle + cfg.test);
-    let window = tb.single_window(settle, settle + cfg.test);
-    cases.push(case("bm-dos", &engine, &profile, window));
-
-    // ---- Case 3: under Defamation of the target's outbound peers.
-    let mut tb = normal_testbed(cfg.innocents, 2, 4);
-    let tap = tb.sim.add_tap(TapFilter::Host(addrs::TARGET));
-    let victim_ips = tb.innocent_ips.clone();
-    let mut defamer = PostConnDefamer::new(tb.target_addr, victim_ips, tap);
-    // Pace the strikes so the defamation spans the whole measurement
-    // window (each wave hits both live outbound peers): ~6 bans/minute,
-    // the order of the paper's measured c = 5.3/min.
-    defamer.poll = 20 * SECS;
-    tb.sim.add_host(addrs::ATTACKER, Box::new(defamer), HostConfig::default());
-    tb.sim.run_for(settle + cfg.test);
-    let window = tb.single_window(settle, settle + cfg.test);
-    cases.push(case("defamation", &engine, &profile, window));
-
+    let cases = btc_par::par_map(jobs, CASES.to_vec(), |name| {
+        let window = run_case_window(name, &cfg);
+        case(name, &engine, &profile, window)
+    });
     Fig10Result { profile, cases }
 }
 

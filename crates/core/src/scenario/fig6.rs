@@ -33,8 +33,49 @@ pub struct Fig6Point {
     pub mining_rate: f64,
 }
 
-fn run_point(attack: &'static str, connections: usize, duration_secs: u64) -> Fig6Point {
-    let model = ContentionModel::default();
+/// Configuration of a single Figure-6 point: one attack style, one Sybil
+/// connection count. Plain data, so point lists can be fanned out across
+/// worker threads.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig6PointCfg {
+    /// "none", "block" or "ping".
+    pub attack: &'static str,
+    /// Sybil connection count (0 = idle baseline).
+    pub connections: usize,
+    /// Virtual run length in seconds.
+    pub duration_secs: u64,
+}
+
+/// The sweep's point list in presentation order: the idle baseline, then
+/// {block, ping} × {1, 10, 20} connections.
+pub fn point_list(duration_secs: u64) -> Vec<Fig6PointCfg> {
+    let mut cfgs = vec![Fig6PointCfg {
+        attack: "none",
+        connections: 0,
+        duration_secs,
+    }];
+    for attack in ["block", "ping"] {
+        for connections in [1usize, 10, 20] {
+            cfgs.push(Fig6PointCfg {
+                attack,
+                connections,
+                duration_secs,
+            });
+        }
+    }
+    cfgs
+}
+
+/// Runs one Figure-6 point: builds a fresh deterministic testbed, floods
+/// it, and reduces the measured traffic through the (shared, immutable)
+/// calibrated contention model. Pure in the fan-out sense — no global
+/// state, every simulator is constructed and consumed inside the call.
+pub fn run_point(cfg: Fig6PointCfg, model: &ContentionModel) -> Fig6Point {
+    let Fig6PointCfg {
+        attack,
+        connections,
+        duration_secs,
+    } = cfg;
     if connections == 0 {
         return Fig6Point {
             attack,
@@ -81,15 +122,19 @@ fn run_point(attack: &'static str, connections: usize, duration_secs: u64) -> Fi
     }
 }
 
-/// Runs the full Figure-6 sweep.
+/// Runs the full Figure-6 sweep serially.
 pub fn run_fig6(duration_secs: u64) -> Vec<Fig6Point> {
-    let mut out = vec![run_point("none", 0, duration_secs)];
-    for attack in ["block", "ping"] {
-        for connections in [1usize, 10, 20] {
-            out.push(run_point(attack, connections, duration_secs));
-        }
-    }
-    out
+    run_fig6_jobs(duration_secs, 1)
+}
+
+/// Runs the full Figure-6 sweep on `jobs` worker threads. Every point is
+/// an independent, freshly-seeded simulator, so the result is identical
+/// to [`run_fig6`] for any job count.
+pub fn run_fig6_jobs(duration_secs: u64, jobs: usize) -> Vec<Fig6Point> {
+    let model = ContentionModel::default();
+    btc_par::par_map(jobs, point_list(duration_secs), |cfg| {
+        run_point(cfg, &model)
+    })
 }
 
 /// Renders Figure 6 as text.

@@ -34,7 +34,25 @@ pub struct Fig8Result {
     pub full_ip_minutes: f64,
 }
 
-fn run_serial(extra_interval: Nanos, duration_secs: u64) -> (Testbed, usize) {
+/// One pacing's measurements, reduced to plain data. The simulator (which
+/// holds `Rc` tap handles and boxed apps, and is therefore not `Send`) is
+/// built *and* consumed inside [`run_point`], so runs can execute on
+/// worker threads.
+#[derive(Clone, Debug)]
+pub struct Fig8Run {
+    /// Mean seconds from flood start to ban.
+    pub time_to_ban: f64,
+    /// Identifiers banned during the run.
+    pub bans: usize,
+    /// Mean seconds between a ban and the next session being established.
+    pub reconnect_latency: f64,
+    /// Ban-score staircase of the first banned identifier.
+    pub staircase: Vec<(f64, u32)>,
+}
+
+/// Runs one serial-Sybil Defamation flood at the given pacing and reduces
+/// everything Figure 8 needs from it.
+pub fn run_point(extra_interval: Nanos, duration_secs: u64) -> Fig8Run {
     let mut tb = Testbed::build(TestbedConfig {
         feeders: 0,
         ..TestbedConfig::default()
@@ -53,19 +71,9 @@ fn run_serial(extra_interval: Nanos, duration_secs: u64) -> (Testbed, usize) {
         HostConfig::default(),
     );
     tb.sim.run_for(duration_secs * SECS);
-    let bans = {
-        let attacker: &Flooder = tb.sim.app(addrs::ATTACKER).expect("flooder");
-        attacker.stats.bans.len()
-    };
-    (tb, bans)
-}
-
-/// Runs the Figure-8 study: `duration_secs` of serial-Sybil Defamation at
-/// both pacings.
-pub fn run_fig8(duration_secs: u64) -> Fig8Result {
-    let (tb_fast, bans_fast) = run_serial(0, duration_secs);
-    let attacker: &Flooder = tb_fast.sim.app(addrs::ATTACKER).expect("flooder");
-    let time_to_ban_fast = attacker.mean_time_to_ban().unwrap_or(f64::NAN);
+    let attacker: &Flooder = tb.sim.app(addrs::ATTACKER).expect("flooder");
+    let time_to_ban = attacker.mean_time_to_ban().unwrap_or(f64::NAN);
+    let bans = attacker.stats.bans.len();
     // Reconnect latency: gap between a ban and the next session start.
     let mut reconnect_gaps = Vec::new();
     for pair in attacker.stats.bans.windows(2) {
@@ -82,7 +90,7 @@ pub fn run_fig8(duration_secs: u64) -> Fig8Result {
     };
     // The staircase of the first banned identifier, from the target's own
     // misbehavior tracker.
-    let node = tb_fast.target_node();
+    let node = tb.target_node();
     let first_peer = node.tracker.events().first().map(|e| e.peer);
     let mut staircase = Vec::new();
     if let Some(peer) = first_peer {
@@ -97,16 +105,35 @@ pub fn run_fig8(duration_secs: u64) -> Fig8Result {
             staircase.push(((e.time - t0) as f64 / SECS as f64, e.total));
         }
     }
-    let (tb_slow, _) = run_serial(MILLIS, duration_secs);
-    let attacker_slow: &Flooder = tb_slow.sim.app(addrs::ATTACKER).expect("flooder");
-    let time_to_ban_slow = attacker_slow.mean_time_to_ban().unwrap_or(f64::NAN);
-    let full_ip_minutes = EPHEMERAL_PORTS as f64 * (time_to_ban_fast + reconnect_latency) / 60.0;
-    Fig8Result {
-        staircase,
-        time_to_ban_fast,
-        time_to_ban_slow,
+    Fig8Run {
+        time_to_ban,
+        bans,
         reconnect_latency,
-        bans_fast,
+        staircase,
+    }
+}
+
+/// Runs the Figure-8 study: `duration_secs` of serial-Sybil Defamation at
+/// both pacings.
+pub fn run_fig8(duration_secs: u64) -> Fig8Result {
+    run_fig8_jobs(duration_secs, 1)
+}
+
+/// [`run_fig8`] with the two pacings (no delay, +1 ms) fanned across
+/// `jobs` workers. Results are identical for any job count.
+pub fn run_fig8_jobs(duration_secs: u64, jobs: usize) -> Fig8Result {
+    let runs = btc_par::par_map(jobs, vec![0 as Nanos, MILLIS], |extra| {
+        run_point(extra, duration_secs)
+    });
+    let [fast, slow]: [Fig8Run; 2] = runs.try_into().expect("two pacings");
+    let full_ip_minutes =
+        EPHEMERAL_PORTS as f64 * (fast.time_to_ban + fast.reconnect_latency) / 60.0;
+    Fig8Result {
+        staircase: fast.staircase,
+        time_to_ban_fast: fast.time_to_ban,
+        time_to_ban_slow: slow.time_to_ban,
+        reconnect_latency: fast.reconnect_latency,
+        bans_fast: fast.bans,
         full_ip_minutes,
     }
 }

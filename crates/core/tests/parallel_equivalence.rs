@@ -1,0 +1,34 @@
+//! End-to-end check of the parallel-sweep determinism contract: fanning a
+//! scenario's points across worker threads must not change a single byte
+//! of its output. Every point is an independent, freshly-seeded simulator,
+//! so `--jobs N` is a pure scheduling decision.
+//!
+//! The container running CI may have a single core; that is fine — the
+//! pool still exercises the stealing path by time-slicing its workers.
+
+use banscore::scenario::fig6::{render_fig6, run_fig6_jobs};
+use banscore::scenario::table3::{render_table3, run_table3_jobs};
+
+#[test]
+fn fig6_identical_at_jobs_1_and_4() {
+    let serial = run_fig6_jobs(1, 1);
+    let parallel = run_fig6_jobs(1, 4);
+    assert_eq!(serial.len(), parallel.len());
+    // Exact float equality is intentional: same seeds, same arithmetic,
+    // same order — parallelism must not perturb anything.
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.attack, p.attack);
+        assert_eq!(s.connections, p.connections);
+        assert_eq!(s.msgs_per_sec.to_bits(), p.msgs_per_sec.to_bits());
+        assert_eq!(s.mbits_per_sec.to_bits(), p.mbits_per_sec.to_bits());
+        assert_eq!(s.mining_rate.to_bits(), p.mining_rate.to_bits());
+    }
+    assert_eq!(render_fig6(&serial), render_fig6(&parallel));
+}
+
+#[test]
+fn table3_render_identical_at_jobs_1_and_3() {
+    let serial = run_table3_jobs(1, 1);
+    let parallel = run_table3_jobs(1, 3);
+    assert_eq!(render_table3(&serial), render_table3(&parallel));
+}

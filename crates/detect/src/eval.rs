@@ -107,6 +107,15 @@ pub struct AccuracyRow {
 
 /// Evaluates the engine and all baselines on a k-th split of `dataset`.
 pub fn compare_accuracy(dataset: &Dataset, every_kth: usize) -> Vec<AccuracyRow> {
+    compare_accuracy_jobs(dataset, every_kth, 1)
+}
+
+/// [`compare_accuracy`] with the seven ML baselines fitted on `jobs`
+/// worker threads. Every baseline is deterministically seeded and fits on
+/// its own model state, so row order ("Ours" first, then the baselines in
+/// [`crate::ml::all_baselines`] order) and metrics are identical for any
+/// job count.
+pub fn compare_accuracy_jobs(dataset: &Dataset, every_kth: usize, jobs: usize) -> Vec<AccuracyRow> {
     let (train, test) = dataset.split_every_kth(every_kth);
     let engine = AnalysisEngine::default();
     let (_, m) = evaluate_engine(&engine, &train, &test);
@@ -114,11 +123,11 @@ pub fn compare_accuracy(dataset: &Dataset, every_kth: usize) -> Vec<AccuracyRow>
         name: "Ours",
         metrics: m,
     }];
-    for mut clf in crate::ml::all_baselines() {
+    rows.extend(btc_par::par_map(jobs, crate::ml::all_baselines(), |mut clf| {
         let name = clf.name();
         let metrics = evaluate_classifier(clf.as_mut(), &train, &test);
-        rows.push(AccuracyRow { name, metrics });
-    }
+        AccuracyRow { name, metrics }
+    }));
     rows
 }
 

@@ -23,6 +23,20 @@ pub struct LatencyRow {
 /// `windows`/`labels` feed the ML baselines as flat feature vectors; the
 /// statistical engine trains on the normal subset, exactly as in §VII.
 pub fn compare_latencies(windows: &[TrafficWindow], labels: &[f64]) -> Vec<LatencyRow> {
+    compare_latencies_jobs(windows, labels, 1)
+}
+
+/// [`compare_latencies`] with the seven baselines timed on `jobs` worker
+/// threads. "Ours" is always timed serially first — it is the yardstick
+/// every ratio in Figure 11 divides by, so it must not share a core with
+/// a fitting baseline. Note these rows time *wall clock*: with `jobs > 1`
+/// concurrent baselines contend for cores, so parallel runs are for smoke
+/// tests, not calibrated measurements.
+pub fn compare_latencies_jobs(
+    windows: &[TrafficWindow],
+    labels: &[f64],
+    jobs: usize,
+) -> Vec<LatencyRow> {
     assert_eq!(windows.len(), labels.len());
     let x: Vec<Vec<f64>> = windows.iter().map(|w| w.feature_vector()).collect();
     let normals: Vec<TrafficWindow> = windows
@@ -54,7 +68,7 @@ pub fn compare_latencies(windows: &[TrafficWindow], labels: &[f64]) -> Vec<Laten
         test_ns,
     });
 
-    for mut clf in all_baselines() {
+    rows.extend(btc_par::par_map(jobs, all_baselines(), |mut clf| {
         let start = Instant::now();
         clf.fit(&x, labels);
         let train_ns = start.elapsed().as_nanos() as f64;
@@ -63,12 +77,12 @@ pub fn compare_latencies(windows: &[TrafficWindow], labels: &[f64]) -> Vec<Laten
             black_box(clf.score(row));
         }
         let test_ns = start.elapsed().as_nanos() as f64 / x.len() as f64;
-        rows.push(LatencyRow {
+        LatencyRow {
             name: clf.name(),
             train_ns,
             test_ns,
-        });
-    }
+        }
+    }));
     rows
 }
 

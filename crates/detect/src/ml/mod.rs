@@ -21,7 +21,11 @@ pub use tree::{GradientBoosting, RandomForest};
 /// Labels are `0.0` (normal) / `1.0` (anomalous); scores above `0.5` mean
 /// anomalous. Unsupervised baselines (One-Class SVM, AutoEncoder) ignore
 /// the anomalous rows during fitting and learn the normal manifold only.
-pub trait Classifier {
+///
+/// `Send` is a supertrait so boxed baselines can be fitted on worker
+/// threads during the parallel evaluation sweeps (every implementation is
+/// plain owned data).
+pub trait Classifier: Send {
     /// Model name as shown in Figure 11.
     fn name(&self) -> &'static str;
     /// Trains on rows `x` with labels `y`.

@@ -15,7 +15,7 @@ use crate::time::{Nanos, MICROS};
 use std::any::Any;
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 /// Default one-way link latency (LAN-scale, like the paper's testbed).
@@ -233,6 +233,7 @@ impl Ctx<'_> {
 }
 
 struct Host {
+    ip: Ipv4,
     app: Option<Box<dyn App>>,
     tcp: TcpStack,
     cpu: CpuMeter,
@@ -240,8 +241,11 @@ struct Host {
     counters: HostCounters,
 }
 
+/// Index of a host in the dense slab (assigned in registration order).
+type HostId = u32;
+
 /// One packet observed by a tap.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Sniffed {
     /// Delivery time.
     pub time: Nanos,
@@ -308,9 +312,9 @@ struct Tap {
 }
 
 enum EventKind {
-    Start(Ipv4),
+    Start(HostId),
     Deliver(Packet),
-    Timer(Ipv4, u64),
+    Timer(HostId, u64),
 }
 
 struct Event {
@@ -354,11 +358,22 @@ impl Default for SimConfig {
     }
 }
 
+/// Initial event-queue capacity: enough for the testbed scenarios' burst
+/// of in-flight packets/timers without rehash-style heap growth in the
+/// hot loop.
+const QUEUE_PREALLOC: usize = 1024;
+
 /// The discrete-event network simulator.
+///
+/// Hosts live in a dense slab indexed by [`HostId`] (registration order);
+/// the per-dispatch IP lookup is a binary search over a small sorted
+/// `(Ipv4, HostId)` index instead of a `HashMap` probe — deterministic,
+/// cache-friendly, and free of `RandomState` per-process hashing.
 pub struct Simulator {
     now: Nanos,
     queue: BinaryHeap<Reverse<Event>>,
-    hosts: HashMap<Ipv4, Host>,
+    hosts: Vec<Host>,
+    host_index: Vec<(Ipv4, HostId)>,
     taps: Vec<Tap>,
     config: SimConfig,
     rng: SimRng,
@@ -371,14 +386,35 @@ impl Simulator {
     pub fn new(config: SimConfig) -> Self {
         Simulator {
             now: 0,
-            queue: BinaryHeap::new(),
-            hosts: HashMap::new(),
+            queue: BinaryHeap::with_capacity(QUEUE_PREALLOC),
+            hosts: Vec::new(),
+            host_index: Vec::new(),
             taps: Vec::new(),
             rng: SimRng::new(config.seed),
             config,
             next_seq: 0,
             delivered_packets: 0,
         }
+    }
+
+    /// Resolves an IP to its slab index.
+    #[inline]
+    fn host_id(&self, ip: Ipv4) -> Option<HostId> {
+        self.host_index
+            .binary_search_by_key(&ip, |e| e.0)
+            .ok()
+            .map(|i| self.host_index[i].1)
+    }
+
+    /// Borrows the host registered for `ip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown host.
+    #[inline]
+    fn host(&self, ip: Ipv4) -> &Host {
+        let id = self.host_id(ip).expect("unknown host");
+        &self.hosts[id as usize]
     }
 
     /// Current virtual time.
@@ -398,21 +434,21 @@ impl Simulator {
     ///
     /// Panics if `ip` is already in use.
     pub fn add_host(&mut self, ip: Ipv4, app: Box<dyn App>, config: HostConfig) {
-        assert!(
-            !self.hosts.contains_key(&ip),
-            "host {ip:?} already registered"
-        );
-        self.hosts.insert(
+        let slot = match self.host_index.binary_search_by_key(&ip, |e| e.0) {
+            Ok(_) => panic!("host {ip:?} already registered"),
+            Err(slot) => slot,
+        };
+        let id = self.hosts.len() as HostId;
+        self.hosts.push(Host {
             ip,
-            Host {
-                app: Some(app),
-                tcp: TcpStack::new(ip),
-                cpu: CpuMeter::new(config.capacity_hz),
-                config,
-                counters: HostCounters::default(),
-            },
-        );
-        self.push_event(self.now, EventKind::Start(ip));
+            app: Some(app),
+            tcp: TcpStack::new(ip),
+            cpu: CpuMeter::new(config.capacity_hz),
+            config,
+            counters: HostCounters::default(),
+        });
+        self.host_index.insert(slot, (ip, id));
+        self.push_event(self.now, EventKind::Start(id));
     }
 
     /// Installs a promiscuous tap and returns its capture handle.
@@ -436,29 +472,40 @@ impl Simulator {
         self.push_event(self.now + self.config.latency, EventKind::Deliver(packet));
     }
 
+    /// Advances the clock to the event's time and runs it.
+    #[inline]
+    fn exec(&mut self, ev: Event) {
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        match ev.kind {
+            EventKind::Start(id) => self.dispatch(id, Dispatch::Start),
+            EventKind::Timer(id, token) => self.dispatch(id, Dispatch::Timer(token)),
+            EventKind::Deliver(packet) => self.deliver(packet),
+        }
+    }
+
     /// Runs a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(Reverse(ev)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.time >= self.now, "time went backwards");
-        self.now = ev.time;
-        match ev.kind {
-            EventKind::Start(ip) => self.dispatch(ip, Dispatch::Start),
-            EventKind::Timer(ip, token) => self.dispatch(ip, Dispatch::Timer(token)),
-            EventKind::Deliver(packet) => self.deliver(packet),
-        }
+        self.exec(ev);
         true
     }
 
     /// Runs events until virtual time reaches `t` (events at exactly `t`
     /// are processed).
     pub fn run_until(&mut self, t: Nanos) {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.time > t {
-                break;
+        // Single peek guards each pop (`step` would pop blindly after a
+        // redundant heap sift — the old path paid `peek` + `pop` + match
+        // per event).
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.time <= t => {}
+                _ => break,
             }
-            self.step();
+            let Reverse(ev) = self.queue.pop().expect("peeked event");
+            self.exec(ev);
         }
         self.now = self.now.max(t);
     }
@@ -485,9 +532,12 @@ impl Simulator {
         }
         self.delivered_packets += 1;
         let dst_ip = packet.dst.ip;
-        let Some(host) = self.hosts.get_mut(&dst_ip) else {
+        // One index lookup per delivery; every later access is a direct
+        // slab index.
+        let Some(dst) = self.host_id(dst_ip) else {
             return; // destination unreachable: dropped
         };
+        let host = &mut self.hosts[dst as usize];
         host.counters.rx_packets += 1;
         host.counters.rx_bytes += packet.wire_len() as u64;
         host.cpu.charge(host.config.kernel_cost_per_packet);
@@ -509,14 +559,13 @@ impl Simulator {
                 }
                 let echo = echo.clone();
                 let from = packet.src.ip;
-                self.with_app(dst_ip, |app, ctx| app.on_icmp(ctx, from, &echo));
+                self.with_app(dst, |app, ctx| app.on_icmp(ctx, from, &echo));
                 for r in replies {
-                    self.account_tx(dst_ip, &r);
+                    self.account_tx(dst, &r);
                     self.send_packet(r);
                 }
             }
             PacketBody::Tcp(seg) => {
-                let host = self.hosts.get_mut(&dst_ip).expect("host exists");
                 let mut app = host.app.take().expect("app present");
                 let (events, replies) =
                     host.tcp
@@ -525,11 +574,11 @@ impl Simulator {
                         });
                 host.app = Some(app);
                 for r in replies {
-                    self.account_tx(dst_ip, &r);
+                    self.account_tx(dst, &r);
                     self.send_packet(r);
                 }
                 for ev in events {
-                    self.with_app(dst_ip, |app, ctx| match &ev {
+                    self.with_app(dst, |app, ctx| match &ev {
                         crate::tcp::TcpEvent::Connected { id, peer, inbound } => {
                             app.on_connected(ctx, *id, *peer, *inbound)
                         }
@@ -548,8 +597,8 @@ impl Simulator {
         }
     }
 
-    fn dispatch(&mut self, ip: Ipv4, what: Dispatch) {
-        self.with_app(ip, |app, ctx| match what {
+    fn dispatch(&mut self, id: HostId, what: Dispatch) {
+        self.with_app(id, |app, ctx| match what {
             Dispatch::Start => app.on_start(ctx),
             Dispatch::Timer(token) => app.on_timer(ctx, token),
         });
@@ -557,19 +606,17 @@ impl Simulator {
 
     /// Runs `f` with the host's app and a fresh [`Ctx`], then applies the
     /// collected outputs (packet sends, timers).
-    fn with_app<F>(&mut self, ip: Ipv4, f: F)
+    fn with_app<F>(&mut self, id: HostId, f: F)
     where
         F: FnOnce(&mut dyn App, &mut Ctx<'_>),
     {
-        let Some(host) = self.hosts.get_mut(&ip) else {
-            return;
-        };
+        let host = &mut self.hosts[id as usize];
         let mut app = host.app.take().expect("app present");
         let mut out = Outbox::default();
         {
             let mut ctx = Ctx {
                 now: self.now,
-                ip,
+                ip: host.ip,
                 tcp: &mut host.tcp,
                 cpu: &mut host.cpu,
                 rng: &mut self.rng,
@@ -579,19 +626,18 @@ impl Simulator {
         }
         host.app = Some(app);
         for p in out.packets {
-            self.account_tx(ip, &p);
+            self.account_tx(id, &p);
             self.send_packet(p);
         }
         for (delay, token) in out.timers {
-            self.push_event(self.now + delay, EventKind::Timer(ip, token));
+            self.push_event(self.now + delay, EventKind::Timer(id, token));
         }
     }
 
-    fn account_tx(&mut self, ip: Ipv4, p: &Packet) {
-        if let Some(h) = self.hosts.get_mut(&ip) {
-            h.counters.tx_packets += 1;
-            h.counters.tx_bytes += p.wire_len() as u64;
-        }
+    fn account_tx(&mut self, id: HostId, p: &Packet) {
+        let h = &mut self.hosts[id as usize];
+        h.counters.tx_packets += 1;
+        h.counters.tx_bytes += p.wire_len() as u64;
     }
 
     /// Traffic counters of a host.
@@ -600,7 +646,7 @@ impl Simulator {
     ///
     /// Panics for an unknown host.
     pub fn host_counters(&self, ip: Ipv4) -> HostCounters {
-        self.hosts[&ip].counters
+        self.host(ip).counters
     }
 
     /// CPU meter of a host.
@@ -609,7 +655,7 @@ impl Simulator {
     ///
     /// Panics for an unknown host.
     pub fn host_cpu(&self, ip: Ipv4) -> &CpuMeter {
-        &self.hosts[&ip].cpu
+        &self.host(ip).cpu
     }
 
     /// Transport drop statistics of a host.
@@ -618,7 +664,7 @@ impl Simulator {
     ///
     /// Panics for an unknown host.
     pub fn host_tcp_drops(&self, ip: Ipv4) -> TcpDropStats {
-        self.hosts[&ip].tcp.drops
+        self.host(ip).tcp.drops
     }
 
     /// Open socket count of a host.
@@ -627,7 +673,7 @@ impl Simulator {
     ///
     /// Panics for an unknown host.
     pub fn host_socket_count(&self, ip: Ipv4) -> usize {
-        self.hosts[&ip].tcp.socket_count()
+        self.host(ip).tcp.socket_count()
     }
 
     /// Downcasts a host's app for inspection.
@@ -636,7 +682,7 @@ impl Simulator {
     ///
     /// Panics for an unknown host.
     pub fn app<T: App>(&self, ip: Ipv4) -> Option<&T> {
-        self.hosts[&ip]
+        self.host(ip)
             .app
             .as_ref()
             .and_then(|a| a.as_any().downcast_ref::<T>())
@@ -648,9 +694,8 @@ impl Simulator {
     ///
     /// Panics for an unknown host.
     pub fn app_mut<T: App>(&mut self, ip: Ipv4) -> Option<&mut T> {
-        self.hosts
-            .get_mut(&ip)
-            .expect("unknown host")
+        let id = self.host_id(ip).expect("unknown host");
+        self.hosts[id as usize]
             .app
             .as_mut()
             .and_then(|a| a.as_any_mut().downcast_mut::<T>())
@@ -944,6 +989,36 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// The slab + sorted-index host table must keep the full event trace
+    /// reproducible: two fresh same-seed simulators yield byte-identical
+    /// packet captures (every packet, in order, with timestamps) and
+    /// identical per-host counters. This is the foundation the parallel
+    /// sweep fan-out relies on — a `HashMap`'s per-process `RandomState`
+    /// could never reorder *this* trace, but the test pins the contract.
+    #[test]
+    fn determinism_same_seed_identical_captures_and_counters() {
+        let run = || {
+            let mut sim = build_pair();
+            let tap = sim.add_tap(TapFilter::All);
+            sim.run_for(SECS);
+            let captures: Vec<Sniffed> = tap.drain();
+            (
+                captures,
+                sim.host_counters(SRV),
+                sim.host_counters(CLI),
+                sim.host_tcp_drops(SRV),
+                sim.delivered_packets(),
+            )
+        };
+        let (cap_a, srv_a, cli_a, drops_a, n_a) = run();
+        let (cap_b, srv_b, cli_b, drops_b, n_b) = run();
+        assert!(!cap_a.is_empty(), "tap saw traffic");
+        assert_eq!(cap_a, cap_b, "capture traces diverged across same-seed runs");
+        assert_eq!((srv_a, cli_a), (srv_b, cli_b));
+        assert_eq!(drops_a, drops_b);
+        assert_eq!(n_a, n_b);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Runs the six benches with pinned BANSCORE_BENCH_* settings and writes
-# results/BENCH_hashpath.json: median/p10/p90 per bench for the current
-# tree (the "current" section), next to the committed pre-overhaul
-# baseline (the "baseline" section).
+# Runs the benches with pinned BANSCORE_BENCH_* settings and writes
+# results/BENCH_hashpath.json and results/BENCH_sweep.json: median/p10/p90
+# per bench for the current tree (the "current" section), next to the
+# committed pre-change baseline (the "baseline" section). The sweep
+# document isolates the `sweep` bench group (fig6/table3/evasion serial
+# vs `btc_par` fan-out) against its pre-parallelism baseline.
 #
 # Usage:
 #   scripts/bench.sh              # refresh the "current" section
@@ -36,24 +38,42 @@ if [ ! -s "$jsonl" ]; then
   exit 1
 fi
 
-baseline=results/BENCH_hashpath_baseline.jsonl
-if [ "$MODE" = baseline ]; then
-  cp "$jsonl" "$baseline"
-fi
+# Split the sweep group out of the combined record stream: it has its own
+# baseline (captured before the parallel fan-out landed) and document.
+sweep_jsonl=$(mktemp)
+grep '"group":"sweep"' "$jsonl" > "$sweep_jsonl" || true
+hash_jsonl=$(mktemp)
+grep -v '"group":"sweep"' "$jsonl" > "$hash_jsonl" || true
+trap 'rm -f "$jsonl" "$sweep_jsonl" "$hash_jsonl"' EXIT
 
 mkdir -p results
-{
-  echo '{'
-  echo '  "schema": "banscore-bench-hashpath-v1",'
-  echo "  \"settings\": {\"samples\": ${BANSCORE_BENCH_SAMPLES}, \"warmup_ms\": ${BANSCORE_BENCH_WARMUP_MS}, \"sample_ms\": ${BANSCORE_BENCH_SAMPLE_MS}},"
-  echo '  "baseline": ['
-  if [ -f "$baseline" ]; then
-    sed 's/^/    /; $!s/$/,/' "$baseline"
-  fi
-  echo '  ],'
-  echo '  "current": ['
-  sed 's/^/    /; $!s/$/,/' "$jsonl"
-  echo '  ]'
-} > results/BENCH_hashpath.json
-echo '}' >> results/BENCH_hashpath.json
-echo "wrote results/BENCH_hashpath.json ($MODE run, $(wc -l < "$jsonl") bench records)"
+
+# assemble <schema> <baseline.jsonl> <current.jsonl> <out.json>
+assemble() {
+  local schema=$1 baseline=$2 current=$3 out=$4
+  {
+    echo '{'
+    echo "  \"schema\": \"${schema}\","
+    echo "  \"settings\": {\"samples\": ${BANSCORE_BENCH_SAMPLES}, \"warmup_ms\": ${BANSCORE_BENCH_WARMUP_MS}, \"sample_ms\": ${BANSCORE_BENCH_SAMPLE_MS}},"
+    echo '  "baseline": ['
+    if [ -f "$baseline" ]; then
+      sed 's/^/    /; $!s/$/,/' "$baseline"
+    fi
+    echo '  ],'
+    echo '  "current": ['
+    sed 's/^/    /; $!s/$/,/' "$current"
+    echo '  ]'
+    echo '}'
+  } > "$out"
+  echo "wrote $out ($MODE run, $(wc -l < "$current") bench records)"
+}
+
+if [ "$MODE" = baseline ]; then
+  cp "$hash_jsonl" results/BENCH_hashpath_baseline.jsonl
+  cp "$sweep_jsonl" results/BENCH_sweep_baseline.jsonl
+fi
+
+assemble banscore-bench-hashpath-v1 results/BENCH_hashpath_baseline.jsonl \
+  "$hash_jsonl" results/BENCH_hashpath.json
+assemble banscore-bench-sweep-v1 results/BENCH_sweep_baseline.jsonl \
+  "$sweep_jsonl" results/BENCH_sweep.json

@@ -9,7 +9,7 @@ echo "==> cargo tree: dependency graph must contain only workspace members"
 externals=$(cargo tree --offline --workspace --edges normal,build,dev \
   | grep -oE '[a-zA-Z0-9_-]+ v[0-9][^ ]*' \
   | awk '{print $1}' | sort -u \
-  | grep -vE '^(banscore|banscore-suite|btc-attack|btc-bench|btc-detect|btc-netsim|btc-node|btc-wire)$' \
+  | grep -vE '^(banscore|banscore-suite|btc-attack|btc-bench|btc-detect|btc-netsim|btc-node|btc-par|btc-wire)$' \
   || true)
 if [ -n "$externals" ]; then
   echo "ERROR: external crates in the dependency graph:" >&2
@@ -38,4 +38,23 @@ if ! grep -q '"median_ns"' "$smoke_json"; then
 fi
 echo "    $(wc -l < "$smoke_json") bench records OK"
 
-echo "CI OK: hermetic build, tests green, benches compile, bench smoke emits JSON."
+echo "==> jobs matrix: repro output must be byte-identical at --jobs 1 vs --jobs 4"
+# Only the simulation-derived experiments are gated: table2/fig11 time
+# wall-clock costs and differ between ANY two runs, serial or not. The
+# job count 4 is fixed (not nproc) so the pool's stealing path is
+# exercised even on a single-core runner.
+out1=$(mktemp) out4=$(mktemp)
+trap 'rm -f "$smoke_json" "$out1" "$out4"' EXIT
+deterministic="table1 fig6 table3 fig8 fig10 evasion counter"
+cargo run --release --offline -p btc-bench --bin repro -- \
+  --quick --jobs 1 $deterministic > "$out1"
+cargo run --release --offline -p btc-bench --bin repro -- \
+  --quick --jobs 4 $deterministic > "$out4"
+if ! diff -u "$out1" "$out4"; then
+  echo "ERROR: repro output differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+echo "    $(wc -l < "$out1") output lines identical across job counts OK"
+
+echo "CI OK: hermetic build, tests green, benches compile, bench smoke emits JSON,"
+echo "       parallel sweeps reproduce the serial output byte for byte."
