@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--csv] [--jobs N]
-//!       [table1|table2|fig6|fig7|table3|fig8|fig10|fig11|counter|evasion|all]
+//!       [table1|table2|fig6|fig7|table3|fig8|fig10|fig11|counter|evasion|faults|all]
 //! ```
 //!
 //! `--jobs N` fans each experiment's independent, deterministically-seeded
@@ -12,6 +12,7 @@
 
 use banscore::countermeasure::{auth_overhead, evaluate_countermeasures, render_countermeasures};
 use banscore::scenario::evasion::{render_evasion, run_evasion_jobs, EvasionConfig};
+use banscore::scenario::fault_matrix::{render_fault_matrix, run_fault_matrix_jobs};
 use banscore::scenario::fig10::{render_fig10, run_fig10_jobs};
 use banscore::scenario::fig6::{render_fig6, run_fig6_jobs};
 use banscore::scenario::fig8::{render_fig8, run_fig8_jobs};
@@ -153,6 +154,16 @@ fn evasion(args: &ReproArgs) {
     println!("detector's thresholds caps the attacker's damage.");
 }
 
+fn faults(cfg: &ReproConfig, args: &ReproArgs) {
+    section("Robustness — detector accuracy/latency under injected network faults");
+    let r = run_fault_matrix_jobs(&cfg.faults, args.jobs);
+    print!("{}", render_fault_matrix(&r));
+    csv_out(args, "fault_matrix.csv", &btc_bench::csv::fault_matrix(&r));
+    println!("\nThe profile is trained on a clean network; the grid shows how packet loss");
+    println!("attenuates BM-DoS (detection latency grows) and how honest churn pushes the");
+    println!("reconnection-rate feature toward Defamation's signature (false positives).");
+}
+
 fn counter() {
     section("§VIII — countermeasures vs the Defamation attack");
     let rows = evaluate_countermeasures();
@@ -169,7 +180,7 @@ fn counter() {
 }
 
 const USAGE: &str = "usage: repro [--quick] [--csv] [--jobs N] \
-[table1|table2|fig6|fig7|table3|fig8|fig10|fig11|evasion|counter|all]";
+[table1|table2|fig6|fig7|table3|fig8|fig10|fig11|evasion|counter|faults|all]";
 
 fn main() {
     let args = match ReproArgs::parse(std::env::args().skip(1)) {
@@ -197,6 +208,7 @@ fn main() {
             "fig11" => fig11(&cfg, &args),
             "counter" => counter(),
             "evasion" => evasion(&args),
+            "faults" => faults(&cfg, &args),
             "all" => {
                 table1();
                 table2(&cfg, &args);
@@ -206,6 +218,7 @@ fn main() {
                 fig10(&cfg, &args);
                 fig11(&cfg, &args);
                 evasion(&args);
+                faults(&cfg, &args);
                 counter();
             }
             other => {

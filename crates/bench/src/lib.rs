@@ -12,11 +12,12 @@
 
 pub mod harness;
 
+use banscore::scenario::fault_matrix::FaultMatrixConfig;
 use banscore::scenario::fig10::Fig10Config;
 use btc_netsim::time::MINUTES;
 
 /// Experiment sizes for the `repro` binary.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ReproConfig {
     /// Seconds of virtual flooding per Figure-6 / Table-III point.
     pub flood_secs: u64,
@@ -26,6 +27,8 @@ pub struct ReproConfig {
     pub fig10: Fig10Config,
     /// Iterations per Table-II row.
     pub table2_iters: u32,
+    /// The detector-robustness fault grid.
+    pub faults: FaultMatrixConfig,
 }
 
 impl Default for ReproConfig {
@@ -40,6 +43,7 @@ impl Default for ReproConfig {
                 innocents: 80,
             },
             table2_iters: 200,
+            faults: FaultMatrixConfig::full(),
         }
     }
 }
@@ -57,6 +61,7 @@ impl ReproConfig {
                 innocents: 25,
             },
             table2_iters: 10,
+            faults: FaultMatrixConfig::quick(),
         }
     }
 }
@@ -192,6 +197,7 @@ mod tests {
 /// any external tool.
 pub mod csv {
     use banscore::scenario::evasion::EvasionResult;
+    use banscore::scenario::fault_matrix::FaultMatrixResult;
     use banscore::scenario::fig6::Fig6Point;
     use banscore::scenario::fig8::Fig8Result;
     use banscore::scenario::table3::Table3Row;
@@ -256,6 +262,41 @@ pub mod csv {
         let mut out = String::from("method,train_ns,test_ns_per_window\n");
         for r in rows {
             out.push_str(&format!("{},{:.0},{:.1}\n", r.name, r.train_ns, r.test_ns));
+        }
+        out
+    }
+
+    /// The detector-robustness fault matrix.
+    pub fn fault_matrix(r: &FaultMatrixResult) -> String {
+        use btc_netsim::time::MILLIS;
+        let mut out = String::from(
+            "loss,jitter_ms,churn_fpm,false_positive,normal_c,normal_rho,\
+             bmdos_detected,bmdos_latency_s,bmdos_n,\
+             defam_detected,defam_latency_s,defam_c,dropped,retransmits\n",
+        );
+        for p in &r.points {
+            let normal = p.case("normal");
+            let dos = p.case("bm-dos");
+            let def = p.case("defamation");
+            let dropped: u64 = p.cases.iter().map(|c| c.fault_stats.total_dropped()).sum();
+            let rtx: u64 = p.cases.iter().map(|c| c.retransmits).sum();
+            out.push_str(&format!(
+                "{:.3},{},{},{},{:.3},{:.4},{},{:.0},{:.1},{},{:.0},{:.3},{},{}\n",
+                p.point.loss,
+                p.point.jitter / MILLIS,
+                p.point.churn_fpm,
+                u8::from(p.false_positive()),
+                normal.detection.c,
+                normal.rho,
+                u8::from(dos.detection.anomalous),
+                dos.latency_s,
+                dos.detection.n,
+                u8::from(def.detection.anomalous),
+                def.latency_s,
+                def.detection.c,
+                dropped,
+                rtx,
+            ));
         }
         out
     }

@@ -1,6 +1,7 @@
 //! Experiment scenarios: one module per reproduced table/figure.
 
 pub mod evasion;
+pub mod fault_matrix;
 pub mod fig10;
 pub mod fig6;
 pub mod fig8;

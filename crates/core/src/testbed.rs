@@ -4,6 +4,7 @@
 
 use crate::mainnet::MainnetPeer;
 use btc_detect::features::TrafficWindow;
+use btc_netsim::faults::{FaultPlan, LinkFaults};
 use btc_netsim::packet::{Ipv4, SockAddr};
 use btc_netsim::sim::{HostConfig, SimConfig, Simulator};
 use btc_netsim::time::Nanos;
@@ -43,6 +44,11 @@ pub struct TestbedConfig {
     pub target_outbound: usize,
     /// Simulator seed.
     pub seed: u64,
+    /// Per-link fault model (loss/jitter/reordering). Anything active
+    /// auto-enables the simulator's reliable transport.
+    pub faults: LinkFaults,
+    /// Scheduled partitions and link flaps.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for TestbedConfig {
@@ -53,6 +59,8 @@ impl Default for TestbedConfig {
             innocents: 0,
             target_outbound: 0,
             seed: 0xB17C_0123,
+            faults: LinkFaults::NONE,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -82,8 +90,12 @@ impl Testbed {
         assert!(cfg.innocents <= 500, "too many innocents");
         let mut sim = Simulator::new(SimConfig {
             seed: cfg.seed,
+            faults: cfg.faults,
             ..SimConfig::default()
         });
+        if !cfg.fault_plan.is_none() {
+            sim.set_fault_plan(cfg.fault_plan.clone());
+        }
         let target_addr = SockAddr::new(addrs::TARGET, cfg.node.listen_port);
         let innocent_ips: Vec<Ipv4> = (0..cfg.innocents).map(addrs::innocent).collect();
         // Innocent peers first so they are listening before the target dials.

@@ -6,8 +6,12 @@
 //! The container running CI may have a single core; that is fine — the
 //! pool still exercises the stealing path by time-slicing its workers.
 
+use banscore::scenario::fault_matrix::{
+    render_fault_matrix, run_fault_matrix_jobs, FaultMatrixConfig, FaultPoint,
+};
 use banscore::scenario::fig6::{render_fig6, run_fig6_jobs};
 use banscore::scenario::table3::{render_table3, run_table3_jobs};
+use btc_netsim::time::{MILLIS, MINUTES};
 
 #[test]
 fn fig6_identical_at_jobs_1_and_4() {
@@ -31,4 +35,43 @@ fn table3_render_identical_at_jobs_1_and_3() {
     let serial = run_table3_jobs(1, 1);
     let parallel = run_table3_jobs(1, 3);
     assert_eq!(render_table3(&serial), render_table3(&parallel));
+}
+
+#[test]
+fn fault_matrix_identical_at_jobs_1_and_4() {
+    // The fault-injection determinism contract, end to end: one actively
+    // faulty grid point (loss + jitter + churn, a fixed seed per case)
+    // must reduce to bit-identical detector features, fault counters and
+    // rendered output no matter how the runs are scheduled.
+    let cfg = FaultMatrixConfig {
+        train: 8 * MINUTES,
+        window: MINUTES,
+        test: 2 * MINUTES,
+        innocents: 6,
+        grid: vec![FaultPoint {
+            loss: 0.1,
+            jitter: 2 * MILLIS,
+            churn_fpm: 5,
+        }],
+    };
+    let serial = run_fault_matrix_jobs(&cfg, 1);
+    let parallel = run_fault_matrix_jobs(&cfg, 4);
+    for (s, p) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(s.point, p.point);
+        for (sc, pc) in s.cases.iter().zip(&p.cases) {
+            assert_eq!(sc.name, pc.name);
+            assert_eq!(sc.fault_stats, pc.fault_stats, "case {}", sc.name);
+            assert_eq!(sc.retransmits, pc.retransmits, "case {}", sc.name);
+            // Exact float equality on purpose: same seeds, same
+            // arithmetic, same order.
+            assert_eq!(sc.detection.n.to_bits(), pc.detection.n.to_bits());
+            assert_eq!(sc.detection.c.to_bits(), pc.detection.c.to_bits());
+            assert_eq!(sc.rho.to_bits(), pc.rho.to_bits());
+            assert_eq!(sc.latency_s.to_bits(), pc.latency_s.to_bits());
+        }
+    }
+    assert_eq!(
+        render_fault_matrix(&serial),
+        render_fault_matrix(&parallel)
+    );
 }

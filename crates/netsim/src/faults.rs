@@ -1,0 +1,261 @@
+//! Deterministic fault injection for the simulated network.
+//!
+//! The paper's testbed — and the clean reproduction of it — assumes
+//! perfect LAN links. The detection countermeasure, however, keys on
+//! reconnection rate `c` and message rate `n`, which real-world packet
+//! loss, latency jitter and peer churn also perturb. This module supplies
+//! the adverse-network model used to measure that drift:
+//!
+//! * [`LinkFaults`] — an i.i.d. per-packet model (loss probability,
+//!   symmetric latency jitter, bounded reordering) sampled from a
+//!   **dedicated** [`SimRng`](crate::rng::SimRng) stream so that enabling
+//!   faults never perturbs the application-visible randomness, and a
+//!   disabled model draws nothing at all (clean runs stay byte-identical
+//!   to a build without this module).
+//! * [`FaultPlan`] — a timeline of scheduled `(start, end, FaultKind)`
+//!   events: pairwise partitions, single-host link flaps, and windows of
+//!   extra loss.
+//! * [`FaultStats`] — the simulator-level drop/delay counters, part of the
+//!   determinism contract (same seed + same plan ⇒ identical stats).
+//!
+//! Everything here is plain data; the [`Simulator`](crate::sim::Simulator)
+//! applies it in `send_packet`, which is the single point through which
+//! every packet passes.
+
+use crate::packet::Ipv4;
+use crate::time::Nanos;
+
+/// The i.i.d. per-link fault model, applied to every packet send.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Probability that a packet is silently dropped.
+    pub loss: f64,
+    /// Symmetric latency jitter: each packet's one-way delay is perturbed
+    /// by a uniform draw from `[-jitter, +jitter]` (clamped so delivery
+    /// stays strictly in the future).
+    pub jitter: Nanos,
+    /// Probability that a packet is held back for an extra
+    /// [`reorder_window`](Self::reorder_window), letting later packets
+    /// overtake it (bounded reordering).
+    pub reorder: f64,
+    /// Maximum extra delay of a reordered packet.
+    pub reorder_window: Nanos,
+}
+
+impl LinkFaults {
+    /// The clean-network model: no loss, no jitter, no reordering.
+    pub const NONE: LinkFaults = LinkFaults {
+        loss: 0.0,
+        jitter: 0,
+        reorder: 0.0,
+        reorder_window: 0,
+    };
+
+    /// Whether any fault dimension is active.
+    pub fn any(&self) -> bool {
+        self.loss > 0.0 || self.jitter > 0 || self.reorder > 0.0
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::NONE
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// All packets between the two hosts (either direction) are dropped.
+    Partition(Ipv4, Ipv4),
+    /// All packets to or from the host are dropped (a link flap while the
+    /// event is active — the natural-churn primitive).
+    HostDown(Ipv4),
+    /// Additional i.i.d. loss probability on every link.
+    ExtraLoss(f64),
+}
+
+/// A scheduled fault active during `[start, end)` of virtual time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Activation time (inclusive).
+    pub start: Nanos,
+    /// Deactivation time (exclusive).
+    pub end: Nanos,
+    /// What happens while active.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Whether the event is active at `now`.
+    pub fn active(&self, now: Nanos) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// A deterministic timeline of scheduled faults.
+///
+/// The plan is consulted at packet-send time: a packet sent while a
+/// partition or flap covering its endpoints is active is dropped (packets
+/// already in flight when an event starts are delivered — the cut is at
+/// the sender's edge, like pulling a cable).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled events, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing ever happens.
+    pub fn none() -> Self {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_none(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds one event (builder style).
+    pub fn with(mut self, start: Nanos, end: Nanos, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { start, end, kind });
+        self
+    }
+
+    /// Adds `count` periodic link flaps of `down` duration for `host`,
+    /// the first starting at `first` and subsequent ones every `period` —
+    /// the deterministic churn primitive used by the fault-matrix sweep.
+    pub fn with_flaps(
+        mut self,
+        host: Ipv4,
+        first: Nanos,
+        period: Nanos,
+        down: Nanos,
+        count: usize,
+    ) -> Self {
+        for i in 0..count {
+            let start = first + i as Nanos * period;
+            self.events.push(FaultEvent {
+                start,
+                end: start + down,
+                kind: FaultKind::HostDown(host),
+            });
+        }
+        self
+    }
+
+    /// Whether a packet from `src` to `dst` sent at `now` is cut by an
+    /// active partition or flap.
+    pub fn blocked(&self, now: Nanos, src: Ipv4, dst: Ipv4) -> bool {
+        self.events.iter().any(|e| {
+            e.active(now)
+                && match e.kind {
+                    FaultKind::Partition(a, b) => {
+                        (src == a && dst == b) || (src == b && dst == a)
+                    }
+                    FaultKind::HostDown(h) => src == h || dst == h,
+                    FaultKind::ExtraLoss(_) => false,
+                }
+        })
+    }
+
+    /// Sum of the extra-loss probabilities active at `now` (capped at 1).
+    pub fn extra_loss(&self, now: Nanos) -> f64 {
+        let sum: f64 = self
+            .events
+            .iter()
+            .filter(|e| e.active(now))
+            .map(|e| match e.kind {
+                FaultKind::ExtraLoss(p) => p,
+                _ => 0.0,
+            })
+            .sum();
+        sum.min(1.0)
+    }
+}
+
+/// Simulator-level fault accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets dropped by i.i.d. loss (link model + extra-loss events).
+    pub dropped_loss: u64,
+    /// Packets dropped by an active partition or host flap.
+    pub dropped_partition: u64,
+    /// Packets whose delay was perturbed by jitter.
+    pub jittered: u64,
+    /// Packets held back by the reordering model.
+    pub reordered: u64,
+}
+
+impl FaultStats {
+    /// Total packets the fault layer removed from the network.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_loss + self.dropped_partition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SECS;
+
+    const A: Ipv4 = [10, 0, 0, 1];
+    const B: Ipv4 = [10, 0, 0, 2];
+    const C: Ipv4 = [10, 0, 0, 3];
+
+    #[test]
+    fn none_is_inert() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert!(!p.blocked(0, A, B));
+        assert_eq!(p.extra_loss(0), 0.0);
+        assert!(!LinkFaults::NONE.any());
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_within_window() {
+        let p = FaultPlan::none().with(SECS, 2 * SECS, FaultKind::Partition(A, B));
+        assert!(!p.blocked(SECS - 1, A, B), "before start");
+        assert!(p.blocked(SECS, A, B), "start inclusive");
+        assert!(p.blocked(SECS, B, A), "both directions");
+        assert!(!p.blocked(2 * SECS, A, B), "end exclusive");
+        assert!(!p.blocked(SECS, A, C), "other pairs unaffected");
+    }
+
+    #[test]
+    fn host_down_cuts_all_traffic_of_host() {
+        let p = FaultPlan::none().with(0, SECS, FaultKind::HostDown(B));
+        assert!(p.blocked(0, A, B));
+        assert!(p.blocked(0, B, C));
+        assert!(!p.blocked(0, A, C));
+    }
+
+    #[test]
+    fn flap_builder_produces_periodic_windows() {
+        let p = FaultPlan::none().with_flaps(A, SECS, 10 * SECS, 2 * SECS, 3);
+        assert_eq!(p.events.len(), 3);
+        assert!(p.blocked(SECS, A, B));
+        assert!(!p.blocked(4 * SECS, A, B), "between flaps");
+        assert!(p.blocked(11 * SECS, A, B), "second flap");
+        assert!(p.blocked(21 * SECS, A, B), "third flap");
+        assert!(!p.blocked(31 * SECS, A, B), "after the last");
+    }
+
+    #[test]
+    fn extra_loss_sums_and_caps() {
+        let p = FaultPlan::none()
+            .with(0, SECS, FaultKind::ExtraLoss(0.6))
+            .with(0, SECS, FaultKind::ExtraLoss(0.7));
+        assert_eq!(p.extra_loss(0), 1.0);
+        assert_eq!(p.extra_loss(SECS), 0.0);
+        // Extra loss never blocks deterministically.
+        assert!(!p.blocked(0, A, B));
+    }
+
+    #[test]
+    fn link_faults_activity() {
+        assert!(LinkFaults { loss: 0.1, ..LinkFaults::NONE }.any());
+        assert!(LinkFaults { jitter: 1, ..LinkFaults::NONE }.any());
+        assert!(LinkFaults { reorder: 0.5, ..LinkFaults::NONE }.any());
+    }
+}

@@ -13,6 +13,10 @@
 //!   baseline of Table III);
 //! * [`cpu`] — a cycle-accounting CPU model relating message processing to
 //!   the victim's mining rate (Figures 6–7);
+//! * [`faults`] — seeded, deterministic fault injection: per-link loss,
+//!   latency jitter and reordering plus a scheduled [`FaultPlan`] of
+//!   partitions and link flaps (the adverse-network model of the
+//!   detector-robustness sweep);
 //! * [`rng`] / [`time`] — deterministic randomness and virtual time.
 //!
 //! ## Example: two hosts, one tap
@@ -38,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod cpu;
+pub mod faults;
 pub mod packet;
 pub mod prop;
 pub mod rng;
@@ -45,6 +50,7 @@ pub mod sim;
 pub mod tcp;
 pub mod time;
 
+pub use faults::{FaultKind, FaultPlan, FaultStats, LinkFaults};
 pub use packet::{Ipv4, Packet, SockAddr};
 pub use sim::{App, Ctx, HostConfig, SimConfig, Simulator, TapFilter, TapHandle};
 pub use tcp::{CloseReason, ConnId};

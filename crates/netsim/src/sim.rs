@@ -8,9 +8,10 @@
 //! addresses (spoofing).
 
 use crate::cpu::CpuMeter;
+use crate::faults::{FaultPlan, FaultStats, LinkFaults};
 use crate::packet::{IcmpEcho, Ipv4, Packet, PacketBody, SockAddr};
 use crate::rng::SimRng;
-use crate::tcp::{CloseReason, ConnId, TcpDropStats, TcpStack};
+use crate::tcp::{CloseReason, ConnId, TcpDropStats, TcpEvent, TcpStack};
 use crate::time::{Nanos, MICROS};
 use std::any::Any;
 use std::cell::RefCell;
@@ -239,6 +240,10 @@ struct Host {
     cpu: CpuMeter,
     config: HostConfig,
     counters: HostCounters,
+    /// Time of the armed [`EventKind::TcpTick`], if any. An event whose
+    /// time doesn't match is stale (superseded by an earlier re-arm) and
+    /// is ignored, so retransmission ticks never accumulate.
+    tcp_tick_at: Option<Nanos>,
 }
 
 /// Index of a host in the dense slab (assigned in registration order).
@@ -315,6 +320,8 @@ enum EventKind {
     Start(HostId),
     Deliver(Packet),
     Timer(HostId, u64),
+    /// A host's earliest TCP retransmission deadline (reliable mode only).
+    TcpTick(HostId),
 }
 
 struct Event {
@@ -347,6 +354,15 @@ pub struct SimConfig {
     pub latency: Nanos,
     /// RNG seed.
     pub seed: u64,
+    /// Per-link fault model (i.i.d. loss, jitter, reordering).
+    /// [`LinkFaults::NONE`] touches nothing and draws no randomness.
+    pub faults: LinkFaults,
+    /// Forces the reliable transport (data ACKs + fixed-RTO
+    /// retransmission) even on a clean network. It is auto-enabled when
+    /// `faults` is active or a [`FaultPlan`] is installed; clean runs
+    /// leave it off so their packet traces stay byte-identical to the
+    /// pre-fault-layer simulator.
+    pub reliable: bool,
 }
 
 impl Default for SimConfig {
@@ -354,9 +370,16 @@ impl Default for SimConfig {
         SimConfig {
             latency: DEFAULT_LATENCY,
             seed: 0xB17C_0123,
+            faults: LinkFaults::NONE,
+            reliable: false,
         }
     }
 }
+
+/// Seed salt separating the fault-injection RNG stream from the
+/// application-visible one: enabling faults must not shift a single draw
+/// seen by the apps.
+const FAULT_RNG_SALT: u64 = 0xFA17_1A7E_0BAD_11F2;
 
 /// Initial event-queue capacity: enough for the testbed scenarios' burst
 /// of in-flight packets/timers without rehash-style heap growth in the
@@ -377,6 +400,9 @@ pub struct Simulator {
     taps: Vec<Tap>,
     config: SimConfig,
     rng: SimRng,
+    fault_rng: SimRng,
+    plan: FaultPlan,
+    fault_stats: FaultStats,
     next_seq: u64,
     delivered_packets: u64,
 }
@@ -391,6 +417,9 @@ impl Simulator {
             host_index: Vec::new(),
             taps: Vec::new(),
             rng: SimRng::new(config.seed),
+            fault_rng: SimRng::new(config.seed ^ FAULT_RNG_SALT),
+            plan: FaultPlan::none(),
+            fault_stats: FaultStats::default(),
             config,
             next_seq: 0,
             delivered_packets: 0,
@@ -439,13 +468,18 @@ impl Simulator {
             Err(slot) => slot,
         };
         let id = self.hosts.len() as HostId;
+        let mut tcp = TcpStack::new(ip);
+        if self.config.reliable || self.config.faults.any() || !self.plan.is_none() {
+            tcp.set_reliable(true);
+        }
         self.hosts.push(Host {
             ip,
             app: Some(app),
-            tcp: TcpStack::new(ip),
+            tcp,
             cpu: CpuMeter::new(config.capacity_hz),
             config,
             counters: HostCounters::default(),
+            tcp_tick_at: None,
         });
         self.host_index.insert(slot, (ip, id));
         self.push_event(self.now, EventKind::Start(id));
@@ -467,9 +501,66 @@ impl Simulator {
         self.queue.push(Reverse(Event { time, seq, kind }));
     }
 
-    /// Schedules `packet` for delivery after the link latency.
+    /// Installs (or replaces) the scheduled-fault timeline.
+    ///
+    /// A non-empty plan switches every host's TCP stack to reliable mode:
+    /// partitions and flaps drop packets, which only a retransmitting
+    /// transport survives. Install the plan before running the simulation
+    /// — faults are applied at packet-send time.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if !plan.is_none() {
+            for h in &mut self.hosts {
+                h.tcp.set_reliable(true);
+            }
+        }
+        self.plan = plan;
+    }
+
+    /// The installed fault timeline.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Fault-layer drop/delay counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Schedules `packet` for delivery after the link latency, subject to
+    /// the fault model.
+    ///
+    /// Faults are applied at the sender's edge: a packet cut by a
+    /// partition or lost to the i.i.d. model never reaches the taps, like
+    /// a frame that dies inside a pulled cable. The fault RNG is a
+    /// separate stream from the app RNG, and a fully inactive fault layer
+    /// performs no draws at all — the clean path is byte-identical to a
+    /// simulator without fault support.
     pub fn send_packet(&mut self, packet: Packet) {
-        self.push_event(self.now + self.config.latency, EventKind::Deliver(packet));
+        let f = self.config.faults;
+        let mut delay = self.config.latency;
+        if f.any() || !self.plan.is_none() {
+            if self.plan.blocked(self.now, packet.src.ip, packet.dst.ip) {
+                self.fault_stats.dropped_partition += 1;
+                return;
+            }
+            let loss = (f.loss + self.plan.extra_loss(self.now)).min(1.0);
+            if loss > 0.0 && self.fault_rng.gen_bool(loss) {
+                self.fault_stats.dropped_loss += 1;
+                return;
+            }
+            if f.jitter > 0 {
+                // Uniform in [-jitter, +jitter], clamped so delivery stays
+                // strictly in the future (base latency may be small).
+                let offset = self.fault_rng.gen_range(2 * f.jitter + 1);
+                delay = (delay + offset).saturating_sub(f.jitter).max(1);
+                self.fault_stats.jittered += 1;
+            }
+            if f.reorder > 0.0 && f.reorder_window > 0 && self.fault_rng.gen_bool(f.reorder) {
+                delay += 1 + self.fault_rng.gen_range(f.reorder_window);
+                self.fault_stats.reordered += 1;
+            }
+        }
+        self.push_event(self.now + delay, EventKind::Deliver(packet));
     }
 
     /// Advances the clock to the event's time and runs it.
@@ -481,6 +572,7 @@ impl Simulator {
             EventKind::Start(id) => self.dispatch(id, Dispatch::Start),
             EventKind::Timer(id, token) => self.dispatch(id, Dispatch::Timer(token)),
             EventKind::Deliver(packet) => self.deliver(packet),
+            EventKind::TcpTick(id) => self.tcp_tick(id, ev.time),
         }
     }
 
@@ -567,6 +659,7 @@ impl Simulator {
             }
             PacketBody::Tcp(seg) => {
                 let mut app = host.app.take().expect("app present");
+                host.tcp.set_now(self.now);
                 let (events, replies) =
                     host.tcp
                         .handle_segment(packet.src, packet.dst, seg, &mut |peer| {
@@ -577,24 +670,61 @@ impl Simulator {
                     self.account_tx(dst, &r);
                     self.send_packet(r);
                 }
-                for ev in events {
-                    self.with_app(dst, |app, ctx| match &ev {
-                        crate::tcp::TcpEvent::Connected { id, peer, inbound } => {
-                            app.on_connected(ctx, *id, *peer, *inbound)
-                        }
-                        crate::tcp::TcpEvent::Data { id, peer, payload } => {
-                            app.on_data(ctx, *id, *peer, payload)
-                        }
-                        crate::tcp::TcpEvent::Closed { id, peer, reason } => {
-                            app.on_closed(ctx, *id, *peer, *reason)
-                        }
-                        crate::tcp::TcpEvent::ConnectFailed { dst } => {
-                            app.on_connect_failed(ctx, *dst)
-                        }
-                    });
-                }
+                self.dispatch_tcp_events(dst, events);
+                self.arm_tcp_tick(dst);
             }
         }
+    }
+
+    /// Hands transport events to the host's app.
+    fn dispatch_tcp_events(&mut self, id: HostId, events: Vec<TcpEvent>) {
+        for ev in events {
+            self.with_app(id, |app, ctx| match &ev {
+                TcpEvent::Connected { id, peer, inbound } => {
+                    app.on_connected(ctx, *id, *peer, *inbound)
+                }
+                TcpEvent::Data { id, peer, payload } => app.on_data(ctx, *id, *peer, payload),
+                TcpEvent::Closed { id, peer, reason } => app.on_closed(ctx, *id, *peer, *reason),
+                TcpEvent::ConnectFailed { dst } => app.on_connect_failed(ctx, *dst),
+            });
+        }
+    }
+
+    /// Runs a host's due retransmissions (reliable mode). `time` is the
+    /// armed tick this event was scheduled for; a mismatch means a later
+    /// re-arm superseded it.
+    fn tcp_tick(&mut self, id: HostId, time: Nanos) {
+        let host = &mut self.hosts[id as usize];
+        if host.tcp_tick_at != Some(time) {
+            return; // stale tick
+        }
+        host.tcp_tick_at = None;
+        host.tcp.set_now(self.now);
+        let (events, replies) = host.tcp.poll();
+        for r in replies {
+            self.account_tx(id, &r);
+            self.send_packet(r);
+        }
+        self.dispatch_tcp_events(id, events);
+        self.arm_tcp_tick(id);
+    }
+
+    /// (Re-)arms the host's retransmission tick at its earliest TCP
+    /// deadline. No-op for stacks without pending retransmissions — clean
+    /// non-reliable runs never see a tick event.
+    fn arm_tcp_tick(&mut self, id: HostId) {
+        let host = &mut self.hosts[id as usize];
+        let Some(deadline) = host.tcp.next_deadline() else {
+            return;
+        };
+        let t = deadline.max(self.now);
+        if let Some(cur) = host.tcp_tick_at {
+            if cur <= t {
+                return; // an earlier (or equal) tick will re-arm us
+            }
+        }
+        host.tcp_tick_at = Some(t);
+        self.push_event(t, EventKind::TcpTick(id));
     }
 
     fn dispatch(&mut self, id: HostId, what: Dispatch) {
@@ -612,6 +742,7 @@ impl Simulator {
     {
         let host = &mut self.hosts[id as usize];
         let mut app = host.app.take().expect("app present");
+        host.tcp.set_now(self.now);
         let mut out = Outbox::default();
         {
             let mut ctx = Ctx {
@@ -632,6 +763,8 @@ impl Simulator {
         for (delay, token) in out.timers {
             self.push_event(self.now + delay, EventKind::Timer(id, token));
         }
+        // The callback may have queued sends/connects that armed an RTO.
+        self.arm_tcp_tick(id);
     }
 
     fn account_tx(&mut self, id: HostId, p: &Packet) {

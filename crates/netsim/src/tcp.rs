@@ -10,15 +10,51 @@
 //! * A segment with a bad checksum or stale sequence number is dropped *by
 //!   the transport layer*, before any application-layer misbehavior
 //!   tracking — which is what lets bogus messages forgo the ban score.
+//!
+//! ## Reliable mode
+//!
+//! By default the stack is *unreliable*: no data ACKs, no retransmission —
+//! the exact fire-and-forget transport the clean-network scenarios were
+//! calibrated against. When the simulator injects faults it switches the
+//! stack to **reliable mode** ([`TcpStack::set_reliable`]): every
+//! handshake and data segment is queued for go-back-N retransmission on a
+//! fixed RTO ([`DEFAULT_RTO`]), receivers answer data with cumulative
+//! ACKs, duplicate segments are re-ACKed instead of poisoning `rcv_nxt`,
+//! and a connection that exhausts [`MAX_RETRIES`] aborts with
+//! [`CloseReason::Timeout`]. Socket tables are `BTreeMap`s so the
+//! retransmission scan order is deterministic.
 
 use crate::packet::{
     make_segment, tcp_checksum, Packet, SockAddr, TcpFlags, TcpSegment,
 };
+use crate::time::{Nanos, MILLIS};
 use btc_wire::bytes::Bytes;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
 /// Maximum payload bytes per segment.
 pub const MSS: usize = 1460;
+
+/// Fixed retransmission timeout of the reliable mode. Linux's floor
+/// (200 ms) rather than something RTT-proportional: the testbed RTT is
+/// ~200 µs, and a realistic RTO floor is what makes loss *hurt* — which
+/// is precisely the drift the fault matrix measures.
+pub const DEFAULT_RTO: Nanos = 200 * MILLIS;
+
+/// Retransmission attempts before the connection aborts with
+/// [`CloseReason::Timeout`]. With [`DEFAULT_RTO`] a connection survives
+/// ~1.6 s of total blackout — longer than a churn flap, shorter than a
+/// scheduled partition.
+pub const MAX_RETRIES: u32 = 8;
+
+/// `a <= b` in sequence space (RFC 1982 style wrap-safe comparison).
+fn seq_le(a: u32, b: u32) -> bool {
+    a == b || b.wrapping_sub(a) < 0x8000_0000
+}
+
+/// `a < b` in sequence space.
+fn seq_lt(a: u32, b: u32) -> bool {
+    a != b && seq_le(a, b)
+}
 
 /// First ephemeral port (RFC 6335 dynamic range — the range the paper's
 /// full-IP Defamation sweep must exhaust).
@@ -37,6 +73,9 @@ pub enum CloseReason {
     RemoteReset,
     /// We closed it locally.
     LocalClose,
+    /// Retransmission gave up: [`MAX_RETRIES`] RTOs expired without an
+    /// acknowledgment (reliable mode only).
+    Timeout,
 }
 
 /// Connection state.
@@ -56,6 +95,29 @@ struct Socket {
     /// Next sequence number we expect to receive.
     rcv_nxt: u32,
     inbound: bool,
+    /// Unacknowledged segments awaiting retransmission (reliable mode):
+    /// `(end_seq, packet)`, oldest first. A cumulative ACK covering
+    /// `end_seq` retires the entry.
+    rtx: VecDeque<(u32, Packet)>,
+    /// When the oldest unacknowledged segment times out.
+    rto_at: Option<Nanos>,
+    /// Consecutive expiries without forward progress.
+    retries: u32,
+}
+
+impl Socket {
+    fn new(id: ConnId, state: TcpState, snd_nxt: u32, rcv_nxt: u32, inbound: bool) -> Self {
+        Socket {
+            id,
+            state,
+            snd_nxt,
+            rcv_nxt,
+            inbound,
+            rtx: VecDeque::new(),
+            rto_at: None,
+            retries: 0,
+        }
+    }
 }
 
 /// An event surfaced to the application layer.
@@ -107,6 +169,13 @@ pub struct TcpDropStats {
     pub no_socket: u64,
     /// SYNs refused by the application accept hook.
     pub refused_accept: u64,
+    /// Duplicate already-delivered segments discarded and re-ACKed
+    /// (reliable mode: the retransmit of a segment whose ACK was lost).
+    pub stale_seq: u64,
+    /// Segments retransmitted after an RTO expiry (reliable mode).
+    pub retransmits: u64,
+    /// Connections aborted after [`MAX_RETRIES`] (reliable mode).
+    pub timeouts: u64,
 }
 
 /// The per-host TCP-lite stack.
@@ -114,12 +183,18 @@ pub struct TcpDropStats {
 pub struct TcpStack {
     local_ip: [u8; 4],
     listeners: HashSet<u16>,
-    socks: HashMap<(SockAddr, SockAddr), Socket>,
-    routes: HashMap<ConnId, (SockAddr, SockAddr)>,
+    // BTreeMaps, not HashMaps: the retransmission poll scans sockets in
+    // key order, which must not depend on a per-process RandomState.
+    socks: BTreeMap<(SockAddr, SockAddr), Socket>,
+    routes: BTreeMap<ConnId, (SockAddr, SockAddr)>,
     next_id: u64,
     next_ephemeral: u16,
     used_ports: HashSet<u16>,
     isn_counter: u32,
+    reliable: bool,
+    rto: Nanos,
+    /// Virtual time mirror, refreshed by the simulator before each call.
+    now: Nanos,
     /// Drop statistics.
     pub drops: TcpDropStats,
 }
@@ -130,14 +205,39 @@ impl TcpStack {
         TcpStack {
             local_ip,
             listeners: HashSet::new(),
-            socks: HashMap::new(),
-            routes: HashMap::new(),
+            socks: BTreeMap::new(),
+            routes: BTreeMap::new(),
             next_id: 1,
             next_ephemeral: EPHEMERAL_START,
             used_ports: HashSet::new(),
             isn_counter: 0x1000,
+            reliable: false,
+            rto: DEFAULT_RTO,
+            now: 0,
             drops: TcpDropStats::default(),
         }
+    }
+
+    /// Switches reliable mode (ACKs + retransmission) on or off. Flip it
+    /// before traffic flows; segments sent earlier are not tracked.
+    pub fn set_reliable(&mut self, on: bool) {
+        self.reliable = on;
+    }
+
+    /// Whether reliable mode is on.
+    pub fn is_reliable(&self) -> bool {
+        self.reliable
+    }
+
+    /// Overrides the fixed RTO (tests use short timeouts).
+    pub fn set_rto(&mut self, rto: Nanos) {
+        self.rto = rto;
+    }
+
+    /// Updates the stack's virtual-time mirror. The simulator calls this
+    /// before `handle_segment` / app callbacks / [`TcpStack::poll`].
+    pub fn set_now(&mut self, now: Nanos) {
+        self.now = now;
     }
 
     /// Starts listening on `port`.
@@ -202,18 +302,15 @@ impl TcpStack {
         let id = ConnId(self.next_id);
         self.next_id += 1;
         let isn = self.next_isn();
-        self.socks.insert(
-            key,
-            Socket {
-                id,
-                state: TcpState::SynSent,
-                snd_nxt: isn.wrapping_add(1),
-                rcv_nxt: 0,
-                inbound: false,
-            },
-        );
-        self.routes.insert(id, key);
+        let mut sock = Socket::new(id, TcpState::SynSent, isn.wrapping_add(1), 0, false);
         let syn = make_segment(local, dst, isn, 0, TcpFlags::SYN, Bytes::new());
+        if self.reliable {
+            // A SYN occupies one sequence number: acked by isn+1.
+            sock.rtx.push_back((isn.wrapping_add(1), syn.clone()));
+            sock.rto_at = Some(self.now + self.rto);
+        }
+        self.socks.insert(key, sock);
+        self.routes.insert(id, key);
         Some((id, syn))
     }
 
@@ -240,8 +337,14 @@ impl TcpStack {
                 chunk,
             );
             sock.snd_nxt = sock.snd_nxt.wrapping_add((end - off) as u32);
+            if self.reliable {
+                sock.rtx.push_back((sock.snd_nxt, seg.clone()));
+            }
             out.push(seg);
             off = end;
+        }
+        if self.reliable && sock.rto_at.is_none() && !sock.rtx.is_empty() {
+            sock.rto_at = Some(self.now + self.rto);
         }
         Some(out)
     }
@@ -294,6 +397,27 @@ impl TcpStack {
         }
         let key = (dst, src);
         if let Some(sock) = self.socks.get_mut(&key) {
+            if self.reliable && seg.flags.has(TcpFlags::ACK) {
+                // Cumulative acknowledgment: retire every retransmit
+                // entry the ack number covers.
+                let mut advanced = false;
+                while let Some((end, _)) = sock.rtx.front() {
+                    if seq_le(*end, seg.ack) {
+                        sock.rtx.pop_front();
+                        advanced = true;
+                    } else {
+                        break;
+                    }
+                }
+                if advanced {
+                    sock.retries = 0;
+                    sock.rto_at = if sock.rtx.is_empty() {
+                        None
+                    } else {
+                        Some(self.now + self.rto)
+                    };
+                }
+            }
             match sock.state {
                 TcpState::SynSent => {
                     if seg.flags.has(TcpFlags::SYN | TcpFlags::ACK) {
@@ -334,13 +458,40 @@ impl TcpStack {
                         if !seg.payload.is_empty() {
                             if seg.seq == sock.rcv_nxt {
                                 sock.rcv_nxt = sock.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                                let (snd, rcv) = (sock.snd_nxt, sock.rcv_nxt);
                                 events.push(TcpEvent::Data {
                                     id,
                                     peer: src,
                                     payload: seg.payload.clone(),
                                 });
+                                if self.reliable {
+                                    replies.push(make_segment(
+                                        dst,
+                                        src,
+                                        snd,
+                                        rcv,
+                                        TcpFlags::ACK,
+                                        Bytes::new(),
+                                    ));
+                                }
                             } else {
-                                self.drops.bad_seq += 1;
+                                let (snd, rcv) = (sock.snd_nxt, sock.rcv_nxt);
+                                if self.reliable && seq_lt(seg.seq, rcv) {
+                                    self.drops.stale_seq += 1;
+                                } else {
+                                    self.drops.bad_seq += 1;
+                                }
+                                if self.reliable {
+                                    // Re-ACK so the sender resynchronizes.
+                                    replies.push(make_segment(
+                                        dst,
+                                        src,
+                                        snd,
+                                        rcv,
+                                        TcpFlags::ACK,
+                                        Bytes::new(),
+                                    ));
+                                }
                             }
                         }
                     }
@@ -368,19 +519,62 @@ impl TcpStack {
                             peer: src,
                             reason: CloseReason::RemoteFin,
                         });
+                    } else if seg.flags.has(TcpFlags::SYN) {
+                        // A retransmitted SYN|ACK: our final handshake ACK
+                        // was lost — repeat it (reliable mode only; the
+                        // unreliable stack never retransmits one).
+                        if self.reliable {
+                            let (snd, rcv) = (sock.snd_nxt, sock.rcv_nxt);
+                            replies.push(make_segment(
+                                dst,
+                                src,
+                                snd,
+                                rcv,
+                                TcpFlags::ACK,
+                                Bytes::new(),
+                            ));
+                        }
                     } else if !seg.payload.is_empty() {
                         // Strict in-order delivery: the injection attack
                         // must hit rcv_nxt exactly; a stale real segment
                         // after a successful injection is silently dropped.
                         if seg.seq == sock.rcv_nxt {
                             sock.rcv_nxt = sock.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                            let (id, snd, rcv) = (sock.id, sock.snd_nxt, sock.rcv_nxt);
                             events.push(TcpEvent::Data {
-                                id: sock.id,
+                                id,
                                 peer: src,
                                 payload: seg.payload.clone(),
                             });
+                            if self.reliable {
+                                replies.push(make_segment(
+                                    dst,
+                                    src,
+                                    snd,
+                                    rcv,
+                                    TcpFlags::ACK,
+                                    Bytes::new(),
+                                ));
+                            }
                         } else {
-                            self.drops.bad_seq += 1;
+                            let (snd, rcv) = (sock.snd_nxt, sock.rcv_nxt);
+                            if self.reliable && seq_lt(seg.seq, rcv) {
+                                self.drops.stale_seq += 1;
+                            } else {
+                                self.drops.bad_seq += 1;
+                            }
+                            if self.reliable {
+                                // Duplicate or out-of-window data: re-ACK
+                                // our cumulative position (go-back-N).
+                                replies.push(make_segment(
+                                    dst,
+                                    src,
+                                    snd,
+                                    rcv,
+                                    TcpFlags::ACK,
+                                    Bytes::new(),
+                                ));
+                            }
                         }
                     }
                 }
@@ -405,25 +599,28 @@ impl TcpStack {
                 let id = ConnId(self.next_id);
                 self.next_id += 1;
                 let isn = self.next_isn();
-                self.socks.insert(
-                    key,
-                    Socket {
-                        id,
-                        state: TcpState::SynReceived,
-                        snd_nxt: isn.wrapping_add(1),
-                        rcv_nxt: seg.seq.wrapping_add(1),
-                        inbound: true,
-                    },
+                let mut sock = Socket::new(
+                    id,
+                    TcpState::SynReceived,
+                    isn.wrapping_add(1),
+                    seg.seq.wrapping_add(1),
+                    true,
                 );
-                self.routes.insert(id, key);
-                replies.push(make_segment(
+                let synack = make_segment(
                     dst,
                     src,
                     isn,
                     seg.seq.wrapping_add(1),
                     TcpFlags::SYN | TcpFlags::ACK,
                     Bytes::new(),
-                ));
+                );
+                if self.reliable {
+                    sock.rtx.push_back((isn.wrapping_add(1), synack.clone()));
+                    sock.rto_at = Some(self.now + self.rto);
+                }
+                self.socks.insert(key, sock);
+                self.routes.insert(id, key);
+                replies.push(synack);
             } else {
                 // Connection refused.
                 replies.push(make_segment(
@@ -459,6 +656,62 @@ impl TcpStack {
             .and_then(|k| self.socks.get(k))
             .map(|s| s.inbound)
             .unwrap_or(false)
+    }
+
+    /// The earliest retransmission deadline across all sockets, if any
+    /// (always `None` in unreliable mode — the simulator arms no ticks).
+    pub fn next_deadline(&self) -> Option<Nanos> {
+        self.socks.values().filter_map(|s| s.rto_at).min()
+    }
+
+    /// Fires every expired retransmission timer (reliable mode): due
+    /// sockets retransmit their whole unacknowledged window and re-arm;
+    /// sockets out of retries abort with [`CloseReason::Timeout`] (or
+    /// [`TcpEvent::ConnectFailed`] while still in the handshake).
+    ///
+    /// Call with [`TcpStack::set_now`] refreshed. Returns app events and
+    /// the segments to (re)transmit.
+    pub fn poll(&mut self) -> (Vec<TcpEvent>, Vec<Packet>) {
+        let mut events = Vec::new();
+        let mut replies = Vec::new();
+        if !self.reliable {
+            return (events, replies);
+        }
+        let now = self.now;
+        let due: Vec<(SockAddr, SockAddr)> = self
+            .socks
+            .iter()
+            .filter(|(_, s)| s.rto_at.is_some_and(|t| t <= now))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in due {
+            let Some(sock) = self.socks.get_mut(&key) else {
+                continue;
+            };
+            if sock.retries >= MAX_RETRIES {
+                let (id, state) = (sock.id, sock.state);
+                self.socks.remove(&key);
+                self.routes.remove(&id);
+                self.used_ports.remove(&key.0.port);
+                self.drops.timeouts += 1;
+                if state == TcpState::SynSent {
+                    events.push(TcpEvent::ConnectFailed { dst: key.1 });
+                } else {
+                    events.push(TcpEvent::Closed {
+                        id,
+                        peer: key.1,
+                        reason: CloseReason::Timeout,
+                    });
+                }
+            } else {
+                sock.retries += 1;
+                sock.rto_at = Some(now + self.rto);
+                let n = sock.rtx.len() as u64;
+                replies.extend(sock.rtx.iter().map(|(_, p)| p.clone()));
+                self.drops.retransmits += n;
+            }
+        }
+        (events, replies)
     }
 }
 

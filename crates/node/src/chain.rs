@@ -240,7 +240,7 @@ impl Chain {
             }
             idx -= step as i64;
         }
-        if *out.last().unwrap() != self.genesis {
+        if out.last() != Some(&self.genesis) {
             out.push(self.genesis);
         }
         out

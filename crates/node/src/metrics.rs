@@ -21,9 +21,13 @@ pub fn msg_type_id(command: &str) -> Option<MsgTypeId> {
         .map(|i| i as MsgTypeId)
 }
 
-/// Resolves a compact id back to its command string.
+/// Resolves a compact id back to its command string (`"?"` for an id
+/// outside the table, so a corrupt record cannot panic a report).
 pub fn msg_type_name(id: MsgTypeId) -> &'static str {
-    btc_wire::message::ALL_COMMANDS[id as usize]
+    btc_wire::message::ALL_COMMANDS
+        .get(id as usize)
+        .copied()
+        .unwrap_or("?")
 }
 
 /// One received-message record.
@@ -88,7 +92,9 @@ impl Telemetry {
         let mut out = [0u64; 26];
         for m in &self.messages {
             if m.time >= start && m.time < end {
-                out[m.msg_type as usize] += 1;
+                if let Some(slot) = out.get_mut(m.msg_type as usize) {
+                    *slot += 1;
+                }
             }
         }
         out

@@ -96,6 +96,19 @@ pub struct NodeConfig {
     pub punish_bad_checksum_score: Option<u32>,
     /// User agent advertised in `VERSION`.
     pub user_agent: String,
+    /// Disconnect peers whose version handshake has not completed after
+    /// this long (0 disables — the default, matching the pre-hardening
+    /// node; Bitcoin Core uses 60 s).
+    pub handshake_timeout: Nanos,
+    /// Disconnect peers whose keepalive ping went unanswered for this
+    /// long (0 disables; Bitcoin Core uses 20 min).
+    pub ping_timeout: Nanos,
+    /// Base delay of the capped exponential backoff applied between
+    /// reconnection attempts to the same outbound address (0 disables —
+    /// failed dials are retried on the next maintenance tick).
+    pub reconnect_backoff_base: Nanos,
+    /// Upper bound of the reconnection backoff.
+    pub reconnect_backoff_cap: Nanos,
 }
 
 impl Default for NodeConfig {
@@ -119,6 +132,10 @@ impl Default for NodeConfig {
             charge_interference: false,
             punish_bad_checksum_score: None,
             user_agent: "/Satoshi:0.20.0/".to_owned(),
+            handshake_timeout: 0,
+            ping_timeout: 0,
+            reconnect_backoff_base: 0,
+            reconnect_backoff_cap: 0,
         }
     }
 }
@@ -162,6 +179,10 @@ pub struct Node {
     /// Known-address table with the §VI-D diversity metric.
     pub addrman: AddrMan,
     pending_outbound: BTreeSet<SockAddr>,
+    /// Reconnection backoff per outbound address: `(consecutive failures,
+    /// earliest next dial)`. Only consulted when
+    /// `reconnect_backoff_base > 0`.
+    reconnect_backoff: BTreeMap<SockAddr, (u32, Nanos)>,
     pending_local_blocks: Vec<btc_wire::Block>,
     pending_local_txs: Vec<btc_wire::Transaction>,
     rebuild_requested: bool,
@@ -191,6 +212,7 @@ impl Node {
             peers: BTreeMap::new(),
             addrman,
             pending_outbound: BTreeSet::new(),
+            reconnect_backoff: BTreeMap::new(),
             pending_local_blocks: Vec::new(),
             pending_local_txs: Vec::new(),
             rebuild_requested: false,
@@ -293,7 +315,10 @@ impl Node {
     }
 
     fn send_version(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, peer_addr: SockAddr) {
-        self.version_nonce = self.version_nonce.wrapping_add(1) | (ctx.rng().next_u64() << 16);
+        // A fresh full-width draw per handshake: the previous
+        // counter-or-RNG mix left the low 16 bits predictable, defeating
+        // the nonce's self-connection check.
+        self.version_nonce = ctx.rng().next_u64();
         let mut v = VersionMessage::new(
             self.our_netaddr(ctx),
             NetAddr::new(peer_addr.ip, peer_addr.port),
@@ -363,9 +388,28 @@ impl Node {
                 // Losing an outbound peer: rebuild a replacement — the
                 // reconnection behaviour the `c` detection feature watches.
                 self.telemetry.record_reconnect(self.now, peer.addr);
+                self.note_outbound_failure(peer.addr);
                 self.fill_outbound(ctx);
             }
         }
+    }
+
+    /// Records a failed or lost outbound connection for the capped
+    /// exponential reconnection backoff. Inert unless
+    /// `reconnect_backoff_base` is set, so the clean scenarios redial at
+    /// full speed exactly as before.
+    fn note_outbound_failure(&mut self, addr: SockAddr) {
+        let base = self.config.reconnect_backoff_base;
+        if base == 0 {
+            return;
+        }
+        let cap = self.config.reconnect_backoff_cap.max(base);
+        let entry = self.reconnect_backoff.entry(addr).or_insert((0, 0));
+        entry.0 = entry.0.saturating_add(1);
+        let delay = base
+            .saturating_mul(1u64 << u64::from(entry.0 - 1).min(20))
+            .min(cap);
+        entry.1 = self.now.saturating_add(delay);
     }
 
     fn fill_outbound(&mut self, ctx: &mut Ctx<'_>) {
@@ -386,6 +430,13 @@ impl Node {
             .addrman
             .usable(self.now, &self.banman)
             .filter(|a| !connected.contains(a) && !self.pending_outbound.contains(a))
+            .filter(|a| {
+                self.config.reconnect_backoff_base == 0
+                    || self
+                        .reconnect_backoff
+                        .get(a)
+                        .map_or(true, |&(_, next_ok)| next_ok <= self.now)
+            })
             .collect();
         for addr in candidates {
             if want == 0 {
@@ -429,11 +480,22 @@ impl Node {
     #[allow(clippy::too_many_lines)]
     fn handle_message(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: Message) {
         match msg {
-            Message::Version(_) | Message::Verack => unreachable!("handled in handshake"),
+            // Version/Verack are consumed by the handshake path before
+            // this dispatcher runs; a stray duplicate that slips through
+            // is simulated input, not a programming error — ignore it
+            // rather than panic.
+            Message::Version(_) | Message::Verack => {}
             Message::Ping(n) => {
                 self.send_message(ctx, conn, &Message::Pong(n));
             }
-            Message::Pong(_) | Message::NotFound(_) | Message::Reject(_) | Message::MerkleBlock(_) => {}
+            Message::Pong(n) => {
+                if let Some(peer) = self.peers.get_mut(&conn) {
+                    if peer.ping_pending.map(|(want, _)| want) == Some(n) {
+                        peer.ping_pending = None;
+                    }
+                }
+            }
+            Message::NotFound(_) | Message::Reject(_) | Message::MerkleBlock(_) => {}
             Message::Addr(addrs) => {
                 if addrs.len() as u64 > MAX_ADDR_TO_SEND {
                     self.misbehaving(ctx, conn, Misbehavior::AddrOversize);
@@ -724,7 +786,24 @@ impl Node {
                         self.misbehaving(ctx, conn, Misbehavior::GetBlockTxnOutOfBounds);
                     }
                     Ok(idxs) => {
-                        let txs = idxs.iter().map(|i| block.txs[*i as usize].clone()).collect();
+                        // `absolute_indices` bounds-checked against the tx
+                        // count, but the lookup stays fallible so a future
+                        // validator change cannot turn peer input into a
+                        // panic.
+                        let mut txs = Vec::with_capacity(idxs.len());
+                        for i in &idxs {
+                            match block.txs.get(*i as usize) {
+                                Some(tx) => txs.push(tx.clone()),
+                                None => {
+                                    self.misbehaving(
+                                        ctx,
+                                        conn,
+                                        Misbehavior::GetBlockTxnOutOfBounds,
+                                    );
+                                    return;
+                                }
+                            }
+                        }
                         self.send_message(
                             ctx,
                             conn,
@@ -870,7 +949,10 @@ impl Node {
                 }
                 Ok(FrameResult::Frame { raw, consumed }) => {
                     if let Some(p) = self.peers.get_mut(&conn) {
-                        p.recv_buf = buf[consumed..].to_vec();
+                        // A frame claiming more bytes than buffered would
+                        // be a parser bug; degrade to an empty buffer
+                        // instead of an out-of-range panic.
+                        p.recv_buf = buf.get(consumed..).unwrap_or_default().to_vec();
                         p.messages_received += 1;
                     }
                     // Stage 2: checksum. The victim pays the hash pass for
@@ -960,7 +1042,9 @@ impl App for Node {
 
     fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, peer: SockAddr, inbound: bool) {
         self.now = ctx.now();
-        self.peers.insert(conn, Peer::new(conn, peer, inbound));
+        let mut state = Peer::new(conn, peer, inbound);
+        state.connected_at = self.now;
+        self.peers.insert(conn, state);
         if inbound {
             self.half_open_inbound = self.half_open_inbound.saturating_sub(1);
             if self.config.good_score && self.inbound_count() > self.config.max_inbound {
@@ -988,6 +1072,7 @@ impl App for Node {
         }
         if !inbound {
             self.pending_outbound.remove(&peer);
+            self.reconnect_backoff.remove(&peer);
             self.addrman.mark_success(self.now, &peer);
             self.send_version(ctx, conn, peer);
         }
@@ -1010,6 +1095,7 @@ impl App for Node {
         self.now = ctx.now();
         self.pending_outbound.remove(&dst);
         self.addrman.mark_failure(&dst);
+        self.note_outbound_failure(dst);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
@@ -1026,6 +1112,30 @@ impl App for Node {
                         .map(|p| p.conn)
                         .collect();
                     for conn in inbound {
+                        self.disconnect(ctx, conn, true);
+                    }
+                }
+                // Resilience hardening (both knobs default-off): evict
+                // peers stuck mid-handshake and peers that stopped
+                // answering keepalives.
+                if self.config.handshake_timeout > 0 || self.config.ping_timeout > 0 {
+                    let hs = self.config.handshake_timeout;
+                    let pt = self.config.ping_timeout;
+                    let now = self.now;
+                    let stale: Vec<ConnId> = self
+                        .peers
+                        .values()
+                        .filter(|p| {
+                            (hs > 0
+                                && !p.handshake_complete()
+                                && now.saturating_sub(p.connected_at) >= hs)
+                                || (pt > 0
+                                    && p.ping_pending
+                                        .map_or(false, |(_, sent)| now.saturating_sub(sent) >= pt))
+                        })
+                        .map(|p| p.conn)
+                        .collect();
+                    for conn in stale {
                         self.disconnect(ctx, conn, true);
                     }
                 }
@@ -1046,6 +1156,13 @@ impl App for Node {
                     .collect();
                 for conn in targets {
                     let nonce = ctx.rng().next_u64();
+                    if let Some(p) = self.peers.get_mut(&conn) {
+                        // Track the latest nonce but keep the timestamp of
+                        // the first unanswered ping, so the timeout
+                        // measures total silence.
+                        let sent = p.ping_pending.map_or(self.now, |(_, t)| t);
+                        p.ping_pending = Some((nonce, sent));
+                    }
                     self.send_message(ctx, conn, &Message::Ping(nonce));
                 }
                 ctx.set_timer(self.config.ping_interval, timers::PING);

@@ -2,6 +2,7 @@
 
 use btc_netsim::packet::SockAddr;
 use btc_netsim::tcp::ConnId;
+use btc_netsim::time::Nanos;
 use btc_wire::bloom::BloomFilter;
 use btc_wire::message::VersionMessage;
 use btc_wire::types::Hash256;
@@ -37,6 +38,12 @@ pub struct Peer {
     pub pending_compact: HashMap<Hash256, btc_wire::compact::CompactBlock>,
     /// Messages received from this peer.
     pub messages_received: u64,
+    /// When the transport connection was established (drives the
+    /// handshake-timeout eviction).
+    pub connected_at: Nanos,
+    /// Outstanding keepalive ping: `(nonce, sent_at)`. Cleared by a
+    /// matching `PONG`; drives the ping-timeout eviction.
+    pub ping_pending: Option<(u64, Nanos)>,
 }
 
 impl Peer {
@@ -56,6 +63,8 @@ impl Peer {
             cmpct_announce: false,
             pending_compact: HashMap::new(),
             messages_received: 0,
+            connected_at: 0,
+            ping_pending: None,
         }
     }
 

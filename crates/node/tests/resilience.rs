@@ -1,0 +1,266 @@
+//! Node resilience hardening: handshake-timeout eviction, ping-timeout
+//! eviction, capped exponential reconnection backoff, and the full-width
+//! version nonce. Every knob defaults to off, so the first test in each
+//! pair shows the stock behaviour is unchanged.
+
+use btc_netsim::packet::SockAddr;
+use btc_netsim::sim::{App, Ctx, HostConfig, SimConfig, Simulator};
+use btc_netsim::tcp::ConnId;
+use btc_netsim::time::SECS;
+use btc_node::node::{Node, NodeConfig};
+use btc_wire::message::{read_frame, FrameResult, Message, RawMessage, VersionMessage};
+use btc_wire::types::{NetAddr, Network};
+use std::any::Any;
+
+const A: [u8; 4] = [10, 0, 0, 1];
+const B: [u8; 4] = [10, 0, 0, 2];
+
+fn addr(ip: [u8; 4]) -> SockAddr {
+    SockAddr::new(ip, 8333)
+}
+
+/// Dials the target and then never says a word — the handshake stalls
+/// forever from the node's point of view.
+struct MuteDialer {
+    target: SockAddr,
+}
+
+impl App for MuteDialer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.connect(self.target);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Completes the version handshake, then ignores everything — including
+/// keepalive pings.
+struct DeafDialer {
+    target: SockAddr,
+    buf: Vec<u8>,
+}
+
+impl DeafDialer {
+    fn new(target: SockAddr) -> Self {
+        DeafDialer {
+            target,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, msg: &Message) {
+        let raw = RawMessage::frame(Network::Regtest, msg);
+        ctx.send(conn, &raw.to_bytes());
+    }
+}
+
+impl App for DeafDialer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.connect(self.target);
+    }
+    fn on_connected(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _peer: SockAddr, _inb: bool) {
+        let v = VersionMessage::new(
+            NetAddr::new(B, 8333),
+            NetAddr::new(self.target.ip, self.target.port),
+            7,
+        );
+        self.send(ctx, conn, &Message::Version(v));
+    }
+    fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _peer: SockAddr, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+        loop {
+            match read_frame(Network::Regtest, &self.buf) {
+                Ok(FrameResult::Frame { raw, consumed }) => {
+                    self.buf.drain(..consumed);
+                    if raw.header.command_str() == Ok("version") {
+                        self.send(ctx, conn, &Message::Verack);
+                    }
+                    // Pings (and everything else) are ignored on purpose.
+                }
+                _ => return,
+            }
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn run_with_mute_dialer(handshake_timeout: u64) -> usize {
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_host(
+        A,
+        Box::new(Node::new(NodeConfig {
+            handshake_timeout,
+            ..NodeConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    sim.add_host(
+        B,
+        Box::new(MuteDialer { target: addr(A) }),
+        HostConfig::default(),
+    );
+    sim.run_for(8 * SECS);
+    let a: &Node = sim.app(A).unwrap();
+    a.inbound_count()
+}
+
+#[test]
+fn handshake_timeout_evicts_mute_peer() {
+    // Default (0): the half-dead connection is kept forever.
+    assert_eq!(run_with_mute_dialer(0), 1);
+    // With a 3 s budget the maintenance tick clears it out.
+    assert_eq!(run_with_mute_dialer(3 * SECS), 0);
+}
+
+fn run_with_deaf_dialer(ping_timeout: u64) -> usize {
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_host(
+        A,
+        Box::new(Node::new(NodeConfig {
+            ping_interval: 2 * SECS,
+            ping_timeout,
+            ..NodeConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    sim.add_host(
+        B,
+        Box::new(DeafDialer::new(addr(A))),
+        HostConfig::default(),
+    );
+    sim.run_for(10 * SECS);
+    let a: &Node = sim.app(A).unwrap();
+    a.inbound_count()
+}
+
+#[test]
+fn ping_timeout_evicts_deaf_peer() {
+    // Default: never answering a ping is tolerated indefinitely.
+    assert_eq!(run_with_deaf_dialer(0), 1);
+    // With a 3 s ping budget (pings every 2 s) the peer is gone by 10 s.
+    assert_eq!(run_with_deaf_dialer(3 * SECS), 0);
+}
+
+#[test]
+fn pong_clears_the_ping_deadline() {
+    // Two real nodes answer each other's pings, so even an aggressive
+    // ping timeout never fires.
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_host(
+        A,
+        Box::new(Node::new(NodeConfig {
+            ping_interval: SECS,
+            ping_timeout: 2 * SECS,
+            ..NodeConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    sim.add_host(
+        B,
+        Box::new(Node::new(NodeConfig {
+            outbound_targets: vec![addr(A)],
+            ping_interval: SECS,
+            ping_timeout: 2 * SECS,
+            ..NodeConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    sim.run_for(12 * SECS);
+    let a: &Node = sim.app(A).unwrap();
+    let b: &Node = sim.app(B).unwrap();
+    assert_eq!(a.inbound_count(), 1);
+    assert_eq!(b.outbound_count(), 1);
+}
+
+fn failed_dials(base: u64, cap: u64) -> u32 {
+    // B dials a port nobody listens on; every attempt is refused with an
+    // RST, so the dial cadence is fully visible in addrman's failure
+    // counter.
+    let closed = SockAddr::new(A, 9000);
+    let mut sim = Simulator::new(SimConfig::default());
+    sim.add_host(
+        A,
+        Box::new(Node::new(NodeConfig::default())),
+        HostConfig::default(),
+    );
+    sim.add_host(
+        B,
+        Box::new(Node::new(NodeConfig {
+            outbound_targets: vec![closed],
+            reconnect_backoff_base: base,
+            reconnect_backoff_cap: cap,
+            ..NodeConfig::default()
+        })),
+        HostConfig::default(),
+    );
+    sim.run_for(12 * SECS);
+    let b: &Node = sim.app(B).unwrap();
+    b.addrman.entry(&closed).map_or(0, |e| e.failures)
+}
+
+#[test]
+fn reconnect_backoff_slows_redials() {
+    // Stock behaviour: one refused dial per maintenance tick (~12 in 12 s).
+    let eager = failed_dials(0, 0);
+    assert!(eager >= 8, "expected roughly one dial per second, got {eager}");
+    // With 2 s base doubling to a 16 s cap the schedule is ~0,2,6,14 s —
+    // at most a handful of attempts in the same window.
+    let patient = failed_dials(2 * SECS, 16 * SECS);
+    assert!(
+        patient >= 2 && patient <= eager / 2,
+        "backoff did not thin redials: {patient} vs {eager}"
+    );
+}
+
+#[test]
+fn version_nonce_uses_full_rng_width() {
+    // The old nonce mixed a counter into the low 16 bits, so the first
+    // handshake of every node always ended in 0x0001. Drawn fully from
+    // the RNG, the low bits now vary with the seed.
+    let low_bits = |seed: u64| -> u16 {
+        let mut sim = Simulator::new(SimConfig {
+            seed,
+            ..SimConfig::default()
+        });
+        sim.add_host(
+            A,
+            Box::new(Node::new(NodeConfig::default())),
+            HostConfig::default(),
+        );
+        sim.add_host(
+            B,
+            Box::new(Node::new(NodeConfig {
+                outbound_targets: vec![addr(A)],
+                ..NodeConfig::default()
+            })),
+            HostConfig::default(),
+        );
+        sim.run_for(2 * SECS);
+        let a: &Node = sim.app(A).unwrap();
+        let peer = a
+            .peer_infos()
+            .first()
+            .map(|p| p.addr)
+            .expect("B never connected");
+        let nonce = a
+            .peer_by_addr(&peer)
+            .and_then(|p| p.version.as_ref())
+            .map(|v| v.nonce)
+            .expect("no VERSION from B");
+        (nonce & 0xFFFF) as u16
+    };
+    let lows: Vec<u16> = (1..=5).map(low_bits).collect();
+    assert!(
+        lows.iter().any(|l| *l != lows[0]),
+        "low 16 nonce bits identical across seeds: {lows:?}"
+    );
+}

@@ -6,6 +6,11 @@
 # document isolates the `sweep` bench group (fig6/table3/evasion serial
 # vs `btc_par` fan-out) against its pre-parallelism baseline.
 #
+# It also regenerates results/BENCH_faults.json: the detector-robustness
+# fault matrix (repro faults, quick grid) next to the committed
+# clean-network baseline rows, so detector drift under loss/jitter/churn
+# is diffable against the fault-free behaviour.
+#
 # Usage:
 #   scripts/bench.sh              # refresh the "current" section
 #   scripts/bench.sh --baseline   # ALSO overwrite the committed baseline
@@ -77,3 +82,44 @@ assemble banscore-bench-hashpath-v1 results/BENCH_hashpath_baseline.jsonl \
   "$hash_jsonl" results/BENCH_hashpath.json
 assemble banscore-bench-sweep-v1 results/BENCH_sweep_baseline.jsonl \
   "$sweep_jsonl" results/BENCH_sweep.json
+
+# ---- detector robustness under injected faults ------------------------
+# The fault matrix is fully deterministic (fixed seeds, virtual time), so
+# unlike the wall-clock benches above its "current" section only moves
+# when the simulator, the protocol stack or the detector change — which
+# is exactly what the committed clean-network baseline makes visible.
+echo "==> fault matrix (repro faults, quick grid)"
+cargo run --release --offline -p btc-bench --bin repro -- \
+  --quick --csv --jobs 4 faults > /dev/null
+if [ ! -s results/fault_matrix.csv ]; then
+  echo "ERROR: repro faults produced no results/fault_matrix.csv" >&2
+  exit 1
+fi
+
+if [ "$MODE" = baseline ]; then
+  # The clean-network rows (loss=0 jitter=0 churn=0) ARE the baseline.
+  { head -1 results/fault_matrix.csv
+    grep '^0\.000,0,0,' results/fault_matrix.csv || true
+  } > results/BENCH_faults_baseline.csv
+fi
+
+# csv_rows <file> — emit the file's lines as a JSON string array body.
+csv_rows() {
+  sed 's/\r$//; s/["\\]/\\&/g; s/^/    "/; s/$/"/; $!s/$/,/' "$1"
+}
+
+{
+  echo '{'
+  echo '  "schema": "banscore-fault-matrix-v1",'
+  echo '  "settings": {"grid": "quick", "jobs": 4},'
+  echo '  "baseline": ['
+  if [ -f results/BENCH_faults_baseline.csv ]; then
+    csv_rows results/BENCH_faults_baseline.csv
+  fi
+  echo '  ],'
+  echo '  "current": ['
+  csv_rows results/fault_matrix.csv
+  echo '  ]'
+  echo '}'
+} > results/BENCH_faults.json
+echo "wrote results/BENCH_faults.json ($MODE run, $(( $(wc -l < results/fault_matrix.csv) - 1 )) grid points)"

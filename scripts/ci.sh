@@ -42,10 +42,15 @@ echo "==> jobs matrix: repro output must be byte-identical at --jobs 1 vs --jobs
 # Only the simulation-derived experiments are gated: table2/fig11 time
 # wall-clock costs and differ between ANY two runs, serial or not. The
 # job count 4 is fixed (not nproc) so the pool's stealing path is
-# exercised even on a single-core runner.
+# exercised even on a single-core runner. `faults` doubles as the
+# fault-matrix smoke: the quick grid re-runs every attack under packet
+# loss, jitter and churn with fixed seeds, so any nondeterminism in the
+# fault layer, the retransmission path or the reconnect backoff shows up
+# as a diff here. (The single-point bit-equality contract is also a
+# test: crates/core/tests/parallel_equivalence.rs.)
 out1=$(mktemp) out4=$(mktemp)
 trap 'rm -f "$smoke_json" "$out1" "$out4"' EXIT
-deterministic="table1 fig6 table3 fig8 fig10 evasion counter"
+deterministic="table1 fig6 table3 fig8 fig10 evasion faults counter"
 cargo run --release --offline -p btc-bench --bin repro -- \
   --quick --jobs 1 $deterministic > "$out1"
 cargo run --release --offline -p btc-bench --bin repro -- \
