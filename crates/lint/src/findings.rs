@@ -1,0 +1,48 @@
+//! Finding representation and ordering.
+
+use std::fmt;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (stable, used in allow markers and the allowlist file).
+    pub rule: &'static str,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates a finding.
+    pub fn new(file: &str, line: u32, rule: &'static str, message: impl Into<String>) -> Self {
+        Finding {
+            file: file.to_owned(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let f = Finding::new("crates/x/src/a.rs", 7, "panic-path", "`.unwrap()` on peer input");
+        assert_eq!(
+            f.to_string(),
+            "crates/x/src/a.rs:7:panic-path: `.unwrap()` on peer input"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! btc-lint — the workspace's own static-analysis pass.
+//!
+//! Lexes every `crates/**/*.rs` file (skipping build output and lint test
+//! fixtures) and applies four scoped token-pattern rules plus one
+//! cross-file rule:
+//!
+//! | rule             | scope                             | what it enforces              |
+//! |------------------|-----------------------------------|-------------------------------|
+//! | `wallclock`      | whole workspace                   | no `Instant::now` /           |
+//! |                  |                                   | `SystemTime::now` /           |
+//! |                  |                                   | `RandomState`                 |
+//! | `unordered-map`  | sim-deterministic crates          | no `HashMap`/`HashSet`        |
+//! | `panic-path`     | peer-input files                  | no unwrap/expect/panic!/`[i]` |
+//! | `narrowing-cast` | wire parse files                  | no `as u8/u16/u32`            |
+//! | `ban-exhaustive` | message.rs / rules.rs / node.rs   | Table I covers all 26 types   |
+//!
+//! Exemptions are explicit and audited: inline `lint:allow(<rule>): <reason>`
+//! markers for single lines, `crates/lint/lint-allow.txt` for whole files.
+//! Test code (`#[cfg(test)]` / `#[test]` items) is exempt from the
+//! token-pattern rules. Findings print as `file:line:rule: message`.
+
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+use findings::Finding;
+use lexer::SourceFile;
+use scope::Allowlist;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "fixtures"];
+
+/// Runs every rule over the workspace at `root` and returns sorted findings.
+/// An empty result means the workspace is lint-clean.
+pub fn run(root: &Path) -> Vec<Finding> {
+    let (allow, mut all) = Allowlist::load(root);
+    let mut ban_files: [Option<SourceFile>; 3] = [None, None, None];
+
+    for path in collect_rs_files(&root.join("crates")) {
+        let rel = relative_path(root, &path);
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            all.push(Finding::new(&rel, 1, "io", "file vanished or is not UTF-8"));
+            continue;
+        };
+        let sf = lexer::lex(&rel, &src);
+
+        let mut file_findings = Vec::new();
+        for &line in &sf.bad_marker_lines {
+            file_findings.push(Finding::new(
+                &rel,
+                line,
+                "allow-marker",
+                "`lint:allow` marker without a reason; write `lint:allow(<rule>): <why>`",
+            ));
+        }
+        rules::determinism::wallclock(&sf, &mut file_findings);
+        if scope::in_sim_deterministic(&rel) {
+            rules::determinism::unordered_map(&sf, &mut file_findings);
+        }
+        if scope::is_peer_input(&rel) {
+            rules::panics::panic_path(&sf, &mut file_findings);
+        }
+        if scope::is_wire_parse(&rel) {
+            rules::casts::narrowing_cast(&sf, &mut file_findings);
+        }
+        all.extend(
+            file_findings
+                .into_iter()
+                .filter(|f| !allow.allows(f.rule, &rel)),
+        );
+
+        match rel.as_str() {
+            "crates/wire/src/message.rs" => ban_files[0] = Some(sf),
+            "crates/node/src/banscore/rules.rs" => ban_files[1] = Some(sf),
+            "crates/node/src/node.rs" => ban_files[2] = Some(sf),
+            _ => {}
+        }
+    }
+
+    match ban_files {
+        [Some(msg_sf), Some(rules_sf), Some(node_sf)] => {
+            rules::ban_rules::ban_exhaustive(&msg_sf, &rules_sf, &node_sf, &mut all);
+        }
+        _ => {
+            all.push(Finding::new(
+                "crates",
+                1,
+                rules::ban_rules::BAN_EXHAUSTIVE,
+                "missing one of message.rs / banscore/rules.rs / node.rs; \
+                 the ban-decision cross-check could not run",
+            ));
+        }
+    }
+
+    all.sort();
+    all.dedup();
+    all
+}
+
+/// Every `.rs` file under `dir`, sorted for deterministic output.
+fn collect_rs_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(dir, &mut out);
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let skip = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| SKIP_DIRS.contains(&n));
+            if !skip {
+                walk(&path, out);
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `path` relative to `root`, `/`-separated regardless of platform.
+fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_path_is_slash_separated() {
+        let root = Path::new("/ws");
+        let p = Path::new("/ws/crates/wire/src/message.rs");
+        assert_eq!(relative_path(root, p), "crates/wire/src/message.rs");
+    }
+}

@@ -1,0 +1,55 @@
+//! CLI entry point: `cargo run -p btc-lint [-- --root <dir>]`.
+//!
+//! Prints findings as `file:line:rule: message` (one per line, sorted) and
+//! exits 1 when any exist, 0 when the workspace is clean, 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("btc-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: btc-lint [--root <workspace-dir>]\n\n\
+                     Lints crates/**/*.rs for determinism, panic-safety, narrowing casts,\n\
+                     and ban-rule exhaustiveness. Exits non-zero on findings."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("btc-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "btc-lint: `{}` has no crates/ directory; run from the workspace root or pass --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let findings = btc_lint::run(&root);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("btc-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("btc-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,370 @@
+//! `ban-exhaustive`: every wire message type must carry an explicit
+//! per-version ban decision, and the node must dispatch on it.
+//!
+//! The paper's first BM-DoS vector exists because 14 of 26 message types
+//! have *no* ban-score rule — an omission, not a decision. This rule makes
+//! the omission impossible to repeat silently by cross-checking three
+//! sources that must agree:
+//!
+//! 1. `ALL_COMMANDS` in `crates/wire/src/message.rs` — the 26 wire commands;
+//! 2. `BAN_DECISIONS` in `crates/node/src/banscore/rules.rs` — one explicit
+//!    `[0.20, 0.21, 0.22]` decision row per command;
+//! 3. the `Message::…` match arms in `crates/node/src/node.rs` — every
+//!    command must be dispatched somewhere in the handler.
+//!
+//! The check is textual (token-level); the semantic half — that
+//! `BAN_DECISIONS` agrees with `Misbehavior::penalty` — is a unit test next
+//! to the table itself.
+
+use crate::findings::Finding;
+use crate::lexer::{SourceFile, TokKind};
+
+/// Rule name for ban-exhaustiveness findings.
+pub const BAN_EXHAUSTIVE: &str = "ban-exhaustive";
+
+/// Decision variant names accepted in a `BAN_DECISIONS` row.
+const DECISION_NAMES: &[&str] = &["Penalize", "Tolerate"];
+
+/// One parsed `(command, decisions)` row.
+struct DecisionRow {
+    command: String,
+    decisions: Vec<String>,
+    line: u32,
+}
+
+/// Cross-checks the three sources. `message_sf`/`rules_sf`/`node_sf` are the
+/// lexed `message.rs`, `banscore/rules.rs`, and `node.rs`.
+pub fn ban_exhaustive(
+    message_sf: &SourceFile,
+    rules_sf: &SourceFile,
+    node_sf: &SourceFile,
+    out: &mut Vec<Finding>,
+) {
+    let commands = extract_str_array(message_sf, "ALL_COMMANDS");
+    let Some((commands, cmd_line)) = commands else {
+        out.push(Finding::new(
+            &message_sf.path,
+            1,
+            BAN_EXHAUSTIVE,
+            "could not locate the `ALL_COMMANDS` array; the ban-decision cross-check needs it",
+        ));
+        return;
+    };
+
+    let rows = extract_decision_rows(rules_sf);
+    let Some((rows, table_line)) = rows else {
+        out.push(Finding::new(
+            &rules_sf.path,
+            1,
+            BAN_EXHAUSTIVE,
+            "could not locate the `BAN_DECISIONS` table; every wire command needs an explicit \
+             per-version ban decision (Table I)",
+        ));
+        return;
+    };
+
+    // Rows must be well-formed: known command, three known decisions, no
+    // duplicates.
+    let mut seen: Vec<&str> = Vec::new();
+    for row in &rows {
+        if !commands.contains(&row.command) {
+            out.push(Finding::new(
+                &rules_sf.path,
+                row.line,
+                BAN_EXHAUSTIVE,
+                format!(
+                    "`BAN_DECISIONS` row for unknown command \"{}\" (not in ALL_COMMANDS)",
+                    row.command
+                ),
+            ));
+        }
+        if seen.contains(&row.command.as_str()) {
+            out.push(Finding::new(
+                &rules_sf.path,
+                row.line,
+                BAN_EXHAUSTIVE,
+                format!("duplicate `BAN_DECISIONS` row for \"{}\"", row.command),
+            ));
+        }
+        seen.push(&row.command);
+        if row.decisions.len() != 3 {
+            out.push(Finding::new(
+                &rules_sf.path,
+                row.line,
+                BAN_EXHAUSTIVE,
+                format!(
+                    "`BAN_DECISIONS` row for \"{}\" has {} decisions; need exactly 3 \
+                     (0.20, 0.21, 0.22)",
+                    row.command,
+                    row.decisions.len()
+                ),
+            ));
+        }
+        for d in &row.decisions {
+            if !DECISION_NAMES.contains(&d.as_str()) {
+                out.push(Finding::new(
+                    &rules_sf.path,
+                    row.line,
+                    BAN_EXHAUSTIVE,
+                    format!(
+                        "unknown ban decision `{d}` for \"{}\" (expected one of {:?})",
+                        row.command, DECISION_NAMES
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Every command needs a row…
+    for cmd in &commands {
+        if !rows.iter().any(|r| &r.command == cmd) {
+            out.push(Finding::new(
+                &rules_sf.path,
+                table_line,
+                BAN_EXHAUSTIVE,
+                format!(
+                    "no `BAN_DECISIONS` row for \"{cmd}\": every wire message type needs an \
+                     explicit per-version ban decision (Table I)"
+                ),
+            ));
+        }
+    }
+
+    // …and a dispatch arm in the node.
+    let dispatched = message_variants(node_sf);
+    for cmd in &commands {
+        if !dispatched.contains(cmd) {
+            out.push(Finding::new(
+                &node_sf.path,
+                1,
+                BAN_EXHAUSTIVE,
+                format!(
+                    "no `Message::…` arm for \"{cmd}\" in the node dispatch; unhandled message \
+                     types silently bypass ban tracking"
+                ),
+            ));
+        }
+    }
+
+    // ALL_COMMANDS itself must stay non-trivial; an emptied array would make
+    // every check above pass vacuously.
+    if commands.is_empty() {
+        out.push(Finding::new(
+            &message_sf.path,
+            cmd_line,
+            BAN_EXHAUSTIVE,
+            "`ALL_COMMANDS` is empty",
+        ));
+    }
+}
+
+/// Finds `NAME … = [ "a", "b", … ]` outside test code and returns the
+/// string contents plus the line of the opening bracket.
+fn extract_str_array(sf: &SourceFile, name: &str) -> Option<(Vec<String>, u32)> {
+    let open = find_array_start(sf, name)?;
+    let toks = &sf.tokens;
+    let mut depth = 1usize;
+    let mut items = Vec::new();
+    let mut i = open + 1;
+    while i < toks.len() && depth > 0 {
+        match (toks[i].kind, toks[i].text.as_str()) {
+            (TokKind::Punct, "[") => depth += 1,
+            (TokKind::Punct, "]") => depth -= 1,
+            (TokKind::Str, s) => items.push(s.to_owned()),
+            _ => {}
+        }
+        i += 1;
+    }
+    Some((items, sf.tokens[open].line))
+}
+
+/// Finds `NAME … = [ ("cmd", [D, D, D]), … ]` and parses the rows.
+fn extract_decision_rows(sf: &SourceFile) -> Option<(Vec<DecisionRow>, u32)> {
+    let open = find_array_start(sf, "BAN_DECISIONS")?;
+    let toks = &sf.tokens;
+    let table_line = toks[open].line;
+    let mut rows = Vec::new();
+    let mut depth = 1usize;
+    let mut i = open + 1;
+    let mut cur: Option<DecisionRow> = None;
+    while i < toks.len() && depth > 0 {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "[") => depth += 1,
+            (TokKind::Punct, "]") => depth -= 1,
+            (TokKind::Punct, "(") => {
+                cur = Some(DecisionRow {
+                    command: String::new(),
+                    decisions: Vec::new(),
+                    line: t.line,
+                });
+            }
+            (TokKind::Punct, ")") => {
+                if let Some(row) = cur.take() {
+                    rows.push(row);
+                }
+            }
+            (TokKind::Str, s) => {
+                if let Some(row) = cur.as_mut() {
+                    row.command = s.to_owned();
+                }
+            }
+            (TokKind::Ident, id) if id != "BanDecision" => {
+                if let Some(row) = cur.as_mut() {
+                    row.decisions.push(id.to_owned());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some((rows, table_line))
+}
+
+/// Index of the `[` in `NAME … = [`, skipping test code and bare mentions.
+fn find_array_start(sf: &SourceFile, name: &str) -> Option<usize> {
+    let toks = &sf.tokens;
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || toks[i].text != name || sf.in_test(toks[i].line) {
+            continue;
+        }
+        // Look ahead for `= [` before the item-terminating `;` — the `;`
+        // inside a `[T; N]` type annotation doesn't count.
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        while j + 1 < toks.len() {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => break,
+                "=" if depth == 0 && toks[j + 1].text == "[" => return Some(j + 1),
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    None
+}
+
+/// The set of `Message::Variant` names dispatched in non-test code,
+/// lowercased to command strings.
+fn message_variants(sf: &SourceFile) -> Vec<String> {
+    let toks = &sf.tokens;
+    let mut out: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == "Message"
+            && !sf.in_test(toks[i].line)
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some(":")
+            && toks.get(i + 2).map(|t| t.text.as_str()) == Some(":")
+        {
+            if let Some(v) = toks.get(i + 3) {
+                if v.kind == TokKind::Ident
+                    && v.text.starts_with(|c: char| c.is_ascii_uppercase())
+                {
+                    let cmd = v.text.to_lowercase();
+                    if !out.contains(&cmd) {
+                        out.push(cmd);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const MESSAGE_SRC: &str = r#"
+pub const ALL_COMMANDS: [&str; 3] = ["version", "ping", "tx"];
+"#;
+
+    fn rules_src(rows: &str) -> String {
+        format!("pub const BAN_DECISIONS: [(&str, [BanDecision; 3]); 3] = [\n{rows}\n];\n")
+    }
+
+    fn check(rules: &str, node: &str) -> Vec<Finding> {
+        let msf = lex("crates/wire/src/message.rs", MESSAGE_SRC);
+        let rsf = lex("crates/node/src/banscore/rules.rs", rules);
+        let nsf = lex("crates/node/src/node.rs", node);
+        let mut out = Vec::new();
+        ban_exhaustive(&msf, &rsf, &nsf, &mut out);
+        out
+    }
+
+    const GOOD_ROWS: &str = r#"("version", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Tolerate]),
+("ping", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+("tx", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Penalize]),"#;
+
+    const GOOD_NODE: &str =
+        "fn h(m: Message) { match m { Message::Version(_) => {}, Message::Ping(_) => {}, Message::Tx(_) => {} } }";
+
+    #[test]
+    fn clean_when_all_three_agree() {
+        let f = check(&rules_src(GOOD_ROWS), GOOD_NODE);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn missing_row_flagged() {
+        let rows = r#"("version", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Tolerate]),
+("ping", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),"#;
+        let f = check(&rules_src(rows), GOOD_NODE);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("no `BAN_DECISIONS` row for \"tx\""));
+    }
+
+    #[test]
+    fn wrong_arity_and_unknown_decision_flagged() {
+        let rows = r#"("version", [BanDecision::Penalize, BanDecision::Tolerate]),
+("ping", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Maybe]),
+("tx", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Penalize]),"#;
+        let f = check(&rules_src(rows), GOOD_NODE);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("has 2 decisions")));
+        assert!(f.iter().any(|x| x.message.contains("unknown ban decision `Maybe`")));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_command_flagged() {
+        let rows = r#"("version", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Tolerate]),
+("version", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Tolerate]),
+("ping", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+("bogus", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),"#;
+        let f = check(&rules_src(rows), GOOD_NODE);
+        assert!(f.iter().any(|x| x.message.contains("duplicate")), "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("unknown command \"bogus\"")));
+        // "tx" row is still missing.
+        assert!(f.iter().any(|x| x.message.contains("\"tx\"")));
+    }
+
+    #[test]
+    fn missing_dispatch_arm_flagged() {
+        let node = "fn h(m: Message) { match m { Message::Version(_) => {}, Message::Ping(_) => {}, _ => {} } }";
+        let f = check(&rules_src(GOOD_ROWS), node);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("no `Message::…` arm for \"tx\""));
+    }
+
+    #[test]
+    fn test_code_dispatch_does_not_count() {
+        let node = "fn h(m: Message) { match m { Message::Version(_) => {}, Message::Ping(_) => {} } }\n#[cfg(test)]\nmod tests { fn t() { let _ = Message::Tx(x); } }\n";
+        let f = check(&rules_src(GOOD_ROWS), node);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn missing_tables_reported() {
+        let f = check("fn nothing() {}", GOOD_NODE);
+        assert!(f[0].message.contains("BAN_DECISIONS"));
+        let msf = lex("m.rs", "fn nothing() {}");
+        let rsf = lex("r.rs", &rules_src(GOOD_ROWS));
+        let nsf = lex("n.rs", GOOD_NODE);
+        let mut out = Vec::new();
+        ban_exhaustive(&msf, &rsf, &nsf, &mut out);
+        assert!(out[0].message.contains("ALL_COMMANDS"));
+    }
+}

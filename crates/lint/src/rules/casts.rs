@@ -1,0 +1,71 @@
+//! `narrowing-cast`: flag `as u8` / `as u16` / `as u32` in wire parsing.
+//!
+//! A silent truncation in a length or count field is exactly how a crafted
+//! message smuggles an inconsistent size past validation (the paper's
+//! oversize/overflow probes). Narrowing must go through `try_from` with an
+//! explicit saturation/error decision, or carry a
+//! `lint:allow(narrowing-cast): <reason>` for range-proven cases.
+
+use crate::findings::Finding;
+use crate::lexer::{SourceFile, TokKind};
+
+/// Rule name for narrowing-cast findings.
+pub const NARROWING_CAST: &str = "narrowing-cast";
+
+/// Flags narrowing `as` casts to small unsigned integers.
+pub fn narrowing_cast(sf: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &sf.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "as" {
+            continue;
+        }
+        let Some(ty) = toks.get(i + 1) else { continue };
+        if ty.kind != TokKind::Ident || !matches!(ty.text.as_str(), "u8" | "u16" | "u32") {
+            continue;
+        }
+        if !sf.reportable(NARROWING_CAST, t.line) {
+            continue;
+        }
+        out.push(Finding::new(
+            &sf.path,
+            t.line,
+            NARROWING_CAST,
+            format!(
+                "`as {}` silently truncates; use `{}::try_from(..)` with an explicit policy, \
+                 or justify a range-proven cast with `lint:allow(narrowing-cast): <reason>`",
+                ty.text, ty.text
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let sf = lex("t.rs", src);
+        let mut out = Vec::new();
+        narrowing_cast(&sf, &mut out);
+        out
+    }
+
+    #[test]
+    fn narrowing_flagged() {
+        let f = run("let a = n as u8;\nlet b = n as u16;\nlet c = n as u32;\n");
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn widening_not_flagged() {
+        let f = run("let a = n as u64;\nlet b = n as usize;\nlet c = x as f64;\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn marker_suppresses() {
+        let f = run("// lint:allow(narrowing-cast): value matched to < 0xfd above\nlet a = n as u8;\n");
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+//! The rule set. Each token-pattern rule is a pure function from a lexed
+//! [`crate::lexer::SourceFile`] to findings; scoping (which files a rule
+//! sees) lives in the driver, suppression (test code, inline markers) in the
+//! rules themselves so fixtures exercise it.
+
+pub mod ban_rules;
+pub mod casts;
+pub mod determinism;
+pub mod panics;

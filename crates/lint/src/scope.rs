@@ -1,0 +1,207 @@
+//! Which rules run where, plus the file-level allowlist.
+//!
+//! Scoping is deliberately explicit path lists, not heuristics: the
+//! determinism contract covers the crates whose output must be bit-identical
+//! across `--jobs` counts, and the panic-safety contract covers exactly the
+//! code that touches peer-controlled bytes. Adding a file to a contract is a
+//! reviewed one-line change here.
+
+use crate::findings::Finding;
+use std::path::Path;
+
+/// Crates whose simulation output must be bit-identical across runs and job
+/// counts (PR 3/4 determinism contract). `wallclock` findings here are never
+/// file-allowlisted; `unordered-map` runs only here.
+pub const SIM_DETERMINISTIC_CRATES: &[&str] = &[
+    "crates/wire",
+    "crates/netsim",
+    "crates/node",
+    "crates/par",
+    "crates/core",
+];
+
+/// Files that parse or act on peer-controlled bytes: the `panic-path` rule
+/// scope. A panic anywhere in here would let a malformed payload crash the
+/// node *before* misbehavior tracking — inverting the paper's BM-DoS result.
+pub const PEER_INPUT_FILES: &[&str] = &[
+    // wire decode path
+    "crates/wire/src/encode.rs",
+    "crates/wire/src/message.rs",
+    "crates/wire/src/types.rs",
+    "crates/wire/src/compact.rs",
+    "crates/wire/src/tx.rs",
+    "crates/wire/src/block.rs",
+    "crates/wire/src/bloom.rs",
+    // node message handlers and the state they drive
+    "crates/node/src/node.rs",
+    "crates/node/src/peer.rs",
+    "crates/node/src/chain.rs",
+    "crates/node/src/mempool.rs",
+    "crates/node/src/banman.rs",
+    "crates/node/src/addrman.rs",
+    "crates/node/src/banscore/tracker.rs",
+];
+
+/// Wire parsing files where `as u8`/`as u16`/`as u32` narrowing must be
+/// justified (the crypto kernels are excluded: byte extraction is their
+/// business).
+pub const WIRE_PARSE_FILES: &[&str] = &[
+    "crates/wire/src/encode.rs",
+    "crates/wire/src/message.rs",
+    "crates/wire/src/types.rs",
+    "crates/wire/src/compact.rs",
+    "crates/wire/src/tx.rs",
+    "crates/wire/src/block.rs",
+    "crates/wire/src/bloom.rs",
+];
+
+/// Whether `rel` (workspace-relative, `/`-separated) is inside a
+/// sim-deterministic crate.
+pub fn in_sim_deterministic(rel: &str) -> bool {
+    SIM_DETERMINISTIC_CRATES
+        .iter()
+        .any(|c| rel.strip_prefix(c).is_some_and(|r| r.starts_with('/')))
+}
+
+/// Whether `rel` is in the panic-safety scope.
+pub fn is_peer_input(rel: &str) -> bool {
+    PEER_INPUT_FILES.contains(&rel)
+}
+
+/// Whether `rel` is in the narrowing-cast scope.
+pub fn is_wire_parse(rel: &str) -> bool {
+    WIRE_PARSE_FILES.contains(&rel)
+}
+
+/// One entry of the allowlist file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule name.
+    pub rule: String,
+    /// Path prefix the exemption covers.
+    pub path: String,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// The parsed allowlist file (`crates/lint/lint-allow.txt`).
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text. Malformed lines become findings against
+    /// `file` (the allowlist path) rather than silent exemptions.
+    pub fn parse(file: &str, text: &str) -> (Allowlist, Vec<Finding>) {
+        let mut entries = Vec::new();
+        let mut findings = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = idx as u32 + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((head, reason)) = line.split_once("--") else {
+                findings.push(Finding::new(
+                    file,
+                    lineno,
+                    "allowlist",
+                    "missing `-- <reason>`: every exemption needs a justification",
+                ));
+                continue;
+            };
+            let mut parts = head.split_whitespace();
+            let (Some(rule), Some(path), None) = (parts.next(), parts.next(), parts.next())
+            else {
+                findings.push(Finding::new(
+                    file,
+                    lineno,
+                    "allowlist",
+                    "expected `<rule> <path-prefix> -- <reason>`",
+                ));
+                continue;
+            };
+            let reason = reason.trim();
+            if reason.is_empty() {
+                findings.push(Finding::new(
+                    file,
+                    lineno,
+                    "allowlist",
+                    "empty reason: every exemption needs a justification",
+                ));
+                continue;
+            }
+            entries.push(AllowEntry {
+                rule: rule.to_owned(),
+                path: path.to_owned(),
+                reason: reason.to_owned(),
+            });
+        }
+        (Allowlist { entries }, findings)
+    }
+
+    /// Loads the allowlist from `root`, tolerating a missing file.
+    pub fn load(root: &Path) -> (Allowlist, Vec<Finding>) {
+        let path = root.join("crates/lint/lint-allow.txt");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Allowlist::parse("crates/lint/lint-allow.txt", &text),
+            Err(_) => (Allowlist::default(), Vec::new()),
+        }
+    }
+
+    /// Whether `rule` is exempted for `rel` by a path-prefix entry.
+    pub fn allows(&self, rule: &str, rel: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.rule == rule && rel.starts_with(&e.path))
+    }
+
+    /// All entries (diagnostics).
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_membership() {
+        assert!(in_sim_deterministic("crates/wire/src/message.rs"));
+        assert!(in_sim_deterministic("crates/node/src/banscore/tracker.rs"));
+        assert!(!in_sim_deterministic("crates/detect/src/latency.rs"));
+        assert!(!in_sim_deterministic("crates/wireless/src/x.rs"));
+        assert!(is_peer_input("crates/wire/src/encode.rs"));
+        assert!(!is_peer_input("crates/wire/src/crypto/sha256.rs"));
+        assert!(is_wire_parse("crates/wire/src/bloom.rs"));
+        assert!(!is_wire_parse("crates/wire/src/crypto/murmur3.rs"));
+    }
+
+    #[test]
+    fn allowlist_parses_and_matches() {
+        let (al, bad) = Allowlist::parse(
+            "lint-allow.txt",
+            "# comment\n\nwallclock crates/detect/src/latency.rs -- wall-clock timing by design\n",
+        );
+        assert!(bad.is_empty());
+        assert!(al.allows("wallclock", "crates/detect/src/latency.rs"));
+        assert!(!al.allows("wallclock", "crates/detect/src/engine.rs"));
+        assert!(!al.allows("unordered-map", "crates/detect/src/latency.rs"));
+    }
+
+    #[test]
+    fn allowlist_rejects_missing_reason() {
+        let (al, bad) = Allowlist::parse("f", "wallclock crates/x/src/a.rs\n");
+        assert!(al.entries().is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "allowlist");
+    }
+
+    #[test]
+    fn allowlist_rejects_empty_reason_and_bad_shape() {
+        let (_, bad) = Allowlist::parse("f", "wallclock crates/x/src/a.rs -- \nonlyrule -- r\n");
+        assert_eq!(bad.len(), 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! End-to-end self-test: run the full lint over the fixture workspace under
+//! `tests/fixtures/ws` and assert the exact findings — including that the
+//! justified inline marker, the allowlist entry, and test code suppress
+//! theirs, while the unjustified marker and the malformed allowlist line
+//! produce findings of their own.
+
+use std::path::Path;
+
+#[test]
+fn fixture_workspace_findings_are_exact() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws");
+    let findings = btc_lint::run(&root);
+
+    let want: &[(&str, u32, &str)] = &[
+        ("crates/attack/src/clock.rs", 4, "wallclock"),
+        ("crates/lint/lint-allow.txt", 3, "allowlist"),
+        ("crates/node/src/banscore/rules.rs", 3, "ban-exhaustive"),
+        ("crates/node/src/node.rs", 1, "ban-exhaustive"),
+        ("crates/wire/src/encode.rs", 3, "unordered-map"),
+        ("crates/wire/src/encode.rs", 6, "panic-path"),
+        ("crates/wire/src/encode.rs", 7, "narrowing-cast"),
+        ("crates/wire/src/encode.rs", 8, "unordered-map"),
+        ("crates/wire/src/encode.rs", 9, "panic-path"),
+        ("crates/wire/src/encode.rs", 18, "allow-marker"),
+        ("crates/wire/src/encode.rs", 19, "panic-path"),
+    ];
+    let got: Vec<(&str, u32, &str)> = findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.line, f.rule))
+        .collect();
+    assert_eq!(got, want, "full findings:\n{}", render(&findings));
+
+    // Spot-check the cross-file messages name the missing command.
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("no `BAN_DECISIONS` row for \"tx\"")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("\"tx\"") && f.file.ends_with("node.rs")));
+}
+
+fn render(findings: &[btc_lint::findings::Finding]) -> String {
+    findings
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n")
+}

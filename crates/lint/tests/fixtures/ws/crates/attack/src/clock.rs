@@ -1,0 +1,5 @@
+//! Fixture: wall-clock use outside any allowlist entry.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

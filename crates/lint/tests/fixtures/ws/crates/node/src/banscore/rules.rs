@@ -1,0 +1,6 @@
+//! Fixture: decision table with a deliberately missing "tx" row.
+
+pub const BAN_DECISIONS: [(&str, [BanDecision; 3]); 2] = [
+    ("version", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Tolerate]),
+    ("ping", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+];

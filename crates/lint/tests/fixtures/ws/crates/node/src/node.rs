@@ -1,0 +1,9 @@
+//! Fixture: dispatch missing the Tx arm.
+
+pub fn handle(m: Message) {
+    match m {
+        Message::Version(_) => {}
+        Message::Ping(_) => {}
+        _ => {}
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: a clean file. Rule names inside comments ("HashMap",
+//! "Instant::now") and idents like `unwrap_or` must not be flagged.
+
+pub fn describe() -> &'static str {
+    "HashMap and Instant::now belong in strings"
+}
+
+pub fn safe(v: &[u8]) -> u8 {
+    v.first().copied().unwrap_or(0)
+}

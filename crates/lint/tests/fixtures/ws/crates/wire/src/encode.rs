@@ -1,0 +1,29 @@
+//! Fixture: deliberate wire-decode violations for the lint self-test.
+
+use std::collections::HashMap;
+
+pub fn parse(buf: &[u8]) -> u8 {
+    let first = buf[0];
+    let narrowed = buf.len() as u8;
+    let map: HashMap<u8, u8> = HashMap::new();
+    map.get(&first).copied().unwrap() + narrowed
+}
+
+pub fn allowed(buf: &[u8]) -> u8 {
+    // lint:allow(panic-path): fixture exercises a justified marker
+    buf[1]
+}
+
+pub fn unjustified(buf: &[u8]) -> u8 {
+    // lint:allow(panic-path)
+    buf[2]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let v = vec![1u8];
+        assert_eq!(v[0], *v.get(0).unwrap());
+    }
+}

@@ -1,0 +1,3 @@
+//! Fixture: the command list for the ban cross-check.
+
+pub const ALL_COMMANDS: [&str; 3] = ["version", "ping", "tx"];

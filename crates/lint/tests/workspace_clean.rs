@@ -1,0 +1,23 @@
+//! The real workspace must stay lint-clean: this test fails `cargo test`
+//! the moment a violation lands anywhere under `crates/`, so the contract
+//! holds even for contributors who skip `scripts/ci.sh`.
+
+use std::path::Path;
+
+#[test]
+fn real_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up");
+    let findings = btc_lint::run(root);
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

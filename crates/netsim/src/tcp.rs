@@ -29,6 +29,7 @@ use crate::packet::{
 };
 use crate::time::{Nanos, MILLIS};
 use btc_wire::bytes::Bytes;
+// lint:allow(unordered-map): HashSet imported for the membership-only port sets below
 use std::collections::{BTreeMap, HashSet, VecDeque};
 
 /// Maximum payload bytes per segment.
@@ -182,6 +183,7 @@ pub struct TcpDropStats {
 #[derive(Debug)]
 pub struct TcpStack {
     local_ip: [u8; 4],
+    // lint:allow(unordered-map): membership-only (contains/insert/remove); never iterated
     listeners: HashSet<u16>,
     // BTreeMaps, not HashMaps: the retransmission poll scans sockets in
     // key order, which must not depend on a per-process RandomState.
@@ -189,6 +191,7 @@ pub struct TcpStack {
     routes: BTreeMap<ConnId, (SockAddr, SockAddr)>,
     next_id: u64,
     next_ephemeral: u16,
+    // lint:allow(unordered-map): membership-only (contains/insert/remove); never iterated
     used_ports: HashSet<u16>,
     isn_counter: u32,
     reliable: bool,
@@ -204,11 +207,13 @@ impl TcpStack {
     pub fn new(local_ip: [u8; 4]) -> Self {
         TcpStack {
             local_ip,
+            // lint:allow(unordered-map): membership-only port set
             listeners: HashSet::new(),
             socks: BTreeMap::new(),
             routes: BTreeMap::new(),
             next_id: 1,
             next_ephemeral: EPHEMERAL_START,
+            // lint:allow(unordered-map): membership-only port set
             used_ports: HashSet::new(),
             isn_counter: 0x1000,
             reliable: false,

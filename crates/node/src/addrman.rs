@@ -113,7 +113,10 @@ impl AddrMan {
     pub fn diversity(&self, now: Nanos, banman: &BanMan) -> usize {
         let mut groups: Vec<[u8; 2]> = self
             .usable(now, banman)
-            .map(|a| [a.ip[0], a.ip[1]])
+            .map(|a| {
+                let [g0, g1, _, _] = a.ip;
+                [g0, g1]
+            })
             .collect();
         groups.sort_unstable();
         groups.dedup();

@@ -9,7 +9,7 @@
 
 use btc_netsim::packet::SockAddr;
 use btc_netsim::time::{Nanos, SECS};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One ban entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,7 +23,7 @@ pub struct BanEntry {
 /// The ban list.
 #[derive(Clone, Debug, Default)]
 pub struct BanMan {
-    bans: HashMap<SockAddr, BanEntry>,
+    bans: BTreeMap<SockAddr, BanEntry>,
     /// Log of (time, identifier) ban events, kept for the experiments.
     history: Vec<(Nanos, SockAddr)>,
     ban_duration: Nanos,
@@ -33,7 +33,7 @@ impl BanMan {
     /// Creates a ban list with the stock 24-hour duration.
     pub fn new() -> Self {
         BanMan {
-            bans: HashMap::new(),
+            bans: BTreeMap::new(),
             history: Vec::new(),
             ban_duration: btc_wire::constants::DEFAULT_BANTIME_SECS * SECS,
         }

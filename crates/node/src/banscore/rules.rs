@@ -271,6 +271,61 @@ impl fmt::Display for Misbehavior {
     }
 }
 
+/// What a version of Core does with misbehavior in one message type: the
+/// per-(type, version) cell of Table I, flattened.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BanDecision {
+    /// At least one Table I rule penalizes misbehavior in this type.
+    Penalize,
+    /// No rule — misbehavior in this type is tolerated. These rows are the
+    /// raw material of the paper's first BM-DoS vector, so each one is an
+    /// explicit decision here, not an omission.
+    Tolerate,
+}
+
+/// One explicit decision per wire command per version, columns in
+/// `[V0_20, V0_21, V0_22]` order. `btc-lint`'s `ban-exhaustive` rule
+/// cross-checks this table against `ALL_COMMANDS` and the `node.rs`
+/// dispatch — a new message type that lands without a row here fails the
+/// lint — and the `ban_decisions_agree_with_penalties` test ties each cell
+/// to [`Misbehavior::penalty`].
+pub const BAN_DECISIONS: [(&str, [BanDecision; 3]); 26] = [
+    ("version", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Tolerate]),
+    ("verack", [BanDecision::Penalize, BanDecision::Tolerate, BanDecision::Tolerate]),
+    ("addr", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Penalize]),
+    ("getaddr", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+    ("ping", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+    ("pong", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+    ("inv", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Penalize]),
+    ("getdata", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Penalize]),
+    ("notfound", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+    ("getblocks", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+    ("getheaders", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+    ("headers", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Penalize]),
+    ("tx", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Penalize]),
+    ("block", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Penalize]),
+    ("mempool", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+    ("merkleblock", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+    ("sendheaders", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+    ("feefilter", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+    ("filterload", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Penalize]),
+    ("filteradd", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Penalize]),
+    ("filterclear", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+    ("sendcmpct", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+    ("cmpctblock", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Penalize]),
+    ("getblocktxn", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Penalize]),
+    ("blocktxn", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+    ("reject", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
+];
+
+/// The [`BAN_DECISIONS`] row for `command`, if any.
+pub fn ban_decision(command: &str) -> Option<[BanDecision; 3]> {
+    BAN_DECISIONS
+        .iter()
+        .find(|(c, _)| *c == command)
+        .map(|(_, d)| *d)
+}
+
 /// Message types that carry at least one ban-score rule under `version`.
 pub fn protected_message_types(version: CoreVersion) -> Vec<&'static str> {
     let mut v: Vec<&'static str> = ALL_MISBEHAVIORS
@@ -426,6 +481,38 @@ mod tests {
         assert_eq!(HeadersNonContinuous.kind(), MisbehaviorKind::Disorder);
         assert_eq!(DuplicateVersion.kind(), MisbehaviorKind::Repeat);
         assert_eq!(GetBlockTxnOutOfBounds.kind(), MisbehaviorKind::Oversize);
+    }
+
+    #[test]
+    fn ban_decisions_agree_with_penalties() {
+        // The flattened table is derived data; this pins every cell to the
+        // Misbehavior::penalty source of truth so the two can never drift.
+        let versions = [CoreVersion::V0_20, CoreVersion::V0_21, CoreVersion::V0_22];
+        for (command, decisions) in BAN_DECISIONS {
+            for (i, v) in versions.into_iter().enumerate() {
+                let protected = protected_message_types(v).contains(&command);
+                let expect = if protected {
+                    BanDecision::Penalize
+                } else {
+                    BanDecision::Tolerate
+                };
+                assert_eq!(
+                    decisions[i], expect,
+                    "BAN_DECISIONS disagrees with Misbehavior::penalty for {command} under {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ban_decisions_cover_every_command_once() {
+        let mut commands: Vec<&str> = BAN_DECISIONS.iter().map(|(c, _)| *c).collect();
+        let mut expect = btc_wire::message::ALL_COMMANDS.to_vec();
+        commands.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(commands, expect);
+        assert_eq!(ban_decision("ping"), Some([BanDecision::Tolerate; 3]));
+        assert_eq!(ban_decision("bogus"), None);
     }
 
     #[test]

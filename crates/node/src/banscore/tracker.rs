@@ -5,7 +5,7 @@
 use super::rules::{CoreVersion, Misbehavior};
 use btc_netsim::packet::SockAddr;
 use btc_netsim::time::Nanos;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How the node reacts to misbehavior (§VIII of the paper).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -60,7 +60,7 @@ pub struct MisbehaviorTracker {
     pub policy: BanPolicy,
     /// Ban threshold (Bitcoin's `-banscore`, default 100).
     pub threshold: u32,
-    scores: HashMap<SockAddr, u32>,
+    scores: BTreeMap<SockAddr, u32>,
     events: Vec<ScoreEvent>,
 }
 
@@ -71,7 +71,7 @@ impl MisbehaviorTracker {
             version,
             policy,
             threshold: btc_wire::constants::DEFAULT_BANSCORE_THRESHOLD,
-            scores: HashMap::new(),
+            scores: BTreeMap::new(),
             events: Vec::new(),
         }
     }
@@ -164,7 +164,7 @@ impl MisbehaviorTracker {
 /// into a ban.
 #[derive(Clone, Debug, Default)]
 pub struct GoodScoreTracker {
-    scores: HashMap<SockAddr, u64>,
+    scores: BTreeMap<SockAddr, u64>,
 }
 
 impl GoodScoreTracker {

@@ -5,7 +5,7 @@ use btc_wire::block::{Block, BlockHeader};
 use btc_wire::constants::REGTEST_BITS;
 use btc_wire::tx::Transaction;
 use btc_wire::types::Hash256;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Why a block was (or wasn't) accepted — each variant maps onto a Table-I
 /// `BLOCK` rule or a success path.
@@ -51,10 +51,10 @@ pub enum HeaderVerdict {
 #[derive(Clone, Debug)]
 pub struct Chain {
     genesis: Hash256,
-    headers: HashMap<Hash256, (BlockHeader, u64)>,
-    blocks: HashMap<Hash256, Block>,
-    children: HashMap<Hash256, Vec<Hash256>>,
-    invalid: HashSet<Hash256>,
+    headers: BTreeMap<Hash256, (BlockHeader, u64)>,
+    blocks: BTreeMap<Hash256, Block>,
+    children: BTreeMap<Hash256, Vec<Hash256>>,
+    invalid: BTreeSet<Hash256>,
     tip: Hash256,
     tip_height: u64,
 }
@@ -64,16 +64,16 @@ impl Chain {
     pub fn new() -> Self {
         let genesis = genesis_block();
         let gh = genesis.hash();
-        let mut headers = HashMap::new();
+        let mut headers = BTreeMap::new();
         headers.insert(gh, (genesis.header, 0));
-        let mut blocks = HashMap::new();
+        let mut blocks = BTreeMap::new();
         blocks.insert(gh, genesis);
         Chain {
             genesis: gh,
             headers,
             blocks,
-            children: HashMap::new(),
-            invalid: HashSet::new(),
+            children: BTreeMap::new(),
+            invalid: BTreeSet::new(),
             tip: gh,
             tip_height: 0,
         }
@@ -232,13 +232,13 @@ impl Chain {
         let chain = self.best_chain();
         let mut out = Vec::new();
         let mut step = 1usize;
-        let mut idx = chain.len() as i64 - 1;
-        while idx >= 0 {
-            out.push(chain[idx as usize]);
+        let mut idx = chain.len().checked_sub(1);
+        while let Some(i) = idx {
+            out.extend(chain.get(i).copied());
             if out.len() >= 10 {
                 step *= 2;
             }
-            idx -= step as i64;
+            idx = i.checked_sub(step);
         }
         if out.last() != Some(&self.genesis) {
             out.push(self.genesis);

@@ -459,7 +459,8 @@ impl Node {
         // blocks pushed as CMPCTBLOCK instead of announced via INV.
         let compact = if matches!(inv.kind, InvType::Block) && targets.iter().any(|(_, c)| *c) {
             self.chain.block(&inv.hash).map(|b| {
-                btc_wire::compact::CompactBlock::from_block(b, u64::from(inv.hash.0[0]) | 0x100)
+                let [nonce_seed, ..] = inv.hash.0;
+                btc_wire::compact::CompactBlock::from_block(b, u64::from(nonce_seed) | 0x100)
             })
         } else {
             None
@@ -638,11 +639,11 @@ impl Node {
                     self.misbehaving(ctx, conn, Misbehavior::HeadersOversize);
                     return;
                 }
-                if entries.is_empty() {
+                let Some(first_parent) = entries.first().map(|e| e.0.prev_block) else {
                     return;
-                }
+                };
                 // Non-connecting batch: first header's parent unknown.
-                if !self.chain.has_header(&entries[0].0.prev_block) {
+                if !self.chain.has_header(&first_parent) {
                     let strikes = if let Some(p) = self.peers.get_mut(&conn) {
                         p.unconnecting_headers += 1;
                         p.unconnecting_headers
@@ -655,7 +656,7 @@ impl Node {
                     return;
                 }
                 // Batch must be internally continuous.
-                let mut prev = entries[0].0.prev_block;
+                let mut prev = first_parent;
                 for e in &entries {
                     if e.0.prev_block != prev {
                         self.misbehaving(ctx, conn, Misbehavior::HeadersNonContinuous);

@@ -6,7 +6,7 @@ use btc_netsim::time::Nanos;
 use btc_wire::bloom::BloomFilter;
 use btc_wire::message::VersionMessage;
 use btc_wire::types::Hash256;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// State kept for one connected peer.
 #[derive(Clone, Debug)]
@@ -35,7 +35,7 @@ pub struct Peer {
     /// BIP152 high-bandwidth mode requested.
     pub cmpct_announce: bool,
     /// Compact blocks awaiting a `BLOCKTXN` answer, by block hash.
-    pub pending_compact: HashMap<Hash256, btc_wire::compact::CompactBlock>,
+    pub pending_compact: BTreeMap<Hash256, btc_wire::compact::CompactBlock>,
     /// Messages received from this peer.
     pub messages_received: u64,
     /// When the transport connection was established (drives the
@@ -61,7 +61,7 @@ impl Peer {
             prefers_headers: false,
             fee_filter: 0,
             cmpct_announce: false,
-            pending_compact: HashMap::new(),
+            pending_compact: BTreeMap::new(),
             messages_received: 0,
             connected_at: 0,
             ping_pending: None,

@@ -35,12 +35,17 @@ impl BlockHeader {
     /// byte-identical to [`Encodable::encode`].
     pub fn to_bytes(&self) -> [u8; 80] {
         let mut b = [0u8; 80];
-        b[0..4].copy_from_slice(&self.version.to_le_bytes());
-        b[4..36].copy_from_slice(self.prev_block.as_bytes());
-        b[36..68].copy_from_slice(self.merkle_root.as_bytes());
-        b[68..72].copy_from_slice(&self.time.to_le_bytes());
-        b[72..76].copy_from_slice(&self.bits.to_le_bytes());
-        b[76..80].copy_from_slice(&self.nonce.to_le_bytes());
+        let (ver, rest) = b.split_at_mut(4);
+        let (prev, rest) = rest.split_at_mut(32);
+        let (root, rest) = rest.split_at_mut(32);
+        let (time, rest) = rest.split_at_mut(4);
+        let (bits, nonce) = rest.split_at_mut(4);
+        ver.copy_from_slice(&self.version.to_le_bytes());
+        prev.copy_from_slice(self.prev_block.as_bytes());
+        root.copy_from_slice(self.merkle_root.as_bytes());
+        time.copy_from_slice(&self.time.to_le_bytes());
+        bits.copy_from_slice(&self.bits.to_le_bytes());
+        nonce.copy_from_slice(&self.nonce.to_le_bytes());
         b
     }
 
@@ -67,15 +72,19 @@ impl BlockHeader {
     /// Panics if no nonce in `u32` satisfies the target.
     pub fn mine(&mut self) {
         let bytes = self.to_bytes();
-        let mid = Midstate::of(&bytes[..64]);
-        let mut tail: [u8; 16] = bytes[64..80].try_into().expect("16-byte header tail");
+        let (head, tail_src) = bytes.split_at(64);
+        let mid = Midstate::of(head);
+        let mut tail: [u8; 16] = tail_src.first_chunk().copied().unwrap_or_default();
         for nonce in 0..=u32::MAX {
-            tail[12..16].copy_from_slice(&nonce.to_le_bytes());
+            if let Some(t) = tail.get_mut(12..16) {
+                t.copy_from_slice(&nonce.to_le_bytes());
+            }
             if Hash256(mid.sha256d_tail(&tail)).meets_target(self.bits) {
                 self.nonce = nonce;
                 return;
             }
         }
+        // lint:allow(panic-path): miner-side tool; unreachable for the regtest targets we mine
         panic!("exhausted nonce space for target {:#x}", self.bits);
     }
 }
@@ -175,14 +184,14 @@ impl Block {
         if self.merkle_root() != self.header.merkle_root {
             return Err("bad-txnmrklroot");
         }
-        if !self.txs[0].is_coinbase() {
+        if !self.txs.first().is_some_and(Transaction::is_coinbase) {
             return Err("bad-cb-missing");
         }
         if self.txs.iter().skip(1).any(Transaction::is_coinbase) {
             return Err("bad-cb-multiple");
         }
         // Duplicate txids would produce a malleated merkle tree (CVE-2012-2459).
-        let mut seen = std::collections::HashSet::with_capacity(self.txs.len());
+        let mut seen = std::collections::BTreeSet::new();
         for tx in &self.txs {
             if !seen.insert(tx.txid()) {
                 return Err("bad-txns-duplicate");
@@ -219,10 +228,8 @@ fn fold_level(level: &mut [Hash256], n: usize) -> usize {
     for p in 0..parents {
         let left = 2 * p;
         let right = (left + 1).min(n - 1);
-        level[p] = Hash256(sha256d_pair(
-            &level[left].0,
-            &level[right].0,
-        ));
+        // lint:allow(panic-path): p < parents <= n <= level.len(); left/right clamped below n
+        level[p] = Hash256(sha256d_pair(&level[left].0, &level[right].0));
     }
     parents
 }
@@ -242,7 +249,7 @@ pub fn merkle_root(leaves: &[Hash256]) -> Hash256 {
     while n > 1 {
         n = fold_level(&mut scratch, n);
     }
-    scratch[0]
+    scratch.first().copied().unwrap_or(Hash256::ZERO)
 }
 
 /// A merkle inclusion branch for one leaf, as served in `MERKLEBLOCK`.
@@ -255,31 +262,25 @@ pub struct MerkleBranch {
 }
 
 impl MerkleBranch {
-    /// Builds the branch proving `index` within `leaves`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range.
+    /// Builds the branch proving `index` within `leaves`. An out-of-range
+    /// `index` is clamped to the last leaf — the proof then simply fails to
+    /// verify against the requested leaf, instead of aborting the server.
     pub fn build(leaves: &[Hash256], index: usize) -> Self {
-        assert!(index < leaves.len(), "leaf index out of range");
         let mut siblings = Vec::new();
         let mut scratch: Vec<Hash256> = leaves.to_vec();
         let mut n = scratch.len();
-        let mut idx = index;
+        let mut idx = index.min(n.saturating_sub(1));
         while n > 1 {
             // The sibling of an unpaired last node is the node itself.
-            let sib = if idx % 2 == 0 {
-                scratch[(idx + 1).min(n - 1)]
-            } else {
-                scratch[idx - 1]
-            };
-            siblings.push(sib);
+            let sib_idx = if idx % 2 == 0 { (idx + 1).min(n - 1) } else { idx - 1 };
+            // lint:allow(panic-path): idx < n is a loop invariant; sib_idx clamped below n
+            siblings.push(scratch[sib_idx]);
             n = fold_level(&mut scratch, n);
             idx /= 2;
         }
         MerkleBranch {
             siblings,
-            index: index as u32,
+            index: u32::try_from(index).unwrap_or(u32::MAX),
         }
     }
 

@@ -64,6 +64,7 @@ impl BloomFilter {
         let n = n_elements.max(1) as f64;
         let bits = (-1.0 / ln2sq * n * fp.ln()).min((MAX_BLOOM_FILTER_SIZE * 8) as f64);
         let bytes = ((bits as u64) / 8).max(1) as usize;
+        // lint:allow(narrowing-cast): Core's CBloomFilter sizing truncates the same way; clamped below
         let funcs = ((bytes as f64 * 8.0 / n) * std::f64::consts::LN_2) as u32;
         BloomFilter {
             data: vec![0u8; bytes],
@@ -86,7 +87,9 @@ impl BloomFilter {
         }
         for i in 0..self.n_hash_funcs {
             let b = self.bit(i, item);
-            self.data[b / 8] |= 1 << (b % 8);
+            if let Some(byte) = self.data.get_mut(b / 8) {
+                *byte |= 1 << (b % 8);
+            }
         }
     }
 
@@ -98,7 +101,9 @@ impl BloomFilter {
         }
         (0..self.n_hash_funcs).all(|i| {
             let b = self.bit(i, item);
-            self.data[b / 8] & (1 << (b % 8)) != 0
+            self.data
+                .get(b / 8)
+                .is_some_and(|byte| byte & (1 << (b % 8)) != 0)
         })
     }
 

@@ -28,7 +28,7 @@ impl Encodable for ShortId {
 
 impl Decodable for ShortId {
     fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
-        Ok(ShortId(r.take(6)?.try_into().expect("6")))
+        Ok(ShortId(r.array()?))
     }
 }
 
@@ -38,20 +38,19 @@ impl Decodable for ShortId {
 /// via [`BlockHeader::to_bytes`] — no `Writer` allocation per compact block.
 pub fn short_id_keys(header: &BlockHeader, nonce: u64) -> (u64, u64) {
     let mut buf = [0u8; 88];
-    buf[..80].copy_from_slice(&header.to_bytes());
-    buf[80..].copy_from_slice(&nonce.to_le_bytes());
+    let (head, tail) = buf.split_at_mut(80);
+    head.copy_from_slice(&header.to_bytes());
+    tail.copy_from_slice(&nonce.to_le_bytes());
     let h = sha256_digest(&buf);
-    (
-        u64::from_le_bytes(h[..8].try_into().expect("8")),
-        u64::from_le_bytes(h[8..16].try_into().expect("8")),
-    )
+    let (k0, rest) = h.split_first_chunk::<8>().unwrap_or((&[0; 8], &[]));
+    let k1 = rest.first_chunk::<8>().copied().unwrap_or_default();
+    (u64::from_le_bytes(*k0), u64::from_le_bytes(k1))
 }
 
 /// Computes the 6-byte short ID of a wtxid under `(k0, k1)`.
 pub fn short_id(keys: (u64, u64), wtxid: &Hash256) -> ShortId {
     let tag = siphash24(keys.0, keys.1, wtxid.as_bytes());
-    let b = tag.to_le_bytes();
-    ShortId([b[0], b[1], b[2], b[3], b[4], b[5]])
+    ShortId(tag.to_le_bytes().first_chunk().copied().unwrap_or_default())
 }
 
 /// A transaction pre-filled into a compact block, with a differentially
@@ -105,10 +104,17 @@ impl CompactBlock {
             .skip(1)
             .map(|tx| short_id(keys, &tx.wtxid()))
             .collect();
-        let prefilled = vec![PrefilledTx {
-            diff_index: 0,
-            tx: block.txs[0].clone(),
-        }];
+        // A block with no coinbase yields no prefill; check() rejects it.
+        let prefilled = block
+            .txs
+            .first()
+            .map(|coinbase| {
+                vec![PrefilledTx {
+                    diff_index: 0,
+                    tx: coinbase.clone(),
+                }]
+            })
+            .unwrap_or_default();
         CompactBlock {
             header: block.header,
             nonce,
@@ -175,8 +181,10 @@ impl CompactBlock {
         let n = self.tx_count();
         let mut txs: Vec<Option<Transaction>> = vec![None; n];
         let indices = self.prefilled_indices().map_err(|_| Vec::new())?;
-        for (slot, p) in indices.iter().zip(&self.prefilled) {
-            txs[*slot] = Some(p.tx.clone());
+        for (idx, p) in indices.iter().zip(&self.prefilled) {
+            if let Some(slot) = txs.get_mut(*idx) {
+                *slot = Some(p.tx.clone());
+            }
         }
         let mut sid_iter = self.short_ids.iter();
         let mut missing = Vec::new();
@@ -184,8 +192,9 @@ impl CompactBlock {
             if slot.is_some() {
                 continue;
             }
-            let sid = sid_iter.next().expect("short id per empty slot");
-            match pool(sid) {
+            // A compact block claiming fewer short IDs than empty slots is
+            // malformed peer data; the unmatched slots count as missing.
+            match sid_iter.next().and_then(|sid| pool(sid)) {
                 Some(tx) => *slot = Some(tx),
                 None => missing.push(i as u64),
             }
@@ -195,7 +204,8 @@ impl CompactBlock {
         }
         Ok(Block {
             header: self.header,
-            txs: txs.into_iter().map(|t| t.expect("filled")).collect(),
+            // Every slot is Some once `missing` is empty.
+            txs: txs.into_iter().flatten().collect(),
         })
     }
 }
@@ -231,11 +241,9 @@ pub struct BlockTxnRequest {
 }
 
 impl BlockTxnRequest {
-    /// Builds a request from absolute indices.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `absolute` is not strictly increasing.
+    /// Builds a request from absolute indices, which must be strictly
+    /// increasing; out-of-order entries are dropped rather than encoded as
+    /// garbage.
     pub fn from_absolute(block_hash: Hash256, absolute: &[u64]) -> Self {
         let mut diff = Vec::with_capacity(absolute.len());
         let mut prev: Option<u64> = None;
@@ -243,8 +251,10 @@ impl BlockTxnRequest {
             match prev {
                 None => diff.push(idx),
                 Some(p) => {
-                    assert!(idx > p, "indices must be strictly increasing");
-                    diff.push(idx - p - 1);
+                    let Some(d) = idx.checked_sub(p).and_then(|gap| gap.checked_sub(1)) else {
+                        continue;
+                    };
+                    diff.push(d);
                 }
             }
             prev = Some(idx);
@@ -339,7 +349,7 @@ pub struct SendCmpct {
 
 impl Encodable for SendCmpct {
     fn encode(&self, w: &mut Writer) {
-        w.u8(self.announce as u8);
+        w.bool_flag(self.announce);
         w.u64_le(self.version);
     }
 }

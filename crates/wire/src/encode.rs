@@ -106,47 +106,60 @@ impl<'a> Reader<'a> {
     ///
     /// [`DecodeError::UnexpectedEnd`] when fewer than `n` bytes remain.
     pub fn take(&mut self, n: usize) -> DecodeResult<&'a [u8]> {
-        if self.remaining() < n {
-            return Err(DecodeError::UnexpectedEnd);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(DecodeError::UnexpectedEnd)?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(DecodeError::UnexpectedEnd)?;
+        self.pos = end;
         Ok(s)
+    }
+
+    /// Reads exactly `N` bytes as a fixed-size array.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEnd`] when fewer than `N` bytes remain.
+    pub fn array<const N: usize>(&mut self) -> DecodeResult<[u8; N]> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
     }
 
     /// Reads a single byte.
     pub fn u8(&mut self) -> DecodeResult<u8> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array()?;
+        Ok(b)
     }
 
     /// Reads a little-endian `u16`.
     pub fn u16_le(&mut self) -> DecodeResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     /// Reads a big-endian `u16` (port numbers in `NetAddr`).
     pub fn u16_be(&mut self) -> DecodeResult<u16> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2")))
+        Ok(u16::from_be_bytes(self.array()?))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32_le(&mut self) -> DecodeResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64_le(&mut self) -> DecodeResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `i32`.
     pub fn i32_le(&mut self) -> DecodeResult<i32> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(i32::from_le_bytes(self.array()?))
     }
 
     /// Reads a little-endian `i64`.
     pub fn i64_le(&mut self) -> DecodeResult<i64> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(i64::from_le_bytes(self.array()?))
     }
 
     /// Reads a canonical Bitcoin `CompactSize` varint.
@@ -298,13 +311,16 @@ impl Writer {
     /// Appends a canonical `CompactSize`.
     pub fn compact_size(&mut self, v: u64) {
         match v {
+            // lint:allow(narrowing-cast): each arm's range pattern proves the cast lossless
             0..=0xfc => self.u8(v as u8),
             0xfd..=0xffff => {
                 self.u8(0xfd);
+                // lint:allow(narrowing-cast): range pattern bounds v at 0xffff
                 self.u16_le(v as u16);
             }
             0x1_0000..=0xffff_ffff => {
                 self.u8(0xfe);
+                // lint:allow(narrowing-cast): range pattern bounds v at 0xffff_ffff
                 self.u32_le(v as u32);
             }
             _ => {
@@ -312,6 +328,11 @@ impl Writer {
                 self.u64_le(v);
             }
         }
+    }
+
+    /// Appends a protocol bool as one byte (`0`/`1`).
+    pub fn bool_flag(&mut self, v: bool) {
+        self.u8(u8::from(v));
     }
 
     /// Appends a `CompactSize`-prefixed byte string.

@@ -77,7 +77,7 @@ impl Encodable for VersionMessage {
         w.u64_le(self.nonce);
         w.var_string(&self.user_agent);
         w.i32_le(self.start_height);
-        w.u8(self.relay as u8);
+        w.bool_flag(self.relay);
     }
 }
 
@@ -414,25 +414,25 @@ impl MessageHeader {
             .iter()
             .position(|b| *b == 0)
             .unwrap_or(self.command.len());
-        if self.command[end..].iter().any(|b| *b != 0) {
+        let (name, pad) = self.command.split_at(end);
+        if pad.iter().any(|b| *b != 0) {
             return Err(DecodeError::BadCommand);
         }
-        let s = std::str::from_utf8(&self.command[..end]).map_err(|_| DecodeError::BadCommand)?;
+        let s = std::str::from_utf8(name).map_err(|_| DecodeError::BadCommand)?;
         if s.is_empty() || !s.bytes().all(|b| (0x20..0x7f).contains(&b)) {
             return Err(DecodeError::BadCommand);
         }
         Ok(s)
     }
 
-    /// Builds a NUL-padded command array.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `cmd` exceeds 12 bytes.
+    /// Builds a NUL-padded command array. Commands longer than the 12-byte
+    /// field are truncated — the wire format cannot carry them, and the
+    /// attack tooling feeds arbitrary strings through here.
     pub fn pad_command(cmd: &str) -> [u8; 12] {
-        assert!(cmd.len() <= 12, "command too long");
         let mut out = [0u8; 12];
-        out[..cmd.len()].copy_from_slice(cmd.as_bytes());
+        for (dst, src) in out.iter_mut().zip(cmd.bytes()) {
+            *dst = src;
+        }
         out
     }
 }
@@ -450,9 +450,9 @@ impl Decodable for MessageHeader {
     fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
         Ok(MessageHeader {
             magic: r.u32_le()?,
-            command: r.take(12)?.try_into().expect("12"),
+            command: r.array()?,
             length: r.u32_le()?,
-            checksum: r.take(4)?.try_into().expect("4"),
+            checksum: r.array()?,
         })
     }
 }
@@ -465,7 +465,7 @@ impl Decodable for MessageHeader {
 /// ([`verify_checksum`]).
 pub fn payload_checksum(payload: &[u8]) -> [u8; 4] {
     let d = crate::crypto::sha256d(payload);
-    [d[0], d[1], d[2], d[3]]
+    d.first_chunk().copied().unwrap_or([0; 4])
 }
 
 /// A framed message as raw bytes: header fields plus payload. Used by the
@@ -487,7 +487,9 @@ impl RawMessage {
             header: MessageHeader {
                 magic: network.magic(),
                 command: MessageHeader::pad_command(msg.command()),
-                length: payload.len() as u32,
+                // Real payloads fit u32 by the MAX_MESSAGE_SIZE cap; an
+                // attack-crafted oversize payload saturates the field.
+                length: u32::try_from(payload.len()).unwrap_or(u32::MAX),
                 checksum: payload_checksum(&payload),
             },
             payload,
@@ -500,7 +502,7 @@ impl RawMessage {
             header: MessageHeader {
                 magic: network.magic(),
                 command: MessageHeader::pad_command(command),
-                length: payload.len() as u32,
+                length: u32::try_from(payload.len()).unwrap_or(u32::MAX),
                 checksum: payload_checksum(&payload),
             },
             payload,
@@ -510,7 +512,9 @@ impl RawMessage {
     /// Replaces the checksum with a deliberately wrong value — the paper's
     /// "forgoing ban score by constructing bogus messages" vector.
     pub fn corrupt_checksum(mut self) -> Self {
-        self.header.checksum[0] ^= 0xff;
+        if let Some(b) = self.header.checksum.first_mut() {
+            *b ^= 0xff;
+        }
         self
     }
 
@@ -568,10 +572,10 @@ pub fn read_frame(network: Network, buf: &[u8]) -> DecodeResult<FrameResult> {
         });
     }
     let total = HEADER_SIZE + header.length as usize;
-    if buf.len() < total {
+    let Some(payload_bytes) = buf.get(HEADER_SIZE..total) else {
         return Ok(FrameResult::Incomplete);
-    }
-    let payload = Bytes::copy_from_slice(&buf[HEADER_SIZE..total]);
+    };
+    let payload = Bytes::copy_from_slice(payload_bytes);
     Ok(FrameResult::Frame {
         raw: RawMessage { header, payload },
         consumed: total,

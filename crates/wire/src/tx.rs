@@ -30,7 +30,7 @@ const MAX_TX_IO: u64 = 100_000;
 pub const MAX_MONEY: i64 = 21_000_000 * 100_000_000;
 
 /// A reference to a previous transaction output.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct OutPoint {
     /// Txid of the funding transaction.
     pub txid: Hash256,
@@ -295,7 +295,7 @@ impl Transaction {
 
     /// Whether this transaction is a coinbase.
     pub fn is_coinbase(&self) -> bool {
-        self.inputs.len() == 1 && self.inputs[0].prevout.is_null()
+        matches!(self.inputs.as_slice(), [only] if only.prevout.is_null())
     }
 
     /// Whether any input carries witness data.
@@ -359,14 +359,14 @@ impl Transaction {
                 return Err("bad-txns-txouttotal-toolarge");
             }
         }
-        let mut seen = std::collections::HashSet::with_capacity(self.inputs.len());
+        let mut seen = std::collections::BTreeSet::new();
         for inp in &self.inputs {
             if !seen.insert(inp.prevout) {
                 return Err("bad-txns-inputs-duplicate");
             }
         }
         if self.is_coinbase() {
-            let len = self.inputs[0].script_sig.len();
+            let len = self.inputs.first().map_or(0, |i| i.script_sig.len());
             if !(2..=100).contains(&len) {
                 return Err("bad-cb-length");
             }

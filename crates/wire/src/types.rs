@@ -39,8 +39,9 @@ impl Hash256 {
             return None;
         }
         let mut out = [0u8; 32];
-        for i in 0..32 {
-            out[31 - i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()?;
+        for (slot, chunk) in out.iter_mut().rev().zip(s.as_bytes().chunks_exact(2)) {
+            let hex = std::str::from_utf8(chunk).ok()?;
+            *slot = u8::from_str_radix(hex, 16).ok()?;
         }
         Some(Hash256(out))
     }
@@ -92,8 +93,7 @@ impl Encodable for Hash256 {
 
 impl Decodable for Hash256 {
     fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
-        let b = r.take(32)?;
-        Ok(Hash256(b.try_into().expect("32 bytes")))
+        Ok(Hash256(r.array()?))
     }
 }
 
@@ -105,14 +105,18 @@ pub fn compact_to_target(bits: u32) -> [u8; 32] {
     let mut target = [0u8; 32];
     if exponent <= 3 {
         let m = mantissa >> (8 * (3 - exponent));
-        target[29..32].copy_from_slice(&[(m >> 16) as u8, (m >> 8) as u8, m as u8]);
+        // lint:allow(narrowing-cast): intentional byte extraction from the 24-bit mantissa
+        let bytes = [(m >> 16) as u8, (m >> 8) as u8, m as u8];
+        if let Some(tail) = target.get_mut(29..32) {
+            tail.copy_from_slice(&bytes);
+        }
     } else if exponent <= 32 {
         let shift = exponent - 3;
+        // lint:allow(narrowing-cast): intentional byte extraction from the 24-bit mantissa
         let bytes = [(mantissa >> 16) as u8, (mantissa >> 8) as u8, mantissa as u8];
         for (i, b) in bytes.iter().enumerate() {
-            let pos = 32 - shift - 3 + i;
-            if pos < 32 {
-                target[pos] = *b;
+            if let Some(t) = target.get_mut(32 - shift - 3 + i) {
+                *t = *b;
             }
         }
     } else {
@@ -212,6 +216,7 @@ impl fmt::Display for NetAddr {
         write!(
             f,
             "{}.{}.{}.{}:{}",
+            // lint:allow(panic-path): fixed indices into the [u8; 4] octets
             self.ip[0], self.ip[1], self.ip[2], self.ip[3], self.port
         )
     }
@@ -231,11 +236,12 @@ impl Encodable for NetAddr {
 impl Decodable for NetAddr {
     fn decode(r: &mut Reader<'_>) -> DecodeResult<Self> {
         let services = ServiceFlags(r.u64_le()?);
-        let pad = r.take(12)?;
-        if pad[..10].iter().any(|b| *b != 0) || pad[10] != 0xff || pad[11] != 0xff {
+        let pad: [u8; 12] = r.array()?;
+        let (zeros, mapped) = pad.split_at(10);
+        if zeros.iter().any(|b| *b != 0) || mapped != [0xff, 0xff] {
             return Err(DecodeError::InvalidValue("not an IPv4-mapped address"));
         }
-        let ip: [u8; 4] = r.take(4)?.try_into().expect("4");
+        let ip: [u8; 4] = r.array()?;
         let port = r.u16_be()?;
         Ok(NetAddr { services, ip, port })
     }

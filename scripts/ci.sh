@@ -9,7 +9,7 @@ echo "==> cargo tree: dependency graph must contain only workspace members"
 externals=$(cargo tree --offline --workspace --edges normal,build,dev \
   | grep -oE '[a-zA-Z0-9_-]+ v[0-9][^ ]*' \
   | awk '{print $1}' | sort -u \
-  | grep -vE '^(banscore|banscore-suite|btc-attack|btc-bench|btc-detect|btc-netsim|btc-node|btc-par|btc-wire)$' \
+  | grep -vE '^(banscore|banscore-suite|btc-attack|btc-bench|btc-detect|btc-lint|btc-netsim|btc-node|btc-par|btc-wire)$' \
   || true)
 if [ -n "$externals" ]; then
   echo "ERROR: external crates in the dependency graph:" >&2
@@ -17,8 +17,12 @@ if [ -n "$externals" ]; then
   exit 1
 fi
 
-echo "==> release build (offline)"
-cargo build --release --offline --workspace
+echo "==> release build (offline, warnings are errors)"
+RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
+
+echo "==> btc-lint: determinism / panic-safety / ban-exhaustiveness gate"
+# Same RUSTFLAGS as the build step so the release cache is reused.
+RUSTFLAGS="-D warnings" cargo run --release --offline -q -p btc-lint
 
 echo "==> tests (offline)"
 cargo test -q --offline --workspace
