@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--csv] [--jobs N]
-//!       [table1|table2|fig6|fig7|table3|fig8|fig10|fig11|counter|evasion|faults|all]
+//!       [table1|table2|fig6|fig7|table3|fig8|fig10|fig11|serve|counter|evasion|faults|all]
 //! ```
 //!
 //! `--jobs N` fans each experiment's independent, deterministically-seeded
@@ -16,6 +16,7 @@ use banscore::scenario::fault_matrix::{render_fault_matrix, run_fault_matrix_job
 use banscore::scenario::fig10::{render_fig10, run_fig10_jobs};
 use banscore::scenario::fig6::{render_fig6, run_fig6_jobs};
 use banscore::scenario::fig8::{render_fig8, run_fig8_jobs};
+use banscore::scenario::serve::{render_serve, run_serve_jobs};
 use banscore::scenario::table3::{render_table3, run_table3_jobs};
 use btc_attack::meter::{fixtures, measure_bogus_block_with, measure_table2_with, render_table2};
 use btc_bench::{ReproArgs, ReproConfig};
@@ -141,6 +142,16 @@ fn fig11(cfg: &ReproConfig, args: &ReproArgs) {
     );
 }
 
+fn serve(cfg: &ReproConfig, args: &ReproArgs) {
+    section("Streaming service — sharded per-peer detector vs batch engine");
+    let r = run_serve_jobs(cfg.serve.clone(), args.jobs);
+    print!("{}", render_serve(&r));
+    csv_out(args, "serve.csv", &btc_bench::csv::serve(&r));
+    println!("\nDigest lines are deterministic and must be identical across shard counts;");
+    println!("[wall] lines are wall-clock. scripts/bench.sh assembles the rows into");
+    println!("results/BENCH_detect_serve.json next to the committed batch baseline.");
+}
+
 fn evasion(args: &ReproArgs) {
     section("Extension (§VII future work) — the intelligent/evasive attacker");
     let r = run_evasion_jobs(
@@ -180,7 +191,7 @@ fn counter() {
 }
 
 const USAGE: &str = "usage: repro [--quick] [--csv] [--jobs N] \
-[table1|table2|fig6|fig7|table3|fig8|fig10|fig11|evasion|counter|faults|all]";
+[table1|table2|fig6|fig7|table3|fig8|fig10|fig11|serve|evasion|counter|faults|all]";
 
 fn main() {
     let args = match ReproArgs::parse(std::env::args().skip(1)) {
@@ -206,6 +217,7 @@ fn main() {
             "fig8" => fig8(&cfg, &args),
             "fig10" => fig10(&cfg, &args),
             "fig11" => fig11(&cfg, &args),
+            "serve" => serve(&cfg, &args),
             "counter" => counter(),
             "evasion" => evasion(&args),
             "faults" => faults(&cfg, &args),
@@ -217,6 +229,7 @@ fn main() {
                 fig8(&cfg, &args);
                 fig10(&cfg, &args);
                 fig11(&cfg, &args);
+                serve(&cfg, &args);
                 evasion(&args);
                 faults(&cfg, &args);
                 counter();

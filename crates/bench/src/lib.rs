@@ -14,6 +14,7 @@ pub mod harness;
 
 use banscore::scenario::fault_matrix::FaultMatrixConfig;
 use banscore::scenario::fig10::Fig10Config;
+use banscore::scenario::serve::ServeConfig;
 use btc_netsim::time::MINUTES;
 
 /// Experiment sizes for the `repro` binary.
@@ -25,6 +26,8 @@ pub struct ReproConfig {
     pub fig8_secs: u64,
     /// Figure-10 durations.
     pub fig10: Fig10Config,
+    /// Streaming-service study (fig10 traffic + per-peer window length).
+    pub serve: ServeConfig,
     /// Iterations per Table-II row.
     pub table2_iters: u32,
     /// The detector-robustness fault grid.
@@ -33,14 +36,19 @@ pub struct ReproConfig {
 
 impl Default for ReproConfig {
     fn default() -> Self {
+        let fig10 = Fig10Config {
+            train: 120 * MINUTES,
+            window: 10 * MINUTES,
+            test: 10 * MINUTES,
+            innocents: 80,
+        };
         ReproConfig {
             flood_secs: 10,
             fig8_secs: 10,
-            fig10: Fig10Config {
-                train: 120 * MINUTES,
-                window: 10 * MINUTES,
-                test: 10 * MINUTES,
-                innocents: 80,
+            fig10,
+            serve: ServeConfig {
+                fig10,
+                window: MINUTES,
             },
             table2_iters: 200,
             faults: FaultMatrixConfig::full(),
@@ -51,14 +59,19 @@ impl Default for ReproConfig {
 impl ReproConfig {
     /// A fast configuration for smoke tests.
     pub fn quick() -> Self {
+        let fig10 = Fig10Config {
+            train: 20 * MINUTES,
+            window: 5 * MINUTES,
+            test: 4 * MINUTES,
+            innocents: 25,
+        };
         ReproConfig {
             flood_secs: 2,
             fig8_secs: 3,
-            fig10: Fig10Config {
-                train: 20 * MINUTES,
-                window: 5 * MINUTES,
-                test: 4 * MINUTES,
-                innocents: 25,
+            fig10,
+            serve: ServeConfig {
+                fig10,
+                window: MINUTES,
             },
             table2_iters: 10,
             faults: FaultMatrixConfig::quick(),
@@ -296,6 +309,41 @@ pub mod csv {
                 def.detection.c,
                 dropped,
                 rtx,
+            ));
+        }
+        out
+    }
+
+    /// The streaming-service study: one row per (engine, shard count,
+    /// case). `digest` is deterministic; the throughput/latency columns
+    /// are wall-clock and vary run to run.
+    pub fn serve(r: &banscore::scenario::serve::ServeResult) -> String {
+        let mut out = String::from(
+            "engine,shards,case,events,verdicts,anomalous,msgs_per_sec,p99_decision_ns,digest\n",
+        );
+        for c in &r.cases {
+            for run in &c.runs {
+                out.push_str(&format!(
+                    "streaming,{},{},{},{},{},{:.0},{},{:016x}\n",
+                    run.shards,
+                    c.name,
+                    c.events,
+                    c.verdicts,
+                    c.anomalous,
+                    run.bench.msgs_per_sec,
+                    run.bench.p99_decision_ns,
+                    run.digest
+                ));
+            }
+            out.push_str(&format!(
+                "batch,1,{},{},{},{},{:.0},{},{:016x}\n",
+                c.name,
+                c.events,
+                c.verdicts,
+                c.anomalous,
+                c.batch.msgs_per_sec,
+                c.batch.p99_decision_ns,
+                c.batch_digest
             ));
         }
         out

@@ -70,19 +70,27 @@ fn normal_testbed(innocents: usize, target_outbound: usize, seed: u64) -> Testbe
 }
 
 /// The evaluated cases in presentation order.
-const CASES: [&str; 3] = ["normal", "bm-dos", "defamation"];
+pub const CASES: [&str; 3] = ["normal", "bm-dos", "defamation"];
 
-/// Builds, runs and reduces one case's testbed to its aggregate test
-/// window. Each case has its own fixed seed, so the result is independent
-/// of which thread (or order) runs it.
-fn run_case_window(name: &str, cfg: &Fig10Config) -> TrafficWindow {
-    let settle = MINUTES; // ignore the handshake minute
+/// The settle period every case discards (the handshake minute).
+pub const SETTLE: Nanos = MINUTES;
+
+/// Builds and runs one case's testbed for `settle + test` of virtual
+/// time, returning it with the telemetry still inside — the `serve`
+/// scenario replays the same recorded traffic event by event. Each case
+/// has its own fixed seed, so the result is independent of which thread
+/// (or order) runs it.
+///
+/// # Panics
+///
+/// Panics on an unknown case name.
+pub fn run_case_testbed(name: &str, cfg: &Fig10Config) -> Testbed {
     match name {
         // Clean test traffic (fresh seed).
         "normal" => {
             let mut tb = normal_testbed(0, 0, 2);
-            tb.sim.run_for(settle + cfg.test);
-            tb.single_window(settle, settle + cfg.test)
+            tb.sim.run_for(SETTLE + cfg.test);
+            tb
         }
         // Under BM-DoS (PING flood on top of normal traffic).
         "bm-dos" => {
@@ -96,8 +104,8 @@ fn run_case_window(name: &str, cfg: &Fig10Config) -> TrafficWindow {
                 })),
                 HostConfig::default(),
             );
-            tb.sim.run_for(settle + cfg.test);
-            tb.single_window(settle, settle + cfg.test)
+            tb.sim.run_for(SETTLE + cfg.test);
+            tb
         }
         // Under Defamation of the target's outbound peers.
         "defamation" => {
@@ -110,11 +118,27 @@ fn run_case_window(name: &str, cfg: &Fig10Config) -> TrafficWindow {
             // the order of the paper's measured c = 5.3/min.
             defamer.poll = 20 * SECS;
             tb.sim.add_host(addrs::ATTACKER, Box::new(defamer), HostConfig::default());
-            tb.sim.run_for(settle + cfg.test);
-            tb.single_window(settle, settle + cfg.test)
+            tb.sim.run_for(SETTLE + cfg.test);
+            tb
         }
         other => panic!("unknown case {other}"),
     }
+}
+
+/// Builds, runs and reduces one case's testbed to its aggregate test
+/// window.
+fn run_case_window(name: &str, cfg: &Fig10Config) -> TrafficWindow {
+    run_case_testbed(name, cfg).single_window(SETTLE, SETTLE + cfg.test)
+}
+
+/// Builds and runs the clean training testbed for `cfg.train` of virtual
+/// time (seed 1 — distinct from every evaluation case). Shared with the
+/// `serve` scenario so the streaming detector trains on the exact same
+/// recorded traffic as the batch engine.
+pub fn run_training_testbed(cfg: &Fig10Config) -> Testbed {
+    let mut tb = normal_testbed(0, 0, 1);
+    tb.sim.run_for(cfg.train);
+    tb
 }
 
 /// Runs the Figure-10 study.
@@ -127,10 +151,8 @@ pub fn run_fig10(cfg: Fig10Config) -> Fig10Result {
 pub fn run_fig10_jobs(cfg: Fig10Config, jobs: usize) -> Fig10Result {
     let engine = AnalysisEngine::default();
     // ---- Training on clean traffic.
-    let mut tb = normal_testbed(0, 0, 1);
-    tb.sim.run_for(cfg.train);
-    let settle = MINUTES; // ignore the handshake minute
-    let windows = tb.windows(settle, cfg.train, cfg.window);
+    let tb = run_training_testbed(&cfg);
+    let windows = tb.windows(SETTLE, cfg.train, cfg.window);
     let profile = engine.train(&windows).expect("training windows");
 
     let cases = btc_par::par_map(jobs, CASES.to_vec(), |name| {

@@ -5,4 +5,5 @@ pub mod fault_matrix;
 pub mod fig10;
 pub mod fig6;
 pub mod fig8;
+pub mod serve;
 pub mod table3;

@@ -37,6 +37,33 @@ pub struct Profile {
     pub training_windows: usize,
 }
 
+impl Profile {
+    /// Compares already-measured features against the thresholds. This is
+    /// the single verdict path shared by the batch
+    /// [`AnalysisEngine::detect`] and the streaming engine
+    /// ([`crate::streaming`]), so the two can never disagree on the
+    /// threshold logic.
+    pub fn judge(&self, n: f64, c: f64, rho: f64) -> Detection {
+        let mut violations = Vec::new();
+        if n < self.tau_n.0 || n > self.tau_n.1 {
+            violations.push(Violation::MessageRate);
+        }
+        if c < self.tau_c.0 || c > self.tau_c.1 {
+            violations.push(Violation::ReconnectRate);
+        }
+        if rho < self.tau_lambda {
+            violations.push(Violation::Distribution);
+        }
+        Detection {
+            anomalous: !violations.is_empty(),
+            n,
+            c,
+            rho,
+            violations,
+        }
+    }
+}
+
 /// One detection verdict.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Detection {
@@ -138,23 +165,7 @@ impl AnalysisEngine {
         let n = window.message_rate();
         let c = window.reconnect_rate();
         let rho = correlation(&window.distribution(), &profile.reference);
-        let mut violations = Vec::new();
-        if n < profile.tau_n.0 || n > profile.tau_n.1 {
-            violations.push(Violation::MessageRate);
-        }
-        if c < profile.tau_c.0 || c > profile.tau_c.1 {
-            violations.push(Violation::ReconnectRate);
-        }
-        if rho < profile.tau_lambda {
-            violations.push(Violation::Distribution);
-        }
-        Detection {
-            anomalous: !violations.is_empty(),
-            n,
-            c,
-            rho,
-            violations,
-        }
+        profile.judge(n, c, rho)
     }
 }
 

@@ -36,9 +36,16 @@ pub mod eval;
 pub mod features;
 pub mod latency;
 pub mod ml;
+pub mod serve;
+pub mod streaming;
 
 pub use dataset::Dataset;
 pub use engine::{AnalysisEngine, Detection, Profile, Violation};
 pub use eval::{compare_accuracy, Metrics};
 pub use features::{correlation, TrafficWindow, NUM_TYPES};
 pub use latency::{compare_latencies, LatencyRow};
+pub use serve::{
+    bench_batch, bench_service, run_service, verdict_agreement, verdict_digest, PeerKey,
+    PeerVerdict, ServeBench, ServeOutput, TraceEvent, TraceEventKind, TraceSpan,
+};
+pub use streaming::{EwmaRate, StreamingEngine, StreamingProfile, StreamingWindow, WindowVerdict};

@@ -1,0 +1,601 @@
+//! The sharded per-peer profile service: detector-as-a-sidecar.
+//!
+//! [`run_service`] partitions per-peer streaming state
+//! ([`crate::streaming::StreamingProfile`]) across `N` worker shards.
+//! Assignment is peer-keyed (`peer % shards`), ingest is one bounded mpsc
+//! channel per shard, and the merge is deterministic — shard outputs are
+//! collected in shard order and verdicts sorted by `(peer, window)` — so
+//! the result is **bit-identical at any shard count** (the same
+//! discipline as `btc-par`'s input-order result slots). Each peer's
+//! events travel one channel in trace order, so its per-peer state
+//! evolves exactly as in a serial run no matter how the OS schedules the
+//! workers.
+//!
+//! [`bench_service`] wraps a run with wall-clock measurement (msgs/sec
+//! ingest throughput, p50/p99 per-decision latency), and
+//! [`batch_verdicts`] runs the same trace through the batch
+//! [`AnalysisEngine`] pipeline — group, then score each window — as the
+//! comparison baseline. Timing never feeds the verdicts: the digest of a
+//! bench run equals the digest of a plain run.
+
+use crate::engine::{AnalysisEngine, Profile, Violation};
+use crate::features::TrafficWindow;
+use crate::streaming::{Nanos, StreamingEngine, StreamingProfile, WindowVerdict};
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Compact peer identifier (e.g. IPv4 ‖ port packed into the low 48
+/// bits). The service never interprets it beyond shard assignment.
+pub type PeerKey = u64;
+
+/// What happened in one trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A message of the given command-table type arrived.
+    Message(u8),
+    /// An outbound reconnection was initiated after losing the peer.
+    Reconnect,
+}
+
+/// One event of a recorded traffic trace, in non-decreasing time order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event time.
+    pub time: Nanos,
+    /// The peer it concerns.
+    pub peer: PeerKey,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// The service's bounds for one trace: windows are anchored at `start`
+/// and every peer is scored for all `windows` tumbling windows of
+/// `[start, end)`, present or silent.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSpan {
+    /// Trace origin (window 0 starts here).
+    pub start: Nanos,
+    /// Trace end; the span is cut into `(end − start) / window_len` full
+    /// windows, discarding a partial tail.
+    pub end: Nanos,
+}
+
+impl TraceSpan {
+    /// Number of full windows the span covers at `window_len`.
+    pub fn windows(&self, window_len: Nanos) -> u64 {
+        self.end.saturating_sub(self.start) / window_len
+    }
+}
+
+/// One scored `(peer, window)` cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PeerVerdict {
+    /// The peer.
+    pub peer: PeerKey,
+    /// The closed window's verdict (index + detection + EWMA rates).
+    pub verdict: WindowVerdict,
+}
+
+/// The deterministic output of a service run.
+#[derive(Clone, Debug)]
+pub struct ServeOutput {
+    /// Every `(peer, window)` verdict, sorted by `(peer, window_index)`.
+    pub verdicts: Vec<PeerVerdict>,
+    /// Events ingested.
+    pub events: u64,
+    /// Distinct peers seen.
+    pub peers: u64,
+    /// Verdicts with `anomalous == true`.
+    pub anomalous: u64,
+    /// FNV-1a digest over the full verdict list, including the float bit
+    /// patterns — byte-equality of two runs' results in one number.
+    pub digest: u64,
+}
+
+/// Wall-clock measurements of one [`bench_service`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeBench {
+    /// Shard count measured.
+    pub shards: usize,
+    /// Events ingested.
+    pub events: u64,
+    /// End-to-end wall time (ingest + scoring + merge) in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Ingest throughput: events per wall-clock second.
+    pub msgs_per_sec: f64,
+    /// Median per-decision (window-close scoring) latency in ns.
+    pub p50_decision_ns: u64,
+    /// 99th-percentile per-decision latency in ns.
+    pub p99_decision_ns: u64,
+}
+
+/// Internal per-shard state while draining its channel.
+struct Shard<'a> {
+    engine: &'a StreamingEngine,
+    span: TraceSpan,
+    peers: BTreeMap<PeerKey, StreamingProfile>,
+    verdicts: Vec<PeerVerdict>,
+    /// Per-decision latency samples in ns (bench diagnostics only; never
+    /// part of the deterministic output).
+    decision_ns: Vec<u64>,
+    scratch: Vec<WindowVerdict>,
+}
+
+impl<'a> Shard<'a> {
+    fn new(engine: &'a StreamingEngine, span: TraceSpan) -> Self {
+        Shard {
+            engine,
+            span,
+            peers: BTreeMap::new(),
+            verdicts: Vec::new(),
+            decision_ns: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn ingest(&mut self, ev: TraceEvent) {
+        let engine = self.engine;
+        let span_start = self.span.start;
+        let peer = self
+            .peers
+            .entry(ev.peer)
+            .or_insert_with(|| StreamingProfile::new(engine, span_start));
+        let t = Instant::now();
+        match ev.kind {
+            TraceEventKind::Message(ty) => {
+                peer.on_message(engine, ev.time, ty, &mut self.scratch);
+            }
+            TraceEventKind::Reconnect => peer.on_reconnect(engine, ev.time, &mut self.scratch),
+        }
+        if self.scratch.is_empty() {
+            return;
+        }
+        // Window(s) closed: this event paid a decision.
+        self.decision_ns.push(t.elapsed().as_nanos() as u64);
+        for verdict in self.scratch.drain(..) {
+            self.verdicts.push(PeerVerdict {
+                peer: ev.peer,
+                verdict,
+            });
+        }
+    }
+
+    /// Closes every peer's stream at the span end and returns the shard's
+    /// verdicts (still unsorted) and latency samples.
+    fn finish(mut self) -> (Vec<PeerVerdict>, Vec<u64>) {
+        let keys: Vec<PeerKey> = self.peers.keys().copied().collect();
+        for key in keys {
+            let t = Instant::now();
+            if let Some(peer) = self.peers.get_mut(&key) {
+                peer.finish(self.engine, self.span.end, &mut self.scratch);
+            }
+            if !self.scratch.is_empty() {
+                self.decision_ns.push(t.elapsed().as_nanos() as u64);
+            }
+            for verdict in self.scratch.drain(..) {
+                self.verdicts.push(PeerVerdict { peer: key, verdict });
+            }
+        }
+        (self.verdicts, self.decision_ns)
+    }
+}
+
+/// Ingest channel depth per shard: deep enough to decouple the producer
+/// from scoring hiccups, bounded so a slow shard applies backpressure
+/// instead of buffering the whole trace.
+const CHANNEL_DEPTH: usize = 1024;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *hash ^= u64::from(*b);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// Digest of a sorted verdict list: peer, window, verdict booleans and
+/// the exact float bit patterns. Two runs agree on this u64 iff their
+/// verdict lists are bit-identical.
+pub fn verdict_digest(verdicts: &[PeerVerdict]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for v in verdicts {
+        fnv1a(&mut h, &v.peer.to_le_bytes());
+        fnv1a(&mut h, &v.verdict.window_index.to_le_bytes());
+        fnv1a(&mut h, &[u8::from(v.verdict.detection.anomalous)]);
+        for viol in &v.verdict.detection.violations {
+            let tag: u8 = match viol {
+                Violation::MessageRate => 1,
+                Violation::ReconnectRate => 2,
+                Violation::Distribution => 3,
+            };
+            fnv1a(&mut h, &[tag]);
+        }
+        for f in [
+            v.verdict.detection.n,
+            v.verdict.detection.c,
+            v.verdict.detection.rho,
+            v.verdict.ewma_n,
+            v.verdict.ewma_c,
+        ] {
+            fnv1a(&mut h, &f.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
+fn reduce(mut all: Vec<PeerVerdict>, events: u64) -> ServeOutput {
+    // Total order — (peer, window_index) pairs are unique — so the merged
+    // list is independent of shard count and completion order.
+    all.sort_by_key(|v| (v.peer, v.verdict.window_index));
+    let peers = {
+        let mut distinct = 0u64;
+        let mut last = None;
+        for v in &all {
+            if last != Some(v.peer) {
+                distinct += 1;
+                last = Some(v.peer);
+            }
+        }
+        distinct
+    };
+    let anomalous = all.iter().filter(|v| v.verdict.detection.anomalous).count() as u64;
+    let digest = verdict_digest(&all);
+    ServeOutput {
+        verdicts: all,
+        events,
+        peers,
+        anomalous,
+        digest,
+    }
+}
+
+/// Runs `trace` through `shards` workers and returns the merged,
+/// deterministic output. `trace` must be in non-decreasing time order
+/// (the order `Telemetry::events_in_window` produces).
+pub fn run_service(
+    engine: &StreamingEngine,
+    trace: &[TraceEvent],
+    span: TraceSpan,
+    shards: usize,
+) -> ServeOutput {
+    bench_service(engine, trace, span, shards).0
+}
+
+/// [`run_service`] plus wall-clock measurement. The deterministic output
+/// is identical to an unmeasured run: timing reads never feed state.
+pub fn bench_service(
+    engine: &StreamingEngine,
+    trace: &[TraceEvent],
+    span: TraceSpan,
+    shards: usize,
+) -> (ServeOutput, ServeBench) {
+    assert!(shards >= 1, "need at least one shard");
+    let started = Instant::now();
+    let (all, mut decision_ns) = if shards == 1 {
+        // Serial path: no channel, no threads — the yardstick the sharded
+        // paths must reproduce byte for byte.
+        let mut shard = Shard::new(engine, span);
+        for ev in trace {
+            shard.ingest(*ev);
+        }
+        shard.finish()
+    } else {
+        std::thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(shards);
+            let mut handles = Vec::with_capacity(shards);
+            for _ in 0..shards {
+                let (tx, rx) = mpsc::sync_channel::<TraceEvent>(CHANNEL_DEPTH);
+                senders.push(tx);
+                handles.push(scope.spawn(move || {
+                    let mut shard = Shard::new(engine, span);
+                    while let Ok(ev) = rx.recv() {
+                        shard.ingest(ev);
+                    }
+                    shard.finish()
+                }));
+            }
+            for ev in trace {
+                let target = (ev.peer % shards as u64) as usize;
+                senders[target].send(*ev).expect("shard hung up");
+            }
+            drop(senders);
+            let mut all = Vec::new();
+            let mut ns = Vec::new();
+            // Joined in shard order; the sort in `reduce` makes the final
+            // order independent of it anyway.
+            for handle in handles {
+                let (verdicts, decision_ns) = handle.join().expect("shard panicked");
+                all.extend(verdicts);
+                ns.extend(decision_ns);
+            }
+            (all, ns)
+        })
+    };
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    let events = trace.len() as u64;
+    let out = reduce(all, events);
+    decision_ns.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if decision_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((decision_ns.len() - 1) as f64 * p).round() as usize;
+        decision_ns[idx.min(decision_ns.len() - 1)]
+    };
+    let bench = ServeBench {
+        shards,
+        events,
+        elapsed_ns,
+        msgs_per_sec: if elapsed_ns == 0 {
+            0.0
+        } else {
+            events as f64 * 1e9 / elapsed_ns as f64
+        },
+        p50_decision_ns: pct(0.50),
+        p99_decision_ns: pct(0.99),
+    };
+    (out, bench)
+}
+
+/// The batch comparison pipeline: group the same trace into per-peer
+/// [`TrafficWindow`]s (every peer × every window of the span), then score
+/// each with [`AnalysisEngine::detect`]. Returns the same
+/// `(peer, window)`-sorted shape as [`run_service`] with EWMA fields
+/// zeroed (the batch engine has no between-window signal).
+pub fn batch_verdicts(
+    profile: &Profile,
+    engine: &AnalysisEngine,
+    trace: &[TraceEvent],
+    span: TraceSpan,
+    window_len: Nanos,
+) -> Vec<PeerVerdict> {
+    let total_windows = span.windows(window_len);
+    let minutes = window_len as f64 / crate::streaming::MINUTE as f64;
+    let mut grouped: BTreeMap<PeerKey, Vec<TrafficWindow>> = BTreeMap::new();
+    for ev in trace {
+        if ev.time < span.start || ev.time >= span.start + total_windows * window_len {
+            continue;
+        }
+        let idx = ((ev.time - span.start) / window_len) as usize;
+        let windows = grouped
+            .entry(ev.peer)
+            .or_insert_with(|| vec![TrafficWindow::empty(minutes); total_windows as usize]);
+        match ev.kind {
+            TraceEventKind::Message(ty) => {
+                if let Some(slot) = windows[idx].counts.get_mut(ty as usize) {
+                    *slot += 1;
+                }
+            }
+            TraceEventKind::Reconnect => windows[idx].reconnects += 1,
+        }
+    }
+    let mut out = Vec::new();
+    for (peer, windows) in &grouped {
+        for (idx, w) in windows.iter().enumerate() {
+            out.push(PeerVerdict {
+                peer: *peer,
+                verdict: WindowVerdict {
+                    window_index: idx as u64,
+                    detection: engine.detect(profile, w),
+                    ewma_n: 0.0,
+                    ewma_c: 0.0,
+                },
+            });
+        }
+    }
+    out
+}
+
+/// [`batch_verdicts`] timed: wall-clock for the whole group-then-score
+/// pass, reported in the same units as [`ServeBench`] so the JSON rows
+/// are directly comparable.
+pub fn bench_batch(
+    profile: &Profile,
+    engine: &AnalysisEngine,
+    trace: &[TraceEvent],
+    span: TraceSpan,
+    window_len: Nanos,
+) -> (Vec<PeerVerdict>, ServeBench) {
+    let started = Instant::now();
+    let verdicts = batch_verdicts(profile, engine, trace, span, window_len);
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    // Per-decision latency for batch: time one representative detect()
+    // per percentile slot would undercount the grouping cost, so report
+    // the amortized per-window cost for both percentiles.
+    let per_window = if verdicts.is_empty() {
+        0
+    } else {
+        elapsed_ns / verdicts.len() as u64
+    };
+    let events = trace.len() as u64;
+    let bench = ServeBench {
+        shards: 1,
+        events,
+        elapsed_ns,
+        msgs_per_sec: if elapsed_ns == 0 {
+            0.0
+        } else {
+            events as f64 * 1e9 / elapsed_ns as f64
+        },
+        p50_decision_ns: per_window,
+        p99_decision_ns: per_window,
+    };
+    (verdicts, bench)
+}
+
+/// Verdict agreement between a streaming run and the batch pipeline on
+/// the same trace: the fraction of `(peer, window)` cells where both
+/// agree on `anomalous` **and** the violation set. Returns `(matching,
+/// total)`; shapes that differ (missing cells) count as disagreement.
+pub fn verdict_agreement(streaming: &[PeerVerdict], batch: &[PeerVerdict]) -> (u64, u64) {
+    let mut batch_map: BTreeMap<(PeerKey, u64), &PeerVerdict> = BTreeMap::new();
+    for v in batch {
+        batch_map.insert((v.peer, v.verdict.window_index), v);
+    }
+    let total = streaming.len().max(batch.len()) as u64;
+    let mut matching = 0u64;
+    for s in streaming {
+        if let Some(b) = batch_map.get(&(s.peer, s.verdict.window_index)) {
+            if s.verdict.detection.anomalous == b.verdict.detection.anomalous
+                && s.verdict.detection.violations == b.verdict.detection.violations
+            {
+                matching += 1;
+            }
+        }
+    }
+    (matching, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::AnalysisEngine;
+    use crate::streaming::MINUTE;
+
+    fn trained_engine(window_len: Nanos) -> StreamingEngine {
+        let mut windows = Vec::new();
+        for seed in 0..40u64 {
+            let mut w = TrafficWindow::empty(window_len as f64 / MINUTE as f64);
+            w.counts[12] = 120 + seed % 6;
+            w.counts[6] = 100 + seed % 3;
+            w.counts[4] = 30;
+            w.reconnects = seed % 2;
+            windows.push(w);
+        }
+        let profile = AnalysisEngine::default().train(&windows).unwrap();
+        StreamingEngine::new(profile, window_len)
+    }
+
+    /// A deterministic synthetic trace: `peers` peers with normal-ish
+    /// mixes, one flooding peer, spanning `windows` windows.
+    fn synthetic_trace(peers: u64, windows: u64, window_len: Nanos) -> (Vec<TraceEvent>, TraceSpan) {
+        let span = TraceSpan {
+            start: 0,
+            end: windows * window_len,
+        };
+        let mut events = Vec::new();
+        for w in 0..windows {
+            let base = w * window_len;
+            for p in 0..peers {
+                let per_window: u64 = if p == 0 { 5000 } else { 250 };
+                for i in 0..per_window {
+                    // The flooder sends PING only; normal peers send the
+                    // training mix (~48% tx, 40% inv, 12% ping).
+                    let ty = if p == 0 {
+                        4
+                    } else if i < 120 {
+                        12
+                    } else if i < 220 {
+                        6
+                    } else {
+                        4
+                    };
+                    events.push(TraceEvent {
+                        time: base + i * (window_len / per_window),
+                        peer: p,
+                        kind: TraceEventKind::Message(ty),
+                    });
+                }
+                if p == 3 {
+                    events.push(TraceEvent {
+                        time: base + window_len / 2,
+                        peer: p,
+                        kind: TraceEventKind::Reconnect,
+                    });
+                }
+            }
+        }
+        events.sort_by_key(|e| e.time);
+        (events, span)
+    }
+
+    #[test]
+    fn shard_counts_agree_bit_for_bit() {
+        let window_len = MINUTE;
+        let engine = trained_engine(window_len);
+        let (trace, span) = synthetic_trace(9, 3, window_len);
+        let serial = run_service(&engine, &trace, span, 1);
+        assert_eq!(serial.peers, 9);
+        assert_eq!(serial.verdicts.len(), 9 * 3);
+        for shards in [2, 3, 4, 8] {
+            let sharded = run_service(&engine, &trace, span, shards);
+            assert_eq!(sharded.digest, serial.digest, "shards={shards}");
+            assert_eq!(sharded.verdicts, serial.verdicts, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn flooder_flagged_normal_peers_pass() {
+        let window_len = MINUTE;
+        let engine = trained_engine(window_len);
+        let (trace, span) = synthetic_trace(6, 2, window_len);
+        let out = run_service(&engine, &trace, span, 2);
+        let flooder: Vec<_> = out.verdicts.iter().filter(|v| v.peer == 0).collect();
+        assert!(flooder.iter().all(|v| v.verdict.detection.anomalous));
+        let normal: Vec<_> = out.verdicts.iter().filter(|v| v.peer == 2).collect();
+        assert_eq!(normal.len(), 2);
+        assert!(normal.iter().all(|v| !v.verdict.detection.anomalous), "{normal:?}");
+    }
+
+    #[test]
+    fn streaming_agrees_with_batch_pipeline() {
+        let window_len = MINUTE;
+        let engine = trained_engine(window_len);
+        let (trace, span) = synthetic_trace(7, 3, window_len);
+        let streaming = run_service(&engine, &trace, span, 4);
+        let batch = batch_verdicts(
+            &engine.profile,
+            &AnalysisEngine::default(),
+            &trace,
+            span,
+            window_len,
+        );
+        assert_eq!(streaming.verdicts.len(), batch.len());
+        let (matching, total) = verdict_agreement(&streaming.verdicts, &batch);
+        assert_eq!(matching, total, "streaming and batch verdicts diverged");
+        // Features agree to float tolerance (formulas differ).
+        for (s, b) in streaming.verdicts.iter().zip(&batch) {
+            assert_eq!(s.verdict.detection.n, b.verdict.detection.n);
+            assert_eq!(s.verdict.detection.c, b.verdict.detection.c);
+            assert!((s.verdict.detection.rho - b.verdict.detection.rho).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bench_reports_throughput_and_latency() {
+        let window_len = MINUTE;
+        let engine = trained_engine(window_len);
+        let (trace, span) = synthetic_trace(5, 2, window_len);
+        let (out, bench) = bench_service(&engine, &trace, span, 2);
+        assert_eq!(bench.events, trace.len() as u64);
+        assert!(bench.msgs_per_sec > 0.0);
+        assert!(bench.p99_decision_ns >= bench.p50_decision_ns);
+        // The measured run's deterministic half equals an unmeasured run.
+        let plain = run_service(&engine, &trace, span, 4);
+        assert_eq!(out.digest, plain.digest);
+        let (_, batch_bench) = bench_batch(
+            &engine.profile,
+            &AnalysisEngine::default(),
+            &trace,
+            span,
+            window_len,
+        );
+        assert!(batch_bench.msgs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_verdict_changes() {
+        let window_len = MINUTE;
+        let engine = trained_engine(window_len);
+        let (trace, span) = synthetic_trace(4, 2, window_len);
+        let base = run_service(&engine, &trace, span, 1);
+        let mut altered = trace.clone();
+        altered.push(TraceEvent {
+            time: span.end - 1,
+            peer: 1,
+            kind: TraceEventKind::Reconnect,
+        });
+        let changed = run_service(&engine, &altered, span, 1);
+        assert_ne!(base.digest, changed.digest);
+    }
+}

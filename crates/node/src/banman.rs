@@ -9,7 +9,12 @@
 
 use btc_netsim::packet::SockAddr;
 use btc_netsim::time::{Nanos, SECS};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default cap on the in-memory ban-event log. Swarm-scale runs ban
+/// thousands of Sybils; the log keeps the most recent events only, while
+/// [`BanMan::total_bans`] keeps the lifetime count for the experiments.
+pub const DEFAULT_HISTORY_CAP: usize = 4096;
 
 /// One ban entry.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -24,8 +29,13 @@ pub struct BanEntry {
 #[derive(Clone, Debug, Default)]
 pub struct BanMan {
     bans: BTreeMap<SockAddr, BanEntry>,
-    /// Log of (time, identifier) ban events, kept for the experiments.
-    history: Vec<(Nanos, SockAddr)>,
+    /// Ring of the most recent (time, identifier) ban events, kept for the
+    /// experiments; bounded by `history_cap`.
+    history: VecDeque<(Nanos, SockAddr)>,
+    /// Lifetime count of ban events (including re-bans and events the
+    /// capped ring has already evicted).
+    total_bans: u64,
+    history_cap: usize,
     ban_duration: Nanos,
 }
 
@@ -34,7 +44,9 @@ impl BanMan {
     pub fn new() -> Self {
         BanMan {
             bans: BTreeMap::new(),
-            history: Vec::new(),
+            history: VecDeque::new(),
+            total_bans: 0,
+            history_cap: DEFAULT_HISTORY_CAP,
             ban_duration: btc_wire::constants::DEFAULT_BANTIME_SECS * SECS,
         }
     }
@@ -47,16 +59,29 @@ impl BanMan {
         }
     }
 
-    /// Bans `peer` starting at `now`.
+    /// Caps the ban-event log at `cap` entries (0 disables recording).
+    pub fn with_history_cap(mut self, cap: usize) -> Self {
+        self.history_cap = cap;
+        self.history.truncate(cap);
+        self
+    }
+
+    /// Bans `peer` starting at `now`. Re-banning an already-banned peer
+    /// extends `until` but preserves the original `created` time — the ban
+    /// log and experiments rely on when the identifier was *first* banned.
     pub fn ban(&mut self, now: Nanos, peer: SockAddr) {
-        self.bans.insert(
-            peer,
-            BanEntry {
-                created: now,
-                until: now.saturating_add(self.ban_duration),
-            },
-        );
-        self.history.push((now, peer));
+        let until = now.saturating_add(self.ban_duration);
+        self.bans
+            .entry(peer)
+            .and_modify(|b| b.until = b.until.max(until))
+            .or_insert(BanEntry { created: now, until });
+        self.total_bans += 1;
+        if self.history_cap > 0 {
+            if self.history.len() == self.history_cap {
+                self.history.pop_front();
+            }
+            self.history.push_back((now, peer));
+        }
     }
 
     /// Whether `peer` is banned at `now`.
@@ -64,12 +89,14 @@ impl BanMan {
         self.bans.get(peer).map(|b| now < b.until).unwrap_or(false)
     }
 
-    /// Whether *any* port of `ip` is banned at `now` (diagnostic for the
-    /// full-IP Defamation experiment).
+    /// How many ports of `ip` are banned at `now` (diagnostic for the
+    /// full-IP Defamation experiment). `SockAddr` orders by `(ip, port)`,
+    /// so one `BTreeMap::range` walks exactly the entries of `ip` instead
+    /// of scanning every ban.
     pub fn banned_ports_of(&self, now: Nanos, ip: [u8; 4]) -> usize {
         self.bans
-            .iter()
-            .filter(|(a, b)| a.ip == ip && now < b.until)
+            .range(SockAddr::new(ip, u16::MIN)..=SockAddr::new(ip, u16::MAX))
+            .filter(|(_, b)| now < b.until)
             .count()
     }
 
@@ -80,7 +107,8 @@ impl BanMan {
         before - self.bans.len()
     }
 
-    /// Number of live entries (including not-yet-swept expired ones).
+    /// Number of stored entries: currently-live bans *plus* any expired
+    /// entries [`BanMan::sweep`] has not removed yet.
     pub fn len(&self) -> usize {
         self.bans.len()
     }
@@ -90,9 +118,15 @@ impl BanMan {
         self.bans.is_empty()
     }
 
-    /// Chronological ban log.
-    pub fn history(&self) -> &[(Nanos, SockAddr)] {
+    /// Chronological log of the most recent ban events (capped ring; see
+    /// [`BanMan::total_bans`] for the lifetime count).
+    pub fn history(&self) -> &VecDeque<(Nanos, SockAddr)> {
         &self.history
+    }
+
+    /// Lifetime count of ban events, unaffected by the history cap.
+    pub fn total_bans(&self) -> u64 {
+        self.total_bans
     }
 
     /// The configured ban duration.
@@ -152,6 +186,24 @@ mod tests {
     }
 
     #[test]
+    fn rebanning_preserves_created_and_never_shrinks_until() {
+        let mut bm = BanMan::with_duration(10);
+        bm.ban(5, peer(1, 1));
+        bm.ban(8, peer(1, 1));
+        let entry = *bm.bans.get(&peer(1, 1)).unwrap();
+        // The original ban time survives the re-ban; only `until` moves.
+        assert_eq!(entry.created, 5);
+        assert_eq!(entry.until, 18);
+        // A re-ban with an earlier `now` (e.g. a replayed strike) must not
+        // shorten the existing ban.
+        bm.ban(2, peer(1, 1));
+        let entry = *bm.bans.get(&peer(1, 1)).unwrap();
+        assert_eq!(entry.created, 5);
+        assert_eq!(entry.until, 18);
+        assert_eq!(bm.total_bans(), 3);
+    }
+
+    #[test]
     fn banned_ports_counting() {
         let mut bm = BanMan::new();
         for port in 49152..49162 {
@@ -161,5 +213,53 @@ mod tests {
         assert_eq!(bm.banned_ports_of(0, [10, 0, 0, 7]), 10);
         assert_eq!(bm.banned_ports_of(0, [10, 0, 0, 8]), 1);
         assert_eq!(bm.banned_ports_of(25 * HOURS, [10, 0, 0, 7]), 0);
+    }
+
+    #[test]
+    fn banned_ports_covers_port_extremes_and_ip_neighbors() {
+        let mut bm = BanMan::new();
+        // The range must include both port extremes of the queried IP and
+        // exclude the lexicographic IP neighbors on either side.
+        bm.ban(0, peer(7, u16::MIN));
+        bm.ban(0, peer(7, u16::MAX));
+        bm.ban(0, peer(6, u16::MAX));
+        bm.ban(0, peer(8, u16::MIN));
+        assert_eq!(bm.banned_ports_of(0, [10, 0, 0, 7]), 2);
+        assert_eq!(bm.banned_ports_of(0, [10, 0, 0, 6]), 1);
+        assert_eq!(bm.banned_ports_of(0, [10, 0, 0, 8]), 1);
+        assert_eq!(bm.banned_ports_of(0, [10, 0, 0, 9]), 0);
+    }
+
+    #[test]
+    fn history_is_a_capped_ring_with_lifetime_counter() {
+        let mut bm = BanMan::with_duration(10).with_history_cap(3);
+        for i in 0..5u64 {
+            bm.ban(i, peer(1, 1000 + i as u16));
+        }
+        // Only the 3 most recent events remain, oldest evicted first.
+        assert_eq!(bm.history().len(), 3);
+        let times: Vec<Nanos> = bm.history().iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        // The lifetime counter still sees all 5 events, and the ban table
+        // itself is unaffected by the log cap.
+        assert_eq!(bm.total_bans(), 5);
+        assert_eq!(bm.len(), 5);
+        // Cap 0 disables recording entirely.
+        let mut quiet = BanMan::with_duration(10).with_history_cap(0);
+        quiet.ban(0, peer(2, 2));
+        assert!(quiet.history().is_empty());
+        assert_eq!(quiet.total_bans(), 1);
+    }
+
+    #[test]
+    fn len_counts_expired_but_unswept_entries() {
+        let mut bm = BanMan::with_duration(10);
+        bm.ban(0, peer(1, 1));
+        bm.ban(0, peer(2, 2));
+        // Both bans expired at t=12, but len() includes them until sweep.
+        assert!(!bm.is_banned(12, &peer(1, 1)));
+        assert_eq!(bm.len(), 2);
+        bm.sweep(12);
+        assert_eq!(bm.len(), 0);
     }
 }

@@ -43,6 +43,28 @@ pub struct MsgRecord {
     pub from: SockAddr,
 }
 
+/// What happened in one [`TelemetryEvent`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TelemetryEventKind {
+    /// A message of the given type arrived.
+    Message(MsgTypeId),
+    /// An outbound reconnection was initiated after losing the peer.
+    Reconnect,
+}
+
+/// One event of the merged telemetry stream: the per-peer feed the
+/// streaming detector consumes (see `btc_detect::serve`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryEvent {
+    /// When it happened.
+    pub time: Nanos,
+    /// The peer it concerns (sender for messages, lost peer for
+    /// reconnections).
+    pub peer: SockAddr,
+    /// What happened.
+    pub kind: TelemetryEventKind,
+}
+
 /// One outbound-reconnection record (a replacement outbound connection was
 /// initiated after losing one).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,6 +137,39 @@ impl Telemetry {
             .filter(|r| r.time >= start && r.time < end)
             .count() as u64
     }
+
+    /// The merged, time-ordered event stream within `[start, end)`: the
+    /// recorded traffic a streaming detector replays message by message.
+    ///
+    /// Both source logs are already in arrival order (the node appends as
+    /// simulation time advances); the merge keeps that order and breaks
+    /// exact-timestamp ties deterministically (messages before
+    /// reconnections), so replaying the stream is reproducible.
+    pub fn events_in_window(&self, start: Nanos, end: Nanos) -> Vec<TelemetryEvent> {
+        let msgs = self
+            .messages
+            .iter()
+            .filter(|m| m.time >= start && m.time < end)
+            .map(|m| TelemetryEvent {
+                time: m.time,
+                peer: m.from,
+                kind: TelemetryEventKind::Message(m.msg_type),
+            });
+        let recs = self
+            .reconnects
+            .iter()
+            .filter(|r| r.time >= start && r.time < end)
+            .map(|r| TelemetryEvent {
+                time: r.time,
+                peer: r.lost,
+                kind: TelemetryEventKind::Reconnect,
+            });
+        let mut out: Vec<TelemetryEvent> = msgs.chain(recs).collect();
+        // Stable sort: same-timestamp events keep message-before-reconnect
+        // order from the chain above.
+        out.sort_by_key(|e| e.time);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +215,27 @@ mod tests {
         t.record_reconnect(70 * SECS, from(9));
         assert_eq!(t.reconnects_in_window(0, 60 * SECS), 1);
         assert_eq!(t.reconnects_in_window(60 * SECS, 120 * SECS), 1);
+    }
+
+    #[test]
+    fn event_stream_merges_in_time_order() {
+        let mut t = Telemetry::default();
+        let ping = msg_type_id("ping").unwrap();
+        let tx = msg_type_id("tx").unwrap();
+        t.record_message(SECS, ping, 8, from(1));
+        t.record_message(3 * SECS, tx, 250, from(2));
+        // Reconnect shares a timestamp with a message: message comes first.
+        t.record_reconnect(3 * SECS, from(2));
+        t.record_reconnect(2 * SECS, from(1));
+        t.record_message(10 * SECS, ping, 8, from(1));
+        let events = t.events_in_window(0, 10 * SECS);
+        assert_eq!(events.len(), 4);
+        let times: Vec<Nanos> = events.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![SECS, 2 * SECS, 3 * SECS, 3 * SECS]);
+        assert_eq!(events[2].kind, TelemetryEventKind::Message(tx));
+        assert_eq!(events[3].kind, TelemetryEventKind::Reconnect);
+        assert_eq!(events[3].peer, from(2));
+        // Window end is exclusive.
+        assert_eq!(t.events_in_window(0, 11 * SECS).len(), 5);
     }
 }

@@ -123,3 +123,42 @@ csv_rows() {
   echo '}'
 } > results/BENCH_faults.json
 echo "wrote results/BENCH_faults.json ($MODE run, $(( $(wc -l < results/fault_matrix.csv) - 1 )) grid points)"
+
+# ---- streaming detector service vs batch engine -----------------------
+# `repro serve` replays the recorded fig10 traffic through the sharded
+# per-peer profile service at 1/2/4 shards and through the batch
+# AnalysisEngine pipeline. The digest column is deterministic; the
+# throughput/latency columns are wall-clock. The committed baseline is
+# the batch-engine rows, so streaming-vs-batch drift (and any digest
+# change, i.e. a verdict change) is diffable.
+echo "==> streaming service (repro serve, quick sizes)"
+cargo run --release --offline -p btc-bench --bin repro -- \
+  --quick --csv --jobs 4 serve > /dev/null
+if [ ! -s results/serve.csv ]; then
+  echo "ERROR: repro serve produced no results/serve.csv" >&2
+  exit 1
+fi
+
+if [ "$MODE" = baseline ]; then
+  # The batch-engine rows ARE the baseline the streaming service is
+  # compared against.
+  { head -1 results/serve.csv
+    grep '^batch,' results/serve.csv || true
+  } > results/BENCH_detect_serve_baseline.csv
+fi
+
+{
+  echo '{'
+  echo '  "schema": "banscore-detect-serve-v1",'
+  echo '  "settings": {"sizes": "quick", "jobs": 4, "shards": [1, 2, 4]},'
+  echo '  "baseline": ['
+  if [ -f results/BENCH_detect_serve_baseline.csv ]; then
+    csv_rows results/BENCH_detect_serve_baseline.csv
+  fi
+  echo '  ],'
+  echo '  "current": ['
+  csv_rows results/serve.csv
+  echo '  ]'
+  echo '}'
+} > results/BENCH_detect_serve.json
+echo "wrote results/BENCH_detect_serve.json ($MODE run, $(( $(wc -l < results/serve.csv) - 1 )) rows)"

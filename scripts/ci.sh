@@ -65,5 +65,30 @@ if ! diff -u "$out1" "$out4"; then
 fi
 echo "    $(wc -l < "$out1") output lines identical across job counts OK"
 
+echo "==> serve smoke: sharded service must be byte-identical at 1 vs 4 shards"
+# The serve scenario prints one deterministic `digest shards=N <hex>` line
+# per (case, shard count); wall-clock lines are prefixed [wall] and are
+# not compared. A digest mismatch means the sharded per-peer service
+# diverged from the serial run — the determinism contract is broken.
+serve_out=$(mktemp)
+trap 'rm -f "$smoke_json" "$out1" "$out4" "$serve_out"' EXIT
+cargo run --release --offline -p btc-bench --bin repro -- \
+  --quick --jobs 2 serve > "$serve_out"
+d1=$(grep -E '^  digest shards=1 ' "$serve_out" | awk '{print $3}')
+d4=$(grep -E '^  digest shards=4 ' "$serve_out" | awk '{print $3}')
+if [ -z "$d1" ] || [ "$d1" != "$d4" ]; then
+  echo "ERROR: serve digests differ between 1 and 4 shards" >&2
+  grep -E '^  digest' "$serve_out" >&2 || true
+  exit 1
+fi
+if grep -E '^  (streaming vs batch|node aggregate)' "$serve_out" \
+    | grep -vE 'agree=yes|([0-9]+)/\1 cells' | grep -q .; then
+  echo "ERROR: streaming verdicts disagree with the batch engine" >&2
+  grep -E '^  (streaming vs batch|node aggregate)' "$serve_out" >&2
+  exit 1
+fi
+echo "    $(echo "$d1" | wc -l) case digests identical across shard counts OK"
+
 echo "CI OK: hermetic build, tests green, benches compile, bench smoke emits JSON,"
-echo "       parallel sweeps reproduce the serial output byte for byte."
+echo "       parallel sweeps reproduce the serial output byte for byte,"
+echo "       sharded streaming service reproduces the serial digests."
