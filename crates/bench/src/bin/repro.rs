@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! repro [--quick] [--csv] [--jobs N]
-//!       [table1|table2|fig6|fig7|table3|fig8|fig10|fig11|serve|counter|evasion|faults|all]
+//!       [table1|table2|fig6|fig7|table3|fig8|fig10|fig11|serve|counter|evasion|faults|swarm|all]
 //! ```
+//!
+//! `swarm` is the sharded-simulator scale bench (hosts-vs-wall-clock
+//! curve); it times every cell at several worker counts and is therefore
+//! not part of `all`.
 //!
 //! `--jobs N` fans each experiment's independent, deterministically-seeded
 //! points across `N` worker threads (default: available parallelism). The
@@ -175,6 +179,17 @@ fn faults(cfg: &ReproConfig, args: &ReproArgs) {
     println!("reconnection-rate feature toward Defamation's signature (false positives).");
 }
 
+fn swarm(cfg: &ReproConfig, args: &ReproArgs) {
+    section("Swarm scale — sharded simulator, attack testbed in a 100k+ host swarm");
+    let r = btc_bench::swarm::run_swarm_bench(&cfg.swarm);
+    print!("{}", btc_bench::swarm::render_swarm(&r));
+    csv_out(args, "swarm.csv", &btc_bench::csv::swarm(&r));
+    println!("\nDigest lines are deterministic and must be identical across worker counts;");
+    println!("[wall] lines carry the hosts-vs-wall-clock curve. scripts/bench.sh assembles");
+    println!("the rows into results/BENCH_swarm.json next to the committed single-worker");
+    println!("baseline. Speedup over workers=1 needs a multi-core runner.");
+}
+
 fn counter() {
     section("§VIII — countermeasures vs the Defamation attack");
     let rows = evaluate_countermeasures();
@@ -191,7 +206,7 @@ fn counter() {
 }
 
 const USAGE: &str = "usage: repro [--quick] [--csv] [--jobs N] \
-[table1|table2|fig6|fig7|table3|fig8|fig10|fig11|serve|evasion|counter|faults|all]";
+[table1|table2|fig6|fig7|table3|fig8|fig10|fig11|serve|evasion|counter|faults|swarm|all]";
 
 fn main() {
     let args = match ReproArgs::parse(std::env::args().skip(1)) {
@@ -221,6 +236,7 @@ fn main() {
             "counter" => counter(),
             "evasion" => evasion(&args),
             "faults" => faults(&cfg, &args),
+            "swarm" => swarm(&cfg, &args),
             "all" => {
                 table1();
                 table2(&cfg, &args);

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod swarm;
 
 use banscore::scenario::fault_matrix::FaultMatrixConfig;
 use banscore::scenario::fig10::Fig10Config;
@@ -32,6 +33,8 @@ pub struct ReproConfig {
     pub table2_iters: u32,
     /// The detector-robustness fault grid.
     pub faults: FaultMatrixConfig,
+    /// The swarm scale-bench grid (sharded simulator).
+    pub swarm: swarm::SwarmBenchConfig,
 }
 
 impl Default for ReproConfig {
@@ -52,6 +55,7 @@ impl Default for ReproConfig {
             },
             table2_iters: 200,
             faults: FaultMatrixConfig::full(),
+            swarm: swarm::SwarmBenchConfig::full(),
         }
     }
 }
@@ -75,6 +79,7 @@ impl ReproConfig {
             },
             table2_iters: 10,
             faults: FaultMatrixConfig::quick(),
+            swarm: swarm::SwarmBenchConfig::quick(),
         }
     }
 }
@@ -345,6 +350,38 @@ pub mod csv {
                 c.batch.p99_decision_ns,
                 c.batch_digest
             ));
+        }
+        out
+    }
+
+    /// The swarm scale sweep: one row per (case, size, worker count).
+    /// `digest` and the counters are deterministic; `wall_secs` and
+    /// `speedup` are wall-clock and vary run to run.
+    pub fn swarm(r: &crate::swarm::SwarmBenchResult) -> String {
+        let mut out = String::from(
+            "case,hosts,regions,workers,digest,delivered,target_msgs,bans,dropped,\
+             strikes,flood_msgs,wall_secs,speedup\n",
+        );
+        for p in &r.points {
+            for run in &p.runs {
+                let o = &run.outcome;
+                out.push_str(&format!(
+                    "{},{},{},{},{:016x},{},{},{},{},{},{},{:.3},{:.2}\n",
+                    p.case,
+                    o.hosts,
+                    r.regions,
+                    run.workers,
+                    o.digest,
+                    o.delivered,
+                    o.target_msgs,
+                    o.target_bans,
+                    o.dropped,
+                    o.strikes,
+                    o.flood_msgs,
+                    run.wall_secs,
+                    p.speedup(run),
+                ));
+            }
         }
         out
     }

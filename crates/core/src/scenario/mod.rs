@@ -6,4 +6,5 @@ pub mod fig10;
 pub mod fig6;
 pub mod fig8;
 pub mod serve;
+pub mod swarm;
 pub mod table3;

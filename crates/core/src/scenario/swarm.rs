@@ -1,0 +1,383 @@
+//! `repro swarm` — the paper's attack testbed embedded in a 100k+ host
+//! background swarm, executed on the sharded simulator
+//! ([`btc_netsim::shard`]).
+//!
+//! The scenario answers the scale question the serial testbed cannot: the
+//! BM-DoS and Defamation measurements were taken against a handful of
+//! nodes, but the production network the attacks target has orders of
+//! magnitude more (mostly unreachable) peers whose traffic the victim's
+//! region still carries. Here the §V testbed — target node, Mainnet
+//! feeders, innocent peers, attacker — is pinned into region 0 (the
+//! attacker's tap must see victim traffic live, and sniffing is
+//! region-local), while `swarm_hosts` additional hosts running periodic
+//! ICMP probes are spread across every region by the seed-deterministic
+//! shard assignment.
+//!
+//! Three cases, mirroring the fault-matrix sweep at swarm scale:
+//!
+//! * `bm-dos` — a serial-Sybil PING flooder against the target;
+//! * `defamation` — the post-connection Defamer striking the target's
+//!   innocent peers off a live region-0 tap;
+//! * `faults` — no attacker, but i.i.d. loss + jitter plus scheduled
+//!   link flaps of the target's peers (the adverse-network case).
+//!
+//! Everything in [`SwarmOutcome`] is deterministic and independent of
+//! [`SwarmSpec::workers`] — the worker count only decides which OS thread
+//! executes which region. The wall-clock benchmarking around this
+//! scenario lives in `btc-bench` (`crates/bench/src/swarm.rs`), keeping
+//! this crate free of wall-clock reads per the lint contract.
+
+use crate::mainnet::MainnetPeer;
+use crate::testbed::addrs;
+use btc_attack::defamation::PostConnDefamer;
+use btc_attack::flood::{FloodConfig, Flooder};
+use btc_attack::payload::FloodPayload;
+use btc_netsim::faults::{FaultKind, FaultPlan, LinkFaults};
+use btc_netsim::packet::{Ipv4, SockAddr};
+use btc_netsim::shard::{ShardConfig, ShardedSim};
+use btc_netsim::sim::{App, Ctx, HostConfig, TapFilter};
+use btc_netsim::time::{Nanos, MILLIS, SECS};
+use btc_node::node::{Node, NodeConfig};
+use std::any::Any;
+
+/// The evaluated cases, in presentation order.
+pub const CASES: [&str; 3] = ["bm-dos", "defamation", "faults"];
+
+/// Link faults of the `faults` case.
+const FAULT_LOSS: f64 = 0.01;
+const FAULT_JITTER: Nanos = 2 * MILLIS;
+
+/// One fully specified swarm run.
+#[derive(Clone, Copy, Debug)]
+pub struct SwarmSpec {
+    /// One of [`CASES`].
+    pub case: &'static str,
+    /// Background swarm hosts (the attack core adds a few more).
+    pub swarm_hosts: usize,
+    /// Region count — part of the experiment configuration (fixes the
+    /// partition and the RNG streams).
+    pub regions: u32,
+    /// Worker threads — pure execution knob, must not change any output.
+    pub workers: usize,
+    /// Measured virtual duration.
+    pub dur: Nanos,
+    /// Innocent peers the target dials (the Defamation victims).
+    pub innocents: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+/// Everything a swarm run reduces to. Every field is deterministic; the
+/// digest folds the rest plus sampled per-host counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwarmOutcome {
+    /// Total hosts simulated (swarm + attack core).
+    pub hosts: usize,
+    /// FNV-1a over the run's observable state (the CI byte-equality
+    /// anchor).
+    pub digest: u64,
+    /// Packets delivered across all regions.
+    pub delivered: u64,
+    /// Messages the target node processed.
+    pub target_msgs: u64,
+    /// Bans the target issued.
+    pub target_bans: u64,
+    /// ICMP echo replies received by the sampled swarm hosts.
+    pub swarm_replies: u64,
+    /// Fault-layer drops (loss + partition).
+    pub dropped: u64,
+    /// Defamation strikes performed (0 outside the `defamation` case).
+    pub strikes: u64,
+    /// Flood messages sent (0 outside the `bm-dos` case).
+    pub flood_msgs: u64,
+}
+
+/// The `i`-th background swarm host, ascending — appended to the host
+/// index in order, so building 100k hosts stays linear.
+pub fn swarm_ip(i: usize) -> Ipv4 {
+    assert!(i < 240 << 16, "swarm address plan exhausted");
+    [172, 16 + (i >> 16) as u8, (i >> 8) as u8, i as u8]
+}
+
+/// A background swarm host: staggered periodic ICMP probes to two fixed
+/// swarm peers. Targets, period and phase are all index-derived, so the
+/// traffic pattern is a function of the topology alone.
+struct SwarmPinger {
+    targets: [Ipv4; 2],
+    period: Nanos,
+    next: usize,
+    replies: u64,
+}
+
+impl App for SwarmPinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Phase-stagger the first probe so start-up is not one burst.
+        let phase = self.period / 2 + (u64::from(self.targets[0][3]) + 1) * 7 * MILLIS;
+        ctx.set_timer(phase, 0);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        let dst = self.targets[self.next % self.targets.len()];
+        self.next += 1;
+        ctx.send_icmp(dst, 4, (self.next & 0xFFFF) as u16, 56);
+        ctx.set_timer(self.period, 0);
+    }
+    fn on_icmp(&mut self, _ctx: &mut Ctx<'_>, _from: Ipv4, echo: &btc_netsim::packet::IcmpEcho) {
+        if !echo.request {
+            self.replies += 1;
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Scheduled link flaps of the target's peers for the `faults` case: one
+/// innocent down for 400 ms every second, round-robin — the swarm-scale
+/// analogue of the fault-matrix churn dimension.
+fn flap_plan(innocents: usize, dur: Nanos) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    if innocents == 0 {
+        return plan;
+    }
+    let period = SECS;
+    let down = 400 * MILLIS;
+    let mut t = period;
+    let mut i = 0usize;
+    while t + down < dur {
+        plan = plan.with(t, t + down, FaultKind::HostDown(addrs::innocent(i % innocents)));
+        t += period;
+        i += 1;
+    }
+    plan
+}
+
+fn fnv(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(0x100_0000_01B3)
+}
+
+/// Runs one swarm case end to end and reduces it to its deterministic
+/// outcome.
+///
+/// # Panics
+///
+/// Panics on an unknown [`SwarmSpec::case`].
+pub fn run_swarm(spec: &SwarmSpec) -> SwarmOutcome {
+    let faults = if spec.case == "faults" {
+        LinkFaults {
+            loss: FAULT_LOSS,
+            jitter: FAULT_JITTER,
+            ..LinkFaults::NONE
+        }
+    } else {
+        LinkFaults::NONE
+    };
+    let mut sim = ShardedSim::new(ShardConfig {
+        regions: spec.regions,
+        workers: spec.workers,
+        seed: spec.seed,
+        faults,
+        ..ShardConfig::default()
+    });
+    if spec.case == "faults" {
+        sim.set_fault_plan(flap_plan(spec.innocents, spec.dur));
+    }
+
+    // ---- The attack core, pinned into region 0 (testbed build order:
+    // innocents listen before the target dials, feeders last).
+    let mut hosts = 0usize;
+    let innocent_ips: Vec<Ipv4> = (0..spec.innocents).map(addrs::innocent).collect();
+    for ip in &innocent_ips {
+        sim.add_host_pinned(*ip, Box::new(Node::new(NodeConfig::default())), HostConfig::default(), 0);
+        hosts += 1;
+    }
+    let mut node_cfg = NodeConfig::default();
+    node_cfg.target_outbound = 2.min(spec.innocents);
+    node_cfg.outbound_targets = innocent_ips.iter().map(|ip| SockAddr::new(*ip, 8333)).collect();
+    let target_addr = SockAddr::new(addrs::TARGET, node_cfg.listen_port);
+    sim.add_host_pinned(addrs::TARGET, Box::new(Node::new(node_cfg)), HostConfig::default(), 0);
+    hosts += 1;
+    for i in 0..3 {
+        sim.add_host_pinned(
+            addrs::feeder(i),
+            Box::new(MainnetPeer::new(target_addr)),
+            HostConfig::default(),
+            0,
+        );
+        hosts += 1;
+    }
+    match spec.case {
+        "bm-dos" => {
+            sim.add_host_pinned(
+                addrs::ATTACKER,
+                Box::new(Flooder::new(FloodConfig {
+                    target: target_addr,
+                    payload: FloodPayload::Ping,
+                    reconnect_on_ban: true,
+                    sybil_port_start: 50_000,
+                    ..FloodConfig::default()
+                })),
+                HostConfig::default(),
+                0,
+            );
+            hosts += 1;
+        }
+        "defamation" => {
+            // The Defamer drains its tap during timer callbacks, so the
+            // tap and the attacker must both live in the target's region.
+            let tap = sim.add_tap_in(TapFilter::Host(addrs::TARGET), 0);
+            let mut defamer = PostConnDefamer::new(target_addr, innocent_ips.clone(), tap);
+            defamer.poll = 100 * MILLIS;
+            sim.add_host_pinned(addrs::ATTACKER, Box::new(defamer), HostConfig::default(), 0);
+            hosts += 1;
+        }
+        "faults" => {}
+        other => panic!("unknown swarm case {other}"),
+    }
+
+    // ---- The background swarm, spread by the hash assignment. Addresses
+    // ascend, so each index insert is an append.
+    let n = spec.swarm_hosts;
+    for i in 0..n {
+        let targets = [swarm_ip((i + 1) % n), swarm_ip((i * 7 + 3) % n)];
+        let period = 250 * MILLIS + (i as u64 % 64) * 25 * MILLIS;
+        sim.add_host(
+            swarm_ip(i),
+            Box::new(SwarmPinger {
+                targets,
+                period,
+                next: 0,
+                replies: 0,
+            }),
+            HostConfig::default(),
+        );
+        hosts += 1;
+    }
+
+    sim.run_for(spec.dur);
+
+    // ---- Reduce. Sampled swarm hosts keep the reduction O(1)-ish at
+    // 100k hosts while still covering every region statistically.
+    let fs = sim.fault_stats();
+    let delivered = sim.delivered_packets();
+    let (target_msgs, target_bans) = {
+        let node: &Node = sim.app(addrs::TARGET).expect("target is a Node");
+        (node.telemetry.messages.len() as u64, node.telemetry.bans)
+    };
+    let strikes = match spec.case {
+        "defamation" => {
+            let d: &PostConnDefamer = sim.app(addrs::ATTACKER).expect("defamer present");
+            d.records.len() as u64
+        }
+        _ => 0,
+    };
+    let flood_msgs = match spec.case {
+        "bm-dos" => {
+            let f: &Flooder = sim.app(addrs::ATTACKER).expect("flooder present");
+            f.stats.messages_sent
+        }
+        _ => 0,
+    };
+
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut swarm_replies = 0u64;
+    let stride = (n / 32).max(1);
+    let mut i = 0;
+    while i < n {
+        let ip = swarm_ip(i);
+        let c = sim.host_counters(ip);
+        let p: &SwarmPinger = sim.app(ip).expect("swarm host is a pinger");
+        swarm_replies += p.replies;
+        for v in [c.rx_packets, c.rx_bytes, c.tx_packets, c.tx_bytes, p.replies] {
+            h = fnv(h, v);
+        }
+        i += stride;
+    }
+    let tc = sim.host_counters(addrs::TARGET);
+    for v in [
+        delivered,
+        fs.dropped_loss,
+        fs.dropped_partition,
+        fs.jittered,
+        fs.reordered,
+        target_msgs,
+        target_bans,
+        tc.rx_packets,
+        tc.rx_bytes,
+        tc.tx_packets,
+        tc.tx_bytes,
+        strikes,
+        flood_msgs,
+        hosts as u64,
+    ] {
+        h = fnv(h, v);
+    }
+
+    SwarmOutcome {
+        hosts,
+        digest: h,
+        delivered,
+        target_msgs,
+        target_bans,
+        swarm_replies,
+        dropped: fs.dropped_loss + fs.dropped_partition,
+        strikes,
+        flood_msgs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(case: &'static str, workers: usize) -> SwarmSpec {
+        SwarmSpec {
+            case,
+            swarm_hosts: 200,
+            regions: 5,
+            workers,
+            dur: 3 * SECS,
+            innocents: 4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn outcome_is_invariant_across_worker_counts() {
+        for case in CASES {
+            let base = run_swarm(&tiny(case, 1));
+            let multi = run_swarm(&tiny(case, 3));
+            assert_eq!(base, multi, "{case}: outcome diverged across workers");
+            assert!(base.delivered > 0, "{case}: no traffic");
+            assert!(base.swarm_replies > 0, "{case}: swarm silent");
+            assert!(base.target_msgs > 0, "{case}: target silent");
+        }
+    }
+
+    #[test]
+    fn bm_dos_floods_the_target() {
+        let r = run_swarm(&tiny("bm-dos", 2));
+        assert!(r.flood_msgs > 0, "flooder sent nothing");
+        let normal = run_swarm(&tiny("faults", 2));
+        assert!(
+            r.target_msgs > normal.target_msgs,
+            "flood did not raise target traffic: {} vs {}",
+            r.target_msgs,
+            normal.target_msgs
+        );
+    }
+
+    #[test]
+    fn defamation_strikes_off_the_live_tap() {
+        let r = run_swarm(&tiny("defamation", 2));
+        assert!(r.strikes > 0, "defamer never struck");
+    }
+
+    #[test]
+    fn fault_case_exercises_the_fault_layer() {
+        let r = run_swarm(&tiny("faults", 2));
+        assert!(r.dropped > 0, "no fault-layer drops");
+    }
+}

@@ -14,6 +14,10 @@ fn fixture_workspace_findings_are_exact() {
     let want: &[(&str, u32, &str)] = &[
         ("crates/attack/src/clock.rs", 4, "wallclock"),
         ("crates/lint/lint-allow.txt", 3, "allowlist"),
+        ("crates/netsim/src/shard.rs", 5, "unordered-map"),
+        ("crates/netsim/src/shard.rs", 7, "unordered-map"),
+        ("crates/netsim/src/shard.rs", 8, "wallclock"),
+        ("crates/netsim/src/shard.rs", 10, "unordered-map"),
         ("crates/node/src/banscore/rules.rs", 3, "ban-exhaustive"),
         ("crates/node/src/node.rs", 1, "ban-exhaustive"),
         ("crates/wire/src/encode.rs", 3, "unordered-map"),

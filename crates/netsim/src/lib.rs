@@ -17,6 +17,9 @@
 //!   latency jitter and reordering plus a scheduled [`FaultPlan`] of
 //!   partitions and link flaps (the adverse-network model of the
 //!   detector-robustness sweep);
+//! * [`shard`] — the sharded simulator: per-region event loops under
+//!   conservative-lookahead synchronization, bit-identical at any worker
+//!   count, for 100k+ host swarm topologies;
 //! * [`rng`] / [`time`] — deterministic randomness and virtual time.
 //!
 //! ## Example: two hosts, one tap
@@ -46,11 +49,13 @@ pub mod faults;
 pub mod packet;
 pub mod prop;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod tcp;
 pub mod time;
 
 pub use faults::{FaultKind, FaultPlan, FaultStats, LinkFaults};
 pub use packet::{Ipv4, Packet, SockAddr};
+pub use shard::{ShardConfig, ShardTap, ShardedSim};
 pub use sim::{App, Ctx, HostConfig, SimConfig, Simulator, TapFilter, TapHandle};
 pub use tcp::{CloseReason, ConnId};

@@ -1,0 +1,990 @@
+//! The sharded discrete-event simulator: per-region event loops under
+//! conservative-lookahead synchronization, for 100k+ host topologies.
+//!
+//! # Model
+//!
+//! Hosts are partitioned into **regions** — a fixed, seed-deterministic
+//! assignment (or an explicit pin via
+//! [`ShardedSim::add_host_pinned`]). Each region owns its hosts in
+//! column-major (SoA) storage, runs its own `BinaryHeap` event loop, and
+//! draws from its own derived RNG streams (the same salt discipline as
+//! the fault layer: region 0 uses the unsalted seed, so a one-region
+//! simulation replays the serial [`Simulator`](crate::sim::Simulator)
+//! draw for draw).
+//!
+//! Links *within* a region have the usual LAN latency
+//! ([`ShardConfig::latency`]); links *between* regions have a larger
+//! WAN-scale latency ([`ShardConfig::region_latency`]) which doubles as
+//! the **lookahead window**: a cross-region packet sent at time `t`
+//! cannot arrive before `t + L` where `L` is the minimum cross-region
+//! delay, so every region may safely run to `T_min + L` (`T_min` = the
+//! earliest pending event anywhere) without hearing from its neighbors.
+//! Rounds are barrier-synchronous:
+//!
+//! 1. every region independently executes its events in `[T_min, T_min+L)`
+//!    (fanned across worker threads),
+//! 2. cross-region packets staged in per-`(src, dst)` mailboxes are
+//!    drained in a fixed order (destination region, then source region
+//!    ascending, FIFO within a mailbox) and pushed into the destination
+//!    heaps,
+//! 3. the next horizon is computed and the cycle repeats.
+//!
+//! # Determinism contract
+//!
+//! The region partition, per-region event order, mailbox drain order and
+//! RNG streams are all independent of [`ShardConfig::workers`], so the
+//! results — counters, captures, fault statistics — are **bit-identical
+//! at any worker count**. Workers only decide which OS thread locks which
+//! region inside a round. `regions = 1, workers = 1` degenerates to
+//! exactly the serial simulator: one heap, one unsalted RNG stream, no
+//! mailboxes (pinned by `tests/shard_equivalence.rs` and the
+//! `prop_shard_invariance` property test).
+
+use crate::cpu::CpuMeter;
+use crate::faults::{FaultPlan, FaultStats, LinkFaults};
+use crate::packet::{IcmpEcho, Ipv4, Packet, PacketBody, SockAddr};
+use crate::rng::SimRng;
+use crate::sim::{
+    App, Ctx, HostConfig, HostCounters, Outbox, Sniffed, TapFilter, TapHandle,
+    DEFAULT_LATENCY, DEFAULT_TAP_CAPACITY, FAULT_RNG_SALT,
+};
+use crate::tcp::{TcpDropStats, TcpStack};
+use crate::time::{Nanos, MILLIS};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
+
+/// Default one-way latency between hosts in *different* regions
+/// (WAN-scale, continental). This is also the default lookahead window,
+/// so larger values mean fewer synchronization rounds.
+pub const DEFAULT_REGION_LATENCY: Nanos = 30 * MILLIS;
+
+/// Seed salt separating per-region RNG streams. Region `r` draws
+/// application randomness from `seed ^ (SALT · r)` and fault randomness
+/// from `(seed ^ FAULT_RNG_SALT) ^ (SALT · r)`; region 0 therefore uses
+/// the exact streams of the serial simulator.
+const SHARD_STREAM_SALT: u64 = 0x5AAD_C0DE_D15C_0123;
+
+/// Region index.
+pub type RegionId = u32;
+
+/// Host index within its region's columns.
+type LocalId = u32;
+
+/// Sharded-simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Number of regions the hosts are partitioned into. The partition is
+    /// part of the *experiment* configuration: changing it changes which
+    /// RNG stream serves which host (results stay deterministic but are
+    /// not comparable across different region counts).
+    pub regions: u32,
+    /// Worker threads executing regions each round. Purely an execution
+    /// knob: results are bit-identical at any value. More workers than
+    /// regions is clamped.
+    pub workers: usize,
+    /// One-way link latency within a region.
+    pub latency: Nanos,
+    /// One-way link latency between regions (the lookahead window).
+    pub region_latency: Nanos,
+    /// RNG seed (region streams are derived from it).
+    pub seed: u64,
+    /// Per-link fault model, applied at the sender's edge from the
+    /// sender region's fault stream.
+    pub faults: LinkFaults,
+    /// Forces the reliable transport even on a clean network (see
+    /// [`crate::sim::SimConfig::reliable`]).
+    pub reliable: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            regions: 1,
+            workers: 1,
+            latency: DEFAULT_LATENCY,
+            region_latency: DEFAULT_REGION_LATENCY,
+            seed: 0xB17C_0123,
+            faults: LinkFaults::NONE,
+            reliable: false,
+        }
+    }
+}
+
+/// splitmix64 finalizer: the region assignment hash.
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed-deterministic default region of an address.
+fn assign_region(seed: u64, ip: Ipv4, regions: u32) -> RegionId {
+    (mix64(u64::from(u32::from_be_bytes(ip)) ^ seed) % u64::from(regions)) as RegionId
+}
+
+enum EventKind {
+    Start(LocalId),
+    /// A packet in flight within this region, with the destination's
+    /// column index when it lives here (`None` = unknown destination,
+    /// delivered "into the void" so taps and the delivered counter still
+    /// observe it, exactly like the serial simulator).
+    Deliver(Packet, Option<LocalId>),
+    Timer(LocalId, u64),
+    TcpTick(LocalId),
+}
+
+struct Event {
+    time: Nanos,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// One staged cross-region packet (FIFO within its mailbox).
+struct Mail {
+    time: Nanos,
+    packet: Packet,
+    dst: LocalId,
+}
+
+/// Immutable per-run context shared by every region.
+struct Net<'a> {
+    /// Global sorted ip → (region, column) index.
+    index: &'a [(Ipv4, (RegionId, LocalId))],
+    plan: &'a FaultPlan,
+    cfg: ShardConfig,
+}
+
+impl Net<'_> {
+    #[inline]
+    fn lookup(&self, ip: Ipv4) -> Option<(RegionId, LocalId)> {
+        self.index
+            .binary_search_by_key(&ip, |e| e.0)
+            .ok()
+            .map(|i| self.index[i].1)
+    }
+}
+
+/// One region: an independent event loop over column-major host state.
+///
+/// Hot per-host fields live in parallel columns (SoA) instead of an
+/// array-of-`Host`-structs: the event loop touches `counters`/`cpus` on
+/// every delivery and `apps`/`tcps` only on dispatch, so the columns keep
+/// the per-event working set dense.
+struct Region {
+    id: RegionId,
+    now: Nanos,
+    queue: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    // --- SoA host columns (parallel, indexed by LocalId) ---
+    ips: Vec<Ipv4>,
+    apps: Vec<Option<Box<dyn App>>>,
+    tcps: Vec<TcpStack>,
+    cpus: Vec<CpuMeter>,
+    configs: Vec<HostConfig>,
+    counters: Vec<HostCounters>,
+    tick_at: Vec<Option<Nanos>>,
+    // --- per-region streams and stats ---
+    rng: SimRng,
+    fault_rng: SimRng,
+    fault_stats: FaultStats,
+    delivered_packets: u64,
+    taps: Vec<(TapFilter, TapHandle)>,
+    /// Staged cross-region packets, indexed by destination region.
+    outbound: Vec<Vec<Mail>>,
+}
+
+impl Region {
+    fn new(id: RegionId, regions: u32, seed: u64) -> Self {
+        let salt = SHARD_STREAM_SALT.wrapping_mul(u64::from(id));
+        Region {
+            id,
+            now: 0,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            ips: Vec::new(),
+            apps: Vec::new(),
+            tcps: Vec::new(),
+            cpus: Vec::new(),
+            configs: Vec::new(),
+            counters: Vec::new(),
+            tick_at: Vec::new(),
+            rng: SimRng::new(seed ^ salt),
+            fault_rng: SimRng::new((seed ^ FAULT_RNG_SALT) ^ salt),
+            fault_stats: FaultStats::default(),
+            delivered_packets: 0,
+            taps: Vec::new(),
+            outbound: (0..regions).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn push_event(&mut self, time: Nanos, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Schedules `packet`, applying the fault model at the sender's edge
+    /// and routing cross-region packets into the staging mailbox.
+    fn send_packet(&mut self, net: &Net<'_>, packet: Packet) {
+        let f = net.cfg.faults;
+        let dst = net.lookup(packet.dst.ip);
+        let cross = matches!(dst, Some((r, _)) if r != self.id);
+        let mut delay = if cross {
+            net.cfg.region_latency
+        } else {
+            net.cfg.latency
+        };
+        if f.any() || !net.plan.is_none() {
+            if net.plan.blocked(self.now, packet.src.ip, packet.dst.ip) {
+                self.fault_stats.dropped_partition += 1;
+                return;
+            }
+            let loss = (f.loss + net.plan.extra_loss(self.now)).min(1.0);
+            if loss > 0.0 && self.fault_rng.gen_bool(loss) {
+                self.fault_stats.dropped_loss += 1;
+                return;
+            }
+            if f.jitter > 0 {
+                let offset = self.fault_rng.gen_range(2 * f.jitter + 1);
+                delay = (delay + offset).saturating_sub(f.jitter).max(1);
+                self.fault_stats.jittered += 1;
+            }
+            if f.reorder > 0.0 && f.reorder_window > 0 && self.fault_rng.gen_bool(f.reorder) {
+                delay += 1 + self.fault_rng.gen_range(f.reorder_window);
+                self.fault_stats.reordered += 1;
+            }
+        }
+        match dst {
+            Some((r, local)) if r != self.id => self.outbound[r as usize].push(Mail {
+                time: self.now + delay,
+                packet,
+                dst: local,
+            }),
+            other => {
+                let local = other.map(|(_, l)| l);
+                self.push_event(self.now + delay, EventKind::Deliver(packet, local));
+            }
+        }
+    }
+
+    /// Executes every queued event with `time < hi_excl`, leaving later
+    /// events (and staged cross-region mail) untouched.
+    fn run_window(&mut self, net: &Net<'_>, hi_excl: Nanos) {
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.time < hi_excl => {}
+                _ => break,
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked event");
+            debug_assert!(ev.time >= self.now, "region time went backwards");
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::Start(i) => self.with_app(net, i, |app, ctx| app.on_start(ctx)),
+                EventKind::Timer(i, token) => {
+                    self.with_app(net, i, |app, ctx| app.on_timer(ctx, token));
+                }
+                EventKind::Deliver(packet, dst) => self.deliver(net, packet, dst),
+                EventKind::TcpTick(i) => self.tcp_tick(net, i, ev.time),
+            }
+        }
+    }
+
+    /// Mirrors `Simulator::deliver`: taps observe first, the delivered
+    /// counter always ticks, then the destination (if it lives here)
+    /// processes the packet.
+    fn deliver(&mut self, net: &Net<'_>, packet: Packet, dst: Option<LocalId>) {
+        for (filter, handle) in &self.taps {
+            if filter.matches(&packet) {
+                handle.push(Sniffed {
+                    time: self.now,
+                    packet: packet.clone(),
+                });
+            }
+        }
+        self.delivered_packets += 1;
+        let Some(i) = dst else {
+            return; // destination unreachable: dropped
+        };
+        let i = i as usize;
+        let dst_ip = packet.dst.ip;
+        self.counters[i].rx_packets += 1;
+        self.counters[i].rx_bytes += packet.wire_len() as u64;
+        self.cpus[i].charge(self.configs[i].kernel_cost_per_packet);
+        match &packet.body {
+            PacketBody::Icmp(echo) => {
+                let mut replies = Vec::new();
+                if echo.request {
+                    self.cpus[i].charge(self.configs[i].icmp_echo_cost);
+                    if self.configs[i].icmp_reply {
+                        replies.push(Packet {
+                            src: SockAddr::new(dst_ip, 0),
+                            dst: packet.src,
+                            body: PacketBody::Icmp(IcmpEcho {
+                                request: false,
+                                ..*echo
+                            }),
+                        });
+                    }
+                }
+                let echo = echo.clone();
+                let from = packet.src.ip;
+                self.with_app(net, i as LocalId, |app, ctx| app.on_icmp(ctx, from, &echo));
+                for r in replies {
+                    self.account_tx(i, &r);
+                    self.send_packet(net, r);
+                }
+            }
+            PacketBody::Tcp(seg) => {
+                let mut app = self.apps[i].take().expect("app present");
+                self.tcps[i].set_now(self.now);
+                let (events, replies) =
+                    self.tcps[i].handle_segment(packet.src, packet.dst, seg, &mut |peer| {
+                        app.on_accept(peer)
+                    });
+                self.apps[i] = Some(app);
+                for r in replies {
+                    self.account_tx(i, &r);
+                    self.send_packet(net, r);
+                }
+                self.dispatch_tcp_events(net, i as LocalId, events);
+                self.arm_tcp_tick(i as LocalId);
+            }
+        }
+    }
+
+    fn dispatch_tcp_events(&mut self, net: &Net<'_>, id: LocalId, events: Vec<crate::tcp::TcpEvent>) {
+        use crate::tcp::TcpEvent;
+        for ev in events {
+            self.with_app(net, id, |app, ctx| match &ev {
+                TcpEvent::Connected { id, peer, inbound } => {
+                    app.on_connected(ctx, *id, *peer, *inbound)
+                }
+                TcpEvent::Data { id, peer, payload } => app.on_data(ctx, *id, *peer, payload),
+                TcpEvent::Closed { id, peer, reason } => app.on_closed(ctx, *id, *peer, *reason),
+                TcpEvent::ConnectFailed { dst } => app.on_connect_failed(ctx, *dst),
+            });
+        }
+    }
+
+    fn tcp_tick(&mut self, net: &Net<'_>, id: LocalId, time: Nanos) {
+        let i = id as usize;
+        if self.tick_at[i] != Some(time) {
+            return; // stale tick
+        }
+        self.tick_at[i] = None;
+        self.tcps[i].set_now(self.now);
+        let (events, replies) = self.tcps[i].poll();
+        for r in replies {
+            self.account_tx(i, &r);
+            self.send_packet(net, r);
+        }
+        self.dispatch_tcp_events(net, id, events);
+        self.arm_tcp_tick(id);
+    }
+
+    fn arm_tcp_tick(&mut self, id: LocalId) {
+        let i = id as usize;
+        let Some(deadline) = self.tcps[i].next_deadline() else {
+            return;
+        };
+        let t = deadline.max(self.now);
+        if let Some(cur) = self.tick_at[i] {
+            if cur <= t {
+                return; // an earlier (or equal) tick will re-arm us
+            }
+        }
+        self.tick_at[i] = Some(t);
+        self.push_event(t, EventKind::TcpTick(id));
+    }
+
+    /// Runs `f` with the host's app and a fresh [`Ctx`], then applies the
+    /// collected outputs — the same collect-then-flush discipline as
+    /// `Simulator::with_app`.
+    fn with_app<F>(&mut self, net: &Net<'_>, id: LocalId, f: F)
+    where
+        F: FnOnce(&mut dyn App, &mut Ctx<'_>),
+    {
+        let i = id as usize;
+        let mut app = self.apps[i].take().expect("app present");
+        self.tcps[i].set_now(self.now);
+        let mut out = Outbox::default();
+        {
+            let mut ctx = Ctx::new(
+                self.now,
+                self.ips[i],
+                &mut self.tcps[i],
+                &mut self.cpus[i],
+                &mut self.rng,
+                &mut out,
+            );
+            f(app.as_mut(), &mut ctx);
+        }
+        self.apps[i] = Some(app);
+        for p in out.packets {
+            self.account_tx(i, &p);
+            self.send_packet(net, p);
+        }
+        for (delay, token) in out.timers {
+            self.push_event(self.now + delay, EventKind::Timer(id, token));
+        }
+        self.arm_tcp_tick(id);
+    }
+
+    fn account_tx(&mut self, i: usize, p: &Packet) {
+        self.counters[i].tx_packets += 1;
+        self.counters[i].tx_bytes += p.wire_len() as u64;
+    }
+}
+
+/// A capture handle spanning every region (from [`ShardedSim::add_tap`]).
+///
+/// Each region records into its own bounded ring; reads merge the
+/// per-region buffers in a deterministic order — ascending capture time,
+/// ties broken by region index — so the merged view is identical at any
+/// worker count.
+pub struct ShardTap {
+    parts: Vec<TapHandle>,
+}
+
+impl ShardTap {
+    fn merge(bufs: Vec<Vec<Sniffed>>) -> Vec<Sniffed> {
+        let mut all: Vec<Sniffed> = bufs.into_iter().flatten().collect();
+        // Stable: same-time captures keep region order, and within a
+        // region the recording order.
+        all.sort_by_key(|s| s.time);
+        all
+    }
+
+    /// Takes all captures recorded since the last drain, merged.
+    pub fn drain(&self) -> Vec<Sniffed> {
+        Self::merge(self.parts.iter().map(TapHandle::drain).collect())
+    }
+
+    /// Copies the current captures without clearing, merged.
+    pub fn snapshot(&self) -> Vec<Sniffed> {
+        Self::merge(self.parts.iter().map(TapHandle::snapshot).collect())
+    }
+
+    /// Total buffered captures across regions.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(TapHandle::len).sum()
+    }
+
+    /// Whether nothing is buffered anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(TapHandle::is_empty)
+    }
+
+    /// Total ring evictions across regions.
+    pub fn dropped(&self) -> u64 {
+        self.parts.iter().map(TapHandle::dropped).sum()
+    }
+}
+
+/// The sharded discrete-event simulator (see the module docs for the
+/// synchronization protocol and determinism contract).
+pub struct ShardedSim {
+    config: ShardConfig,
+    now: Nanos,
+    regions: Vec<Mutex<Region>>,
+    index: Vec<(Ipv4, (RegionId, LocalId))>,
+    plan: FaultPlan,
+}
+
+impl ShardedSim {
+    /// Creates an empty sharded simulator. `regions`/`workers` of 0 are
+    /// treated as 1.
+    pub fn new(mut config: ShardConfig) -> Self {
+        config.regions = config.regions.max(1);
+        config.workers = config.workers.max(1);
+        let regions = (0..config.regions)
+            .map(|r| Mutex::new(Region::new(r, config.regions, config.seed)))
+            .collect();
+        ShardedSim {
+            now: 0,
+            regions,
+            index: Vec::new(),
+            plan: FaultPlan::none(),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ShardConfig {
+        &self.config
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// The region an address would be (or was) assigned to.
+    pub fn region_of(&self, ip: Ipv4) -> RegionId {
+        match self.index.binary_search_by_key(&ip, |e| e.0) {
+            Ok(i) => self.index[i].1 .0,
+            Err(_) => assign_region(self.config.seed, ip, self.config.regions),
+        }
+    }
+
+    /// Registers a host in its seed-deterministic default region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ip` is already in use.
+    pub fn add_host(&mut self, ip: Ipv4, app: Box<dyn App>, config: HostConfig) -> RegionId {
+        let region = assign_region(self.config.seed, ip, self.config.regions);
+        self.add_host_pinned(ip, app, config, region);
+        region
+    }
+
+    /// Registers a host in an explicit region — co-locate apps that must
+    /// share LAN latency or a live tap (e.g. the attack-core testbed of
+    /// the swarm scenario).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ip` is already in use or `region` is out of range.
+    pub fn add_host_pinned(
+        &mut self,
+        ip: Ipv4,
+        app: Box<dyn App>,
+        config: HostConfig,
+        region: RegionId,
+    ) {
+        assert!(region < self.config.regions, "region out of range");
+        let slot = match self.index.binary_search_by_key(&ip, |e| e.0) {
+            Ok(_) => panic!("host {ip:?} already registered"),
+            Err(slot) => slot,
+        };
+        let reg = self.regions[region as usize]
+            .get_mut()
+            .expect("region lock poisoned");
+        let local = reg.ips.len() as LocalId;
+        let mut tcp = TcpStack::new(ip);
+        if self.config.reliable || self.config.faults.any() || !self.plan.is_none() {
+            tcp.set_reliable(true);
+        }
+        reg.ips.push(ip);
+        reg.apps.push(Some(app));
+        reg.tcps.push(tcp);
+        reg.cpus.push(CpuMeter::new(config.capacity_hz));
+        reg.configs.push(config);
+        reg.counters.push(HostCounters::default());
+        reg.tick_at.push(None);
+        let at = self.now;
+        reg.push_event(at, EventKind::Start(local));
+        self.index.insert(slot, (ip, (region, local)));
+    }
+
+    /// Installs a tap observing deliveries in **every** region, with the
+    /// default per-region ring capacity
+    /// ([`DEFAULT_TAP_CAPACITY`](crate::sim::DEFAULT_TAP_CAPACITY)).
+    pub fn add_tap(&mut self, filter: TapFilter) -> ShardTap {
+        self.add_tap_with_capacity(filter, DEFAULT_TAP_CAPACITY)
+    }
+
+    /// Installs an every-region tap with an explicit per-region ring
+    /// capacity.
+    pub fn add_tap_with_capacity(&mut self, filter: TapFilter, capacity: usize) -> ShardTap {
+        let parts = self
+            .regions
+            .iter_mut()
+            .map(|reg| {
+                let handle = TapHandle::new(capacity);
+                reg.get_mut()
+                    .expect("region lock poisoned")
+                    .taps
+                    .push((filter, handle.clone()));
+                handle
+            })
+            .collect();
+        ShardTap { parts }
+    }
+
+    /// Installs a tap in a single region and returns a live [`TapHandle`]
+    /// — the sniffer primitive for apps (like the post-connection
+    /// Defamer) that drain captures *during* the run. Such apps must be
+    /// pinned to the same region as the traffic they sniff: a region tap
+    /// only observes packets delivered inside its region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` is out of range.
+    pub fn add_tap_in(&mut self, filter: TapFilter, region: RegionId) -> TapHandle {
+        let handle = TapHandle::new(DEFAULT_TAP_CAPACITY);
+        self.regions[region as usize]
+            .get_mut()
+            .expect("region lock poisoned")
+            .taps
+            .push((filter, handle.clone()));
+        handle
+    }
+
+    /// Installs (or replaces) the scheduled-fault timeline (see
+    /// [`crate::sim::Simulator::set_fault_plan`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if !plan.is_none() {
+            for reg in &mut self.regions {
+                for tcp in &mut reg.get_mut().expect("region lock poisoned").tcps {
+                    tcp.set_reliable(true);
+                }
+            }
+        }
+        self.plan = plan;
+    }
+
+    /// Fault-layer drop/delay counters, summed over regions.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for reg in &self.regions {
+            let reg = reg.lock().expect("region lock poisoned");
+            total.dropped_loss += reg.fault_stats.dropped_loss;
+            total.dropped_partition += reg.fault_stats.dropped_partition;
+            total.jittered += reg.fault_stats.jittered;
+            total.reordered += reg.fault_stats.reordered;
+        }
+        total
+    }
+
+    /// Total packets delivered, summed over regions.
+    pub fn delivered_packets(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| r.lock().expect("region lock poisoned").delivered_packets)
+            .sum()
+    }
+
+    #[inline]
+    fn locate(&self, ip: Ipv4) -> (usize, usize) {
+        let (region, local) = self
+            .index
+            .binary_search_by_key(&ip, |e| e.0)
+            .ok()
+            .map(|i| self.index[i].1)
+            .expect("unknown host");
+        (region as usize, local as usize)
+    }
+
+    /// Traffic counters of a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown host.
+    pub fn host_counters(&self, ip: Ipv4) -> HostCounters {
+        let (r, i) = self.locate(ip);
+        self.regions[r].lock().expect("region lock poisoned").counters[i]
+    }
+
+    /// CPU meter of a host (cloned).
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown host.
+    pub fn host_cpu(&self, ip: Ipv4) -> CpuMeter {
+        let (r, i) = self.locate(ip);
+        self.regions[r].lock().expect("region lock poisoned").cpus[i].clone()
+    }
+
+    /// Transport drop statistics of a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown host.
+    pub fn host_tcp_drops(&self, ip: Ipv4) -> TcpDropStats {
+        let (r, i) = self.locate(ip);
+        self.regions[r].lock().expect("region lock poisoned").tcps[i].drops
+    }
+
+    /// Downcasts a host's app for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown host.
+    pub fn app<T: App>(&mut self, ip: Ipv4) -> Option<&T> {
+        let (r, i) = self.locate(ip);
+        self.regions[r].get_mut().expect("region lock poisoned").apps[i]
+            .as_ref()
+            .and_then(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutably downcasts a host's app.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an unknown host.
+    pub fn app_mut<T: App>(&mut self, ip: Ipv4) -> Option<&mut T> {
+        let (r, i) = self.locate(ip);
+        self.regions[r].get_mut().expect("region lock poisoned").apps[i]
+            .as_mut()
+            .and_then(|a| a.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// The conservative lookahead: the smallest delay any cross-region
+    /// packet can experience. Jitter can shave up to `faults.jitter` off
+    /// the base cross-region latency; loss/partition only remove packets
+    /// and reordering only adds delay.
+    fn lookahead(&self) -> Nanos {
+        let j = if self.config.faults.jitter > 0 {
+            self.config.faults.jitter
+        } else {
+            0
+        };
+        self.config.region_latency.saturating_sub(j).max(1)
+    }
+
+    /// The next round's exclusive horizon, or `None` when no region has
+    /// an event due at or before `t_end`.
+    fn next_window(&self, t_end: Nanos) -> Option<Nanos> {
+        let mut t_min: Option<Nanos> = None;
+        for reg in &self.regions {
+            let reg = reg.lock().expect("region lock poisoned");
+            if let Some(Reverse(ev)) = reg.queue.peek() {
+                t_min = Some(t_min.map_or(ev.time, |t: Nanos| t.min(ev.time)));
+            }
+        }
+        let t = t_min?;
+        if t > t_end {
+            return None;
+        }
+        if self.config.regions == 1 {
+            // No cross-region traffic can exist: run the whole span.
+            return Some(t_end.saturating_add(1));
+        }
+        Some(t.saturating_add(self.lookahead()).min(t_end.saturating_add(1)))
+    }
+
+    /// Drains every staged cross-region mailbox into its destination
+    /// heap, in fixed order: destination region ascending, then source
+    /// region ascending, FIFO within a mailbox. Event sequence numbers —
+    /// and therefore same-time tie-breaks — are thus identical at any
+    /// worker count.
+    fn exchange_mail(&self) {
+        let n = self.regions.len();
+        for q in 0..n {
+            for r in 0..n {
+                if r == q {
+                    continue;
+                }
+                let mail = {
+                    let mut src = self.regions[r].lock().expect("region lock poisoned");
+                    std::mem::take(&mut src.outbound[q])
+                };
+                if mail.is_empty() {
+                    continue;
+                }
+                let mut dst = self.regions[q].lock().expect("region lock poisoned");
+                for m in mail {
+                    dst.push_event(m.time, EventKind::Deliver(m.packet, Some(m.dst)));
+                }
+            }
+        }
+    }
+
+    /// Runs events until virtual time reaches `t` (events at exactly `t`
+    /// are processed), advancing every region in barrier-synchronous
+    /// lookahead rounds.
+    pub fn run_until(&mut self, t: Nanos) {
+        let t_end = t.max(self.now);
+        let n = self.regions.len();
+        let workers = self.config.workers.min(n).max(1);
+        {
+            let this = &*self;
+            let net = Net {
+                index: &this.index,
+                plan: &this.plan,
+                cfg: this.config,
+            };
+            if workers == 1 {
+                while let Some(hi) = this.next_window(t_end) {
+                    for reg in &this.regions {
+                        reg.lock().expect("region lock poisoned").run_window(&net, hi);
+                    }
+                    this.exchange_mail();
+                }
+            } else {
+                let phased = btc_par::phase::Phased::new(workers);
+                std::thread::scope(|s| {
+                    for w in 0..workers {
+                        let phased = &phased;
+                        let net = &net;
+                        let regions = &this.regions;
+                        s.spawn(move || {
+                            while let Some(hi) = phased.next_phase() {
+                                let mut r = w;
+                                while r < n {
+                                    regions[r]
+                                        .lock()
+                                        .expect("region lock poisoned")
+                                        .run_window(net, hi);
+                                    r += workers;
+                                }
+                                phased.finish_phase();
+                            }
+                        });
+                    }
+                    while let Some(hi) = this.next_window(t_end) {
+                        phased.announce(hi);
+                        phased.await_workers();
+                        this.exchange_mail();
+                    }
+                    phased.terminate();
+                });
+            }
+        }
+        for reg in &mut self.regions {
+            let reg = reg.get_mut().expect("region lock poisoned");
+            reg.now = reg.now.max(t_end);
+        }
+        self.now = t_end;
+    }
+
+    /// Runs for `d` more virtual nanoseconds.
+    pub fn run_for(&mut self, d: Nanos) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SECS;
+    use std::any::Any;
+
+    /// Minimal ping app: sends one echo to `dst` at start, counts replies.
+    struct OnePing {
+        dst: Ipv4,
+        replies: u32,
+    }
+
+    impl App for OnePing {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send_icmp(self.dst, 1, 0, 56);
+        }
+        fn on_icmp(&mut self, _ctx: &mut Ctx<'_>, _from: Ipv4, echo: &IcmpEcho) {
+            if !echo.request {
+                self.replies += 1;
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    struct Quiet;
+    impl App for Quiet {
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn cross_region_ping_roundtrip() {
+        let mut sim = ShardedSim::new(ShardConfig {
+            regions: 2,
+            workers: 2,
+            ..ShardConfig::default()
+        });
+        sim.add_host_pinned([10, 0, 0, 1], Box::new(Quiet), HostConfig::default(), 0);
+        sim.add_host_pinned(
+            [10, 0, 0, 2],
+            Box::new(OnePing {
+                dst: [10, 0, 0, 1],
+                replies: 0,
+            }),
+            HostConfig::default(),
+            1,
+        );
+        sim.run_for(SECS);
+        let p: &OnePing = sim.app([10, 0, 0, 2]).unwrap();
+        assert_eq!(p.replies, 1);
+        // Two cross-region trips at the region latency each.
+        assert_eq!(sim.delivered_packets(), 2);
+    }
+
+    #[test]
+    fn region_assignment_is_seed_deterministic() {
+        let a = assign_region(7, [10, 0, 0, 1], 8);
+        assert_eq!(a, assign_region(7, [10, 0, 0, 1], 8));
+        // Different seeds shuffle the partition (with overwhelming
+        // probability over 32 addresses at least one moves).
+        let moved = (0..32u8)
+            .any(|i| assign_region(7, [10, 0, 0, i], 8) != assign_region(8, [10, 0, 0, i], 8));
+        assert!(moved);
+    }
+
+    #[test]
+    fn unknown_destination_counts_as_delivered() {
+        let mut sim = ShardedSim::new(ShardConfig {
+            regions: 2,
+            workers: 1,
+            ..ShardConfig::default()
+        });
+        let tap = sim.add_tap(TapFilter::All);
+        sim.add_host_pinned(
+            [10, 0, 0, 2],
+            Box::new(OnePing {
+                dst: [99, 99, 99, 99],
+                replies: 0,
+            }),
+            HostConfig::default(),
+            0,
+        );
+        sim.run_for(SECS);
+        // The packet died in the void but taps and the counter saw it —
+        // the serial simulator's semantics.
+        assert_eq!(sim.delivered_packets(), 1);
+        assert_eq!(tap.len(), 1);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let run = |workers: usize| {
+            let mut sim = ShardedSim::new(ShardConfig {
+                regions: 4,
+                workers,
+                seed: 42,
+                ..ShardConfig::default()
+            });
+            let tap = sim.add_tap(TapFilter::All);
+            let ips: Vec<Ipv4> = (1..=12u8).map(|i| [10, 0, i, 1]).collect();
+            for (k, ip) in ips.iter().enumerate() {
+                let dst = ips[(k + 5) % ips.len()];
+                sim.add_host(*ip, Box::new(OnePing { dst, replies: 0 }), HostConfig::default());
+            }
+            sim.run_for(SECS);
+            let counters: Vec<HostCounters> = ips.iter().map(|ip| sim.host_counters(*ip)).collect();
+            (tap.drain(), counters, sim.delivered_packets())
+        };
+        let base = run(1);
+        assert_eq!(base, run(2));
+        assert_eq!(base, run(7));
+        assert!(base.2 > 0);
+    }
+}

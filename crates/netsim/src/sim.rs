@@ -14,10 +14,9 @@ use crate::rng::SimRng;
 use crate::tcp::{CloseReason, ConnId, TcpDropStats, TcpEvent, TcpStack};
 use crate::time::{Nanos, MICROS};
 use std::any::Any;
-use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::rc::Rc;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::{Arc, Mutex};
 
 /// Default one-way link latency (LAN-scale, like the paper's testbed).
 pub const DEFAULT_LATENCY: Nanos = 100 * MICROS;
@@ -71,7 +70,12 @@ pub struct HostCounters {
 /// All methods default to no-ops so simple apps implement only what they
 /// need. `as_any_mut` enables scenario code to downcast and inspect app
 /// state after (or during) a run.
-pub trait App: 'static {
+///
+/// Apps are `Send` so a host (and its boxed app) can be owned by a shard
+/// worker thread in the sharded engine ([`crate::shard`]). Callbacks are
+/// still strictly serial per host — `Send` is an ownership-transfer
+/// requirement, not a concurrency one.
+pub trait App: Send + 'static {
     /// Called once when the simulation starts.
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
     /// Consulted for each new inbound SYN; `false` refuses with RST. This is
@@ -99,11 +103,13 @@ pub trait App: 'static {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
-/// Deferred host outputs collected during a callback.
+/// Deferred host outputs collected during a callback. Shared with the
+/// sharded engine ([`crate::shard`]), which applies the same
+/// collect-then-flush discipline per region.
 #[derive(Default)]
-struct Outbox {
-    packets: Vec<Packet>,
-    timers: Vec<(Nanos, u64)>,
+pub(crate) struct Outbox {
+    pub(crate) packets: Vec<Packet>,
+    pub(crate) timers: Vec<(Nanos, u64)>,
 }
 
 /// The environment handed to app callbacks.
@@ -116,7 +122,26 @@ pub struct Ctx<'a> {
     out: &'a mut Outbox,
 }
 
-impl Ctx<'_> {
+impl<'a> Ctx<'a> {
+    /// Builds a callback environment (also used by [`crate::shard`]).
+    pub(crate) fn new(
+        now: Nanos,
+        ip: Ipv4,
+        tcp: &'a mut TcpStack,
+        cpu: &'a mut CpuMeter,
+        rng: &'a mut SimRng,
+        out: &'a mut Outbox,
+    ) -> Self {
+        Ctx {
+            now,
+            ip,
+            tcp,
+            cpu,
+            rng,
+            out,
+        }
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> Nanos {
         self.now
@@ -247,7 +272,7 @@ struct Host {
 }
 
 /// Index of a host in the dense slab (assigned in registration order).
-type HostId = u32;
+pub type HostId = u32;
 
 /// One packet observed by a tap.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -270,7 +295,7 @@ pub enum TapFilter {
 }
 
 impl TapFilter {
-    fn matches(&self, p: &Packet) -> bool {
+    pub(crate) fn matches(&self, p: &Packet) -> bool {
         match self {
             TapFilter::All => true,
             TapFilter::Host(ip) => p.src.ip == *ip || p.dst.ip == *ip,
@@ -281,44 +306,105 @@ impl TapFilter {
     }
 }
 
+/// Default tap ring capacity: generous for every testbed scenario (the
+/// largest fig10 capture is well under 10⁶ packets between drains), yet
+/// bounded so an undrained `TapFilter::All` tap on a 100k-host swarm
+/// cannot eat the heap — old captures are evicted and counted instead,
+/// mirroring the BanMan history cap.
+pub const DEFAULT_TAP_CAPACITY: usize = 1 << 20;
+
+/// A tap's capture state: a bounded ring of the newest captures plus a
+/// counter of evicted (oldest-first) ones.
+struct TapBuf {
+    buf: VecDeque<Sniffed>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl TapBuf {
+    fn push(&mut self, s: Sniffed) {
+        if self.buf.len() >= self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(s);
+    }
+}
+
 /// A shared handle to a tap's capture buffer.
 ///
 /// Clone it before moving an attacker app into the simulator; the attacker
 /// reads fresh captures during its timer callbacks, exactly like a `scapy`
-/// sniffer thread.
+/// sniffer thread. The buffer is a bounded ring (capacity fixed at
+/// [`Simulator::add_tap_with_capacity`] time): when full, the oldest
+/// capture is evicted and [`TapHandle::dropped`] counts it. The handle is
+/// `Send` — in the sharded engine it may be read from a different thread
+/// than the one recording into it (never concurrently with delivery; the
+/// mutex is uncontended in practice).
 #[derive(Clone)]
-pub struct TapHandle(Rc<RefCell<Vec<Sniffed>>>);
+pub struct TapHandle(Arc<Mutex<TapBuf>>);
 
 impl TapHandle {
+    pub(crate) fn new(cap: usize) -> Self {
+        TapHandle(Arc::new(Mutex::new(TapBuf {
+            buf: VecDeque::new(),
+            cap: cap.max(1),
+            dropped: 0,
+        })))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TapBuf> {
+        self.0.lock().expect("tap mutex poisoned")
+    }
+
+    pub(crate) fn push(&self, s: Sniffed) {
+        self.lock().push(s);
+    }
+
     /// Takes all captures recorded since the last drain.
     pub fn drain(&self) -> Vec<Sniffed> {
-        self.0.borrow_mut().drain(..).collect()
+        self.lock().buf.drain(..).collect()
     }
 
     /// Copies the current captures without clearing.
     pub fn snapshot(&self) -> Vec<Sniffed> {
-        self.0.borrow().clone()
+        self.lock().buf.iter().cloned().collect()
     }
 
     /// Number of captured packets currently buffered.
     pub fn len(&self) -> usize {
-        self.0.borrow().len()
+        self.lock().buf.len()
     }
 
     /// Whether nothing has been captured.
     pub fn is_empty(&self) -> bool {
-        self.0.borrow().is_empty()
+        self.lock().buf.is_empty()
+    }
+
+    /// Captures evicted because the ring was full (lifetime total).
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.lock().cap
     }
 }
 
 struct Tap {
     filter: TapFilter,
-    buf: Rc<RefCell<Vec<Sniffed>>>,
+    buf: TapHandle,
 }
 
 enum EventKind {
     Start(HostId),
-    Deliver(Packet),
+    /// A packet in flight, carrying its destination's slab index when the
+    /// destination was registered at send time (`None` = not yet known; a
+    /// fallback ip lookup runs at delivery). Ids are stable — hosts are
+    /// never removed — so delivery is a direct slab index, not a
+    /// per-event binary search.
+    Deliver(Packet, Option<HostId>),
     Timer(HostId, u64),
     /// A host's earliest TCP retransmission deadline (reliable mode only).
     TcpTick(HostId),
@@ -378,8 +464,9 @@ impl Default for SimConfig {
 
 /// Seed salt separating the fault-injection RNG stream from the
 /// application-visible one: enabling faults must not shift a single draw
-/// seen by the apps.
-const FAULT_RNG_SALT: u64 = 0xFA17_1A7E_0BAD_11F2;
+/// seen by the apps. The sharded engine derives its per-region fault
+/// streams from the same salt.
+pub(crate) const FAULT_RNG_SALT: u64 = 0xFA17_1A7E_0BAD_11F2;
 
 /// Initial event-queue capacity: enough for the testbed scenarios' burst
 /// of in-flight packets/timers without rehash-style heap growth in the
@@ -485,14 +572,22 @@ impl Simulator {
         self.push_event(self.now, EventKind::Start(id));
     }
 
-    /// Installs a promiscuous tap and returns its capture handle.
+    /// Installs a promiscuous tap with the default ring capacity
+    /// ([`DEFAULT_TAP_CAPACITY`]) and returns its capture handle.
     pub fn add_tap(&mut self, filter: TapFilter) -> TapHandle {
-        let buf = Rc::new(RefCell::new(Vec::new()));
+        self.add_tap_with_capacity(filter, DEFAULT_TAP_CAPACITY)
+    }
+
+    /// Installs a promiscuous tap whose ring holds at most `capacity`
+    /// captures; once full, the oldest capture is evicted per new one and
+    /// [`TapHandle::dropped`] counts the evictions.
+    pub fn add_tap_with_capacity(&mut self, filter: TapFilter, capacity: usize) -> TapHandle {
+        let handle = TapHandle::new(capacity);
         self.taps.push(Tap {
             filter,
-            buf: buf.clone(),
+            buf: handle.clone(),
         });
-        TapHandle(buf)
+        handle
     }
 
     fn push_event(&mut self, time: Nanos, kind: EventKind) {
@@ -560,7 +655,10 @@ impl Simulator {
                 self.fault_stats.reordered += 1;
             }
         }
-        self.push_event(self.now + delay, EventKind::Deliver(packet));
+        // Resolve the destination once at send time; delivery then indexes
+        // the slab directly instead of re-searching the ip index per event.
+        let dst = self.host_id(packet.dst.ip);
+        self.push_event(self.now + delay, EventKind::Deliver(packet, dst));
     }
 
     /// Advances the clock to the event's time and runs it.
@@ -571,7 +669,7 @@ impl Simulator {
         match ev.kind {
             EventKind::Start(id) => self.dispatch(id, Dispatch::Start),
             EventKind::Timer(id, token) => self.dispatch(id, Dispatch::Timer(token)),
-            EventKind::Deliver(packet) => self.deliver(packet),
+            EventKind::Deliver(packet, dst) => self.deliver(packet, dst),
             EventKind::TcpTick(id) => self.tcp_tick(id, ev.time),
         }
     }
@@ -613,10 +711,10 @@ impl Simulator {
         while self.step() {}
     }
 
-    fn deliver(&mut self, packet: Packet) {
+    fn deliver(&mut self, packet: Packet, dst: Option<HostId>) {
         for tap in &self.taps {
             if tap.filter.matches(&packet) {
-                tap.buf.borrow_mut().push(Sniffed {
+                tap.buf.push(Sniffed {
                     time: self.now,
                     packet: packet.clone(),
                 });
@@ -624,9 +722,9 @@ impl Simulator {
         }
         self.delivered_packets += 1;
         let dst_ip = packet.dst.ip;
-        // One index lookup per delivery; every later access is a direct
-        // slab index.
-        let Some(dst) = self.host_id(dst_ip) else {
+        // The id was resolved at send time; the ip index is only consulted
+        // when the destination registered while the packet was in flight.
+        let Some(dst) = dst.or_else(|| self.host_id(dst_ip)) else {
             return; // destination unreachable: dropped
         };
         let host = &mut self.hosts[dst as usize];
@@ -1012,6 +1110,23 @@ mod tests {
         for s in tap.snapshot() {
             assert!(s.packet.src.ip == SRV || s.packet.dst.ip == SRV);
         }
+    }
+
+    #[test]
+    fn tap_ring_caps_memory_and_counts_drops() {
+        let mut sim = build_pair();
+        let tap = sim.add_tap_with_capacity(TapFilter::All, 3);
+        let unbounded = sim.add_tap(TapFilter::All);
+        sim.run_for(SECS);
+        let total = unbounded.len() as u64;
+        assert!(total > 3, "need more traffic than the ring holds");
+        assert_eq!(tap.len(), 3, "ring never exceeds its capacity");
+        assert_eq!(tap.dropped(), total - 3, "every eviction is counted");
+        assert_eq!(unbounded.dropped(), 0);
+        // The ring keeps the *newest* captures.
+        let all = unbounded.snapshot();
+        assert_eq!(tap.snapshot(), all[all.len() - 3..]);
+        assert_eq!(tap.capacity(), 3);
     }
 
     #[test]

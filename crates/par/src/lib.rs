@@ -43,6 +43,8 @@
 
 #![warn(missing_docs)]
 
+pub mod phase;
+
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -1,0 +1,155 @@
+//! Barrier-phased fan-out: a leader repeatedly publishes a `u64` phase
+//! value to a fixed set of workers, waits for all of them to finish the
+//! phase, and eventually terminates the crew.
+//!
+//! This is the synchronization core of conservative-lookahead parallel
+//! discrete-event simulation (`btc_netsim::shard`): the leader computes a
+//! safe horizon, broadcasts it, the workers advance their partitions to
+//! it, and the cycle repeats. The primitive is deliberately tiny — one
+//! `Barrier` and one `AtomicU64` — so the determinism argument stays
+//! trivial: workers only ever read the published value between two full
+//! rendezvous, so every worker of every crew size sees the same sequence
+//! of phases.
+//!
+//! ```
+//! use btc_par::phase::Phased;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let sum = AtomicU64::new(0);
+//! let phased = Phased::new(3);
+//! std::thread::scope(|s| {
+//!     for _ in 0..3 {
+//!         s.spawn(|| {
+//!             while let Some(v) = phased.next_phase() {
+//!                 sum.fetch_add(v, Ordering::Relaxed);
+//!                 phased.finish_phase();
+//!             }
+//!         });
+//!     }
+//!     for v in [1u64, 2, 3] {
+//!         phased.announce(v);
+//!         phased.await_workers();
+//!     }
+//!     phased.terminate();
+//! });
+//! assert_eq!(sum.into_inner(), 3 * (1 + 2 + 3));
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// The phase value reserved as the shutdown signal.
+const TERMINATE: u64 = u64::MAX;
+
+/// A leader/worker rendezvous broadcasting one `u64` per phase.
+///
+/// The protocol, per phase: the leader calls [`Phased::announce`] (which
+/// releases every worker's [`Phased::next_phase`]), the workers do their
+/// phase work and call [`Phased::finish_phase`], and the leader's
+/// [`Phased::await_workers`] returns once all have. [`Phased::terminate`]
+/// replaces `announce` on the final round and makes every pending
+/// `next_phase` return `None`.
+///
+/// `u64::MAX` is reserved for the shutdown signal and must not be
+/// announced as a phase value.
+pub struct Phased {
+    barrier: Barrier,
+    value: AtomicU64,
+}
+
+impl Phased {
+    /// A rendezvous for one leader plus `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        Phased {
+            barrier: Barrier::new(workers + 1),
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Leader: publish `v` and release the workers into the phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the reserved value `u64::MAX` (use
+    /// [`Phased::terminate`]).
+    pub fn announce(&self, v: u64) {
+        assert!(v != TERMINATE, "u64::MAX is the shutdown signal");
+        self.value.store(v, Ordering::Release);
+        self.barrier.wait();
+    }
+
+    /// Leader: block until every worker has called
+    /// [`Phased::finish_phase`].
+    pub fn await_workers(&self) {
+        self.barrier.wait();
+    }
+
+    /// Leader: release the workers one final time with the shutdown
+    /// signal; their `next_phase` returns `None` and they exit.
+    pub fn terminate(&self) {
+        self.value.store(TERMINATE, Ordering::Release);
+        self.barrier.wait();
+    }
+
+    /// Worker: wait for the next phase value; `None` means shut down.
+    pub fn next_phase(&self) -> Option<u64> {
+        self.barrier.wait();
+        let v = self.value.load(Ordering::Acquire);
+        (v != TERMINATE).then_some(v)
+    }
+
+    /// Worker: mark this phase's work done (pairs with the leader's
+    /// [`Phased::await_workers`]).
+    pub fn finish_phase(&self) {
+        self.barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn workers_see_every_phase_in_order() {
+        for workers in [1usize, 2, 5] {
+            let phased = Phased::new(workers);
+            let seen: Vec<Mutex<Vec<u64>>> = (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+            std::thread::scope(|s| {
+                for log in &seen {
+                    let phased = &phased;
+                    s.spawn(move || {
+                        while let Some(v) = phased.next_phase() {
+                            log.lock().unwrap().push(v);
+                            phased.finish_phase();
+                        }
+                    });
+                }
+                for v in 10..20u64 {
+                    phased.announce(v);
+                    phased.await_workers();
+                }
+                phased.terminate();
+            });
+            let want: Vec<u64> = (10..20).collect();
+            for log in seen {
+                assert_eq!(log.into_inner().unwrap(), want);
+            }
+        }
+    }
+
+    #[test]
+    fn leader_only_crew_terminates_cleanly() {
+        let phased = Phased::new(0);
+        phased.announce(1);
+        phased.await_workers();
+        phased.terminate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shutdown signal")]
+    fn reserved_value_is_rejected() {
+        let phased = Phased::new(0);
+        phased.announce(u64::MAX);
+    }
+}

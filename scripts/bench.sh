@@ -162,3 +162,46 @@ fi
   echo '}'
 } > results/BENCH_detect_serve.json
 echo "wrote results/BENCH_detect_serve.json ($MODE run, $(( $(wc -l < results/serve.csv) - 1 )) rows)"
+
+# ---- sharded simulator swarm scale ------------------------------------
+# `repro swarm` runs the attack testbed inside a 25k/50k/100k-host
+# background swarm on the sharded netsim at 1/2/4/8 workers, timing each
+# cell. The digest/counter columns are deterministic and identical at
+# every worker count (CI asserts this on the quick grid); wall_secs and
+# speedup are wall-clock and carry the hosts-vs-wall-clock curve. The
+# committed baseline is the workers=1 rows, so parallel-runtime drift in
+# outcome (a digest change) or in serial cost is diffable. Speedup over
+# the baseline needs a multi-core runner. Runs serially by design
+# (`--jobs` does not apply): each cell may spin up worker threads and
+# overlapping cells would corrupt the timing.
+echo "==> swarm scale (repro swarm, full grid — 100k hosts, ~1 min)"
+cargo run --release --offline -p btc-bench --bin repro -- \
+  --csv swarm > /dev/null
+if [ ! -s results/swarm.csv ]; then
+  echo "ERROR: repro swarm produced no results/swarm.csv" >&2
+  exit 1
+fi
+
+if [ "$MODE" = baseline ]; then
+  # The workers=1 rows ARE the serial baseline the sharded runs are
+  # compared against (CSV column 4 is the worker count).
+  { head -1 results/swarm.csv
+    awk -F, 'NR > 1 && $4 == 1' results/swarm.csv
+  } > results/BENCH_swarm_baseline.csv
+fi
+
+{
+  echo '{'
+  echo '  "schema": "banscore-swarm-v1",'
+  echo '  "settings": {"sizes": [25000, 50000, 100000], "workers": [1, 2, 4, 8], "regions": 8},'
+  echo '  "baseline": ['
+  if [ -f results/BENCH_swarm_baseline.csv ]; then
+    csv_rows results/BENCH_swarm_baseline.csv
+  fi
+  echo '  ],'
+  echo '  "current": ['
+  csv_rows results/swarm.csv
+  echo '  ]'
+  echo '}'
+} > results/BENCH_swarm.json
+echo "wrote results/BENCH_swarm.json ($MODE run, $(( $(wc -l < results/swarm.csv) - 1 )) rows)"

@@ -89,6 +89,32 @@ if grep -E '^  (streaming vs batch|node aggregate)' "$serve_out" \
 fi
 echo "    $(echo "$d1" | wc -l) case digests identical across shard counts OK"
 
+echo "==> swarm smoke: sharded netsim must be byte-identical at 1 vs 4 workers"
+# The swarm scenario prints one deterministic `digest workers=N <hex>` line
+# per (case, worker count); wall-clock lines are prefixed [wall] and are
+# not compared. A digest mismatch means the conservative-lookahead shard
+# runtime diverged from the serial event loop — the bit-identity contract
+# of crates/netsim/src/shard.rs is broken. The quick grid times 1 and 4
+# workers on a small topology, so this doubles as the shard-matrix smoke.
+swarm_out=$(mktemp)
+trap 'rm -f "$smoke_json" "$out1" "$out4" "$serve_out" "$swarm_out"' EXIT
+cargo run --release --offline -p btc-bench --bin repro -- \
+  --quick swarm > "$swarm_out"
+s1=$(grep -E '^  digest workers=1 ' "$swarm_out" | awk '{print $3}')
+s4=$(grep -E '^  digest workers=4 ' "$swarm_out" | awk '{print $3}')
+if [ -z "$s1" ] || [ "$s1" != "$s4" ]; then
+  echo "ERROR: swarm digests differ between 1 and 4 workers" >&2
+  grep -E '^  digest' "$swarm_out" >&2 || true
+  exit 1
+fi
+if grep -q 'DIVERGED' "$swarm_out"; then
+  echo "ERROR: swarm outcome counters diverged across worker counts" >&2
+  grep -E 'DIVERGED' "$swarm_out" >&2
+  exit 1
+fi
+echo "    $(echo "$s1" | wc -l) case digests identical across worker counts OK"
+
 echo "CI OK: hermetic build, tests green, benches compile, bench smoke emits JSON,"
 echo "       parallel sweeps reproduce the serial output byte for byte,"
-echo "       sharded streaming service reproduces the serial digests."
+echo "       sharded streaming service reproduces the serial digests,"
+echo "       sharded netsim reproduces the serial digests at every worker count."
