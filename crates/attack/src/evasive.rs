@@ -20,7 +20,8 @@ use btc_netsim::packet::SockAddr;
 use btc_netsim::sim::{App, Ctx};
 use btc_netsim::tcp::ConnId;
 use btc_netsim::time::from_secs_f64;
-use btc_wire::message::{decode_frame, read_frame, FrameResult, Message, RawMessage, VersionMessage};
+use btc_wire::drain::FrameAssembler;
+use btc_wire::message::{decode_frame, Message, RawMessage, VersionMessage};
 use btc_wire::types::{NetAddr, Network};
 use std::any::Any;
 
@@ -101,19 +102,20 @@ pub struct EvasiveFlooder {
     pub stats: EvasiveStats,
     conn: Option<ConnId>,
     handshaked: bool,
-    recv_buf: Vec<u8>,
+    frames: FrameAssembler,
     nonce: u64,
 }
 
 impl EvasiveFlooder {
     /// Creates an evasive flooder.
     pub fn new(cfg: EvasiveConfig) -> Self {
+        let frames = FrameAssembler::new(cfg.network);
         EvasiveFlooder {
             cfg,
             stats: EvasiveStats::default(),
             conn: None,
             handshaked: false,
-            recv_buf: Vec::new(),
+            frames,
             nonce: 0,
         }
     }
@@ -162,30 +164,19 @@ impl App for EvasiveFlooder {
     }
 
     fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _peer: SockAddr, data: &[u8]) {
-        self.recv_buf.extend_from_slice(data);
-        loop {
-            let buf = std::mem::take(&mut self.recv_buf);
-            match read_frame(self.cfg.network, &buf) {
-                Ok(FrameResult::Frame { raw, consumed }) => {
-                    self.recv_buf = buf[consumed..].to_vec();
-                    match decode_frame(&raw) {
-                        Ok(Message::Version(_)) => {
-                            let b = RawMessage::frame(self.cfg.network, &Message::Verack).to_bytes();
-                            ctx.send(conn, &b);
-                        }
-                        Ok(Message::Verack)
-                            if !self.handshaked => {
-                                self.handshaked = true;
-                                self.schedule_next(ctx);
-                            }
-                        _ => {}
+        self.frames.push(data);
+        while let Some(raw) = self.frames.next_frame() {
+            match decode_frame(&raw) {
+                Ok(Message::Version(_)) => {
+                    let b = RawMessage::frame(self.cfg.network, &Message::Verack).to_bytes();
+                    ctx.send(conn, &b);
+                }
+                Ok(Message::Verack)
+                    if !self.handshaked => {
+                        self.handshaked = true;
+                        self.schedule_next(ctx);
                     }
-                }
-                Ok(FrameResult::Incomplete) => {
-                    self.recv_buf = buf;
-                    break;
-                }
-                Err(_) => break,
+                _ => {}
             }
         }
     }

@@ -11,7 +11,8 @@ use btc_netsim::packet::{IcmpEcho, SockAddr};
 use btc_netsim::sim::{App, Ctx};
 use btc_netsim::tcp::{CloseReason, ConnId};
 use btc_netsim::time::{Nanos, MILLIS, SECS};
-use btc_wire::message::{decode_frame, read_frame, FrameResult, Message, RawMessage, VersionMessage};
+use btc_wire::drain::FrameAssembler;
+use btc_wire::message::{decode_frame, Message, RawMessage, VersionMessage};
 use btc_wire::types::{NetAddr, Network};
 use std::any::Any;
 use std::collections::BTreeMap;
@@ -98,7 +99,7 @@ impl Default for FloodConfig {
 struct ConnState {
     handshaked: bool,
     sent: u64,
-    recv_buf: Vec<u8>,
+    frames: FrameAssembler,
     started: Nanos,
     local: SockAddr,
 }
@@ -221,7 +222,7 @@ impl App for Flooder {
             ConnState {
                 handshaked: false,
                 sent: 0,
-                recv_buf: Vec::new(),
+                frames: FrameAssembler::new(self.cfg.network),
                 started: ctx.now(),
                 local,
             },
@@ -232,40 +233,36 @@ impl App for Flooder {
         let Some(state) = self.conns.get_mut(&conn) else {
             return;
         };
-        state.recv_buf.extend_from_slice(data);
+        state.frames.push(data);
         loop {
-            let buf = std::mem::take(&mut self.conns.get_mut(&conn).unwrap().recv_buf);
-            match read_frame(self.cfg.network, &buf) {
-                Ok(FrameResult::Frame { raw, consumed }) => {
-                    self.conns.get_mut(&conn).unwrap().recv_buf = buf[consumed..].to_vec();
-                    match decode_frame(&raw) {
-                        Ok(Message::Version(_)) => {
-                            // Finish the handshake properly: acknowledge the
-                            // target's VERSION so the session is complete
-                            // and flood messages aren't eaten (and scored!)
-                            // by the pre-VERACK rules.
-                            let bytes =
-                                RawMessage::frame(self.cfg.network, &Message::Verack).to_bytes();
-                            ctx.send(conn, &bytes);
+            let Some(raw) = self
+                .conns
+                .get_mut(&conn)
+                .and_then(|s| s.frames.next_frame())
+            else {
+                break;
+            };
+            match decode_frame(&raw) {
+                Ok(Message::Version(_)) => {
+                    // Finish the handshake properly: acknowledge the
+                    // target's VERSION so the session is complete
+                    // and flood messages aren't eaten (and scored!)
+                    // by the pre-VERACK rules.
+                    let bytes = RawMessage::frame(self.cfg.network, &Message::Verack).to_bytes();
+                    ctx.send(conn, &bytes);
+                }
+                Ok(Message::Verack) => {
+                    if let Some(state) = self.conns.get_mut(&conn) {
+                        if !state.handshaked {
+                            state.handshaked = true;
+                            state.started = ctx.now();
+                            self.stats.sessions_established += 1;
+                            // Begin flooding on this connection.
+                            ctx.set_timer(self.interval(), conn.0);
                         }
-                        Ok(Message::Verack) => {
-                            let state = self.conns.get_mut(&conn).unwrap();
-                            if !state.handshaked {
-                                state.handshaked = true;
-                                state.started = ctx.now();
-                                self.stats.sessions_established += 1;
-                                // Begin flooding on this connection.
-                                ctx.set_timer(self.interval(), conn.0);
-                            }
-                        }
-                        _ => {}
                     }
                 }
-                Ok(FrameResult::Incomplete) => {
-                    self.conns.get_mut(&conn).unwrap().recv_buf = buf;
-                    break;
-                }
-                Err(_) => break,
+                _ => {}
             }
         }
     }

@@ -1,0 +1,175 @@
+//! Message-path bench: the zero-copy batched receive path against the
+//! `Vec<u8>`-plus-tail-copy drain it replaced (reimplemented here as the
+//! committed baseline).
+//!
+//! Two families per traffic shape:
+//!
+//! * `<shape>` / `oldpath_<shape>` — wall-clock per message through the
+//!   full receive pipeline (framing, checksum, decode), elements
+//!   throughput. Lower `median_ns` on the non-`oldpath` row is the win.
+//! * `<shape>_memmove` / `oldpath_<shape>_memmove` — same drain, but the
+//!   bytes throughput carries the *deterministic* bytes-memmoved count per
+//!   burst (tail copies for the old drain, `RecvBuffer` compaction counters
+//!   for the new one). The `throughput_per_iter` ratio between the two rows
+//!   is the ≥2× memmove-reduction gate of BENCH_msgpath.json.
+//!
+//! Traffic shapes follow the paper's workloads: a PING flood (Table III),
+//! the fig10 mixed tx/inv/ping/addr detection traffic, and a full-block
+//! stream. Every shape is delivered in MSS-sized chunks so frames straddle
+//! delivery boundaries — the case the old drain's O(k²) tail copy hurts.
+
+use btc_bench::harness::{Criterion, Throughput};
+use btc_bench::{criterion_group, criterion_main};
+use btc_wire::block::{Block, BlockHeader};
+use btc_wire::drain::FrameAssembler;
+use btc_wire::message::{decode_frame, read_frame, FrameResult, Message, RawMessage};
+use btc_wire::tx::{OutPoint, Transaction, TxIn, TxOut};
+use btc_wire::types::{Hash256, InvType, Inventory, NetAddr, Network, TimestampedAddr};
+use std::hint::black_box;
+
+const NET: Network = Network::Regtest;
+/// Delivery chunk size: the simulator TCP's MSS.
+const MSS: usize = 1460;
+
+fn frame(msg: &Message) -> Vec<u8> {
+    RawMessage::frame(NET, msg).to_bytes().to_vec()
+}
+
+fn tx(salt: u64) -> Transaction {
+    Transaction::new(
+        2,
+        vec![TxIn::new(OutPoint::new(Hash256::hash(&salt.to_le_bytes()), 0))],
+        vec![TxOut::new(1_000 + salt as i64, vec![0x51; 25])],
+        0,
+    )
+}
+
+/// 256 pings back to back (Table III flood shape).
+fn ping_flood() -> Vec<u8> {
+    (0..256u64).flat_map(|n| frame(&Message::Ping(n))).collect()
+}
+
+/// The fig10 mixed shape: tx announcements with their bodies, keepalives
+/// and address gossip, interleaved.
+fn fig10_mix() -> Vec<u8> {
+    let mut stream = Vec::new();
+    for i in 0..64u64 {
+        let t = tx(i);
+        stream.extend(frame(&Message::Inv(vec![Inventory::new(
+            InvType::Tx,
+            t.txid(),
+        )])));
+        stream.extend(frame(&Message::Tx(t)));
+        if i % 4 == 0 {
+            stream.extend(frame(&Message::Ping(i)));
+        }
+        if i % 16 == 0 {
+            stream.extend(frame(&Message::Addr(vec![TimestampedAddr {
+                time: i as u32,
+                addr: NetAddr::new([10, 0, 0, 9], 8333),
+            }])));
+        }
+    }
+    stream
+}
+
+/// Four ~25 kB blocks: the large-frame shape where every delivery tick
+/// ends mid-frame.
+fn block_stream() -> Vec<u8> {
+    (0..4u64)
+        .flat_map(|b| {
+            let txs: Vec<Transaction> = (0..256).map(|i| tx(b * 1_000 + i)).collect();
+            let block = Block {
+                header: BlockHeader::default(),
+                txs,
+            };
+            frame(&Message::Block(block))
+        })
+        .collect()
+}
+
+fn chunks(stream: &[u8]) -> Vec<&[u8]> {
+    stream.chunks(MSS).collect()
+}
+
+/// The new path: per-peer cursor buffer, refcounted payload slices.
+/// Returns (frames decoded, bytes memmoved).
+fn run_new(chunks: &[&[u8]]) -> (u64, u64) {
+    let mut asm = FrameAssembler::new(NET);
+    let mut n = 0u64;
+    for chunk in chunks {
+        asm.push(chunk);
+        while let Some(raw) = asm.next_frame() {
+            if decode_frame(black_box(&raw)).is_ok() {
+                n += 1;
+            }
+        }
+    }
+    (n, asm.bytes_memmoved())
+}
+
+/// The replaced path: a growing `Vec<u8>` buffer, an O(k) `to_vec` tail
+/// copy after every frame. Returns (frames decoded, bytes memmoved).
+fn run_old(chunks: &[&[u8]]) -> (u64, u64) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut n = 0u64;
+    let mut moved = 0u64;
+    for chunk in chunks {
+        buf.extend_from_slice(chunk);
+        loop {
+            match read_frame(NET, &buf) {
+                Ok(FrameResult::Frame { raw, consumed }) => {
+                    if decode_frame(black_box(&raw)).is_ok() {
+                        n += 1;
+                    }
+                    moved += (buf.len() - consumed) as u64;
+                    buf = buf[consumed..].to_vec();
+                }
+                Ok(FrameResult::Incomplete) => break,
+                Err(_) => {
+                    buf.clear();
+                    break;
+                }
+            }
+        }
+    }
+    (n, moved)
+}
+
+fn msgpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msgpath");
+    let shapes: [(&str, Vec<u8>); 3] = [
+        ("ping_flood", ping_flood()),
+        ("fig10_mix", fig10_mix()),
+        ("block_stream", block_stream()),
+    ];
+    for (name, stream) in &shapes {
+        let parts = chunks(stream);
+        let (frames_new, moved_new) = run_new(&parts);
+        let (frames_old, moved_old) = run_old(&parts);
+        assert_eq!(frames_new, frames_old, "paths decoded different streams");
+
+        // Wall-clock per message through the full pipeline.
+        g.throughput(Throughput::Elements(frames_new));
+        g.bench_function(name.to_string(), |b| {
+            b.iter(|| black_box(run_new(black_box(&parts))))
+        });
+        g.bench_function(format!("oldpath_{name}"), |b| {
+            b.iter(|| black_box(run_old(black_box(&parts))))
+        });
+
+        // Deterministic bytes-memmoved per burst, carried as throughput.
+        g.throughput(Throughput::Bytes(moved_new.max(1)));
+        g.bench_function(format!("{name}_memmove"), |b| {
+            b.iter(|| black_box(run_new(black_box(&parts))))
+        });
+        g.throughput(Throughput::Bytes(moved_old.max(1)));
+        g.bench_function(format!("oldpath_{name}_memmove"), |b| {
+            b.iter(|| black_box(run_old(black_box(&parts))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, msgpath);
+criterion_main!(benches);

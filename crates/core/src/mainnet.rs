@@ -11,9 +11,8 @@ use btc_netsim::packet::SockAddr;
 use btc_netsim::sim::{App, Ctx};
 use btc_netsim::tcp::ConnId;
 use btc_netsim::time::{from_secs_f64, Nanos, MINUTES};
-use btc_wire::message::{
-    decode_frame, read_frame, FrameResult, Message, RawMessage, VersionMessage,
-};
+use btc_wire::drain::FrameAssembler;
+use btc_wire::message::{decode_frame, Message, RawMessage, VersionMessage};
 use btc_wire::tx::{OutPoint, Transaction, TxIn, TxOut};
 use btc_wire::types::{Hash256, InvType, Inventory, NetAddr, Network, TimestampedAddr};
 use std::any::Any;
@@ -61,7 +60,7 @@ pub struct MainnetPeer {
     pub sent: u64,
     conn: Option<ConnId>,
     handshaked: bool,
-    recv_buf: Vec<u8>,
+    frames: FrameAssembler,
     txs: BTreeMap<Hash256, Transaction>,
     tx_counter: u64,
 }
@@ -76,7 +75,7 @@ impl MainnetPeer {
             sent: 0,
             conn: None,
             handshaked: false,
-            recv_buf: Vec::new(),
+            frames: FrameAssembler::new(Network::Regtest),
             txs: BTreeMap::new(),
             tx_counter: 0,
         }
@@ -136,44 +135,32 @@ impl App for MainnetPeer {
     }
 
     fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _peer: SockAddr, data: &[u8]) {
-        self.recv_buf.extend_from_slice(data);
-        loop {
-            let buf = std::mem::take(&mut self.recv_buf);
-            match read_frame(self.network, &buf) {
-                Ok(FrameResult::Frame { raw, consumed }) => {
-                    self.recv_buf = buf[consumed..].to_vec();
-                    match decode_frame(&raw) {
-                        Ok(Message::Version(_)) => {
-                            let bytes =
-                                RawMessage::frame(self.network, &Message::Verack).to_bytes();
-                            ctx.send(conn, &bytes);
+        self.frames.push(data);
+        while let Some(raw) = self.frames.next_frame() {
+            match decode_frame(&raw) {
+                Ok(Message::Version(_)) => {
+                    let bytes = RawMessage::frame(self.network, &Message::Verack).to_bytes();
+                    ctx.send(conn, &bytes);
+                }
+                Ok(Message::Verack)
+                    if !self.handshaked => {
+                        self.handshaked = true;
+                        self.schedule(ctx, timers::TX, self.mix.tx_per_min);
+                        self.schedule(ctx, timers::PING, self.mix.ping_per_min);
+                        self.schedule(ctx, timers::ADDR, self.mix.addr_per_min);
+                    }
+                Ok(Message::GetData(invs)) => {
+                    // Serve the transactions we announced.
+                    for inv in invs {
+                        if let Some(tx) = self.txs.get(&inv.hash).cloned() {
+                            self.send_msg(ctx, &Message::Tx(tx));
                         }
-                        Ok(Message::Verack)
-                            if !self.handshaked => {
-                                self.handshaked = true;
-                                self.schedule(ctx, timers::TX, self.mix.tx_per_min);
-                                self.schedule(ctx, timers::PING, self.mix.ping_per_min);
-                                self.schedule(ctx, timers::ADDR, self.mix.addr_per_min);
-                            }
-                        Ok(Message::GetData(invs)) => {
-                            // Serve the transactions we announced.
-                            for inv in invs {
-                                if let Some(tx) = self.txs.get(&inv.hash).cloned() {
-                                    self.send_msg(ctx, &Message::Tx(tx));
-                                }
-                            }
-                        }
-                        Ok(Message::Ping(n)) => {
-                            self.send_msg(ctx, &Message::Pong(n));
-                        }
-                        _ => {}
                     }
                 }
-                Ok(FrameResult::Incomplete) => {
-                    self.recv_buf = buf;
-                    break;
+                Ok(Message::Ping(n)) => {
+                    self.send_msg(ctx, &Message::Pong(n));
                 }
-                Err(_) => break,
+                _ => {}
             }
         }
     }

@@ -1,7 +1,7 @@
 //! btc-lint — the workspace's own static-analysis pass.
 //!
 //! Lexes every `crates/**/*.rs` file (skipping build output and lint test
-//! fixtures) and applies four scoped token-pattern rules plus one
+//! fixtures) and applies five scoped token-pattern rules plus one
 //! cross-file rule:
 //!
 //! | rule             | scope                             | what it enforces              |
@@ -12,6 +12,9 @@
 //! | `unordered-map`  | sim-deterministic crates          | no `HashMap`/`HashSet`        |
 //! | `panic-path`     | peer-input files                  | no unwrap/expect/panic!/`[i]` |
 //! | `narrowing-cast` | wire parse files                  | no `as u8/u16/u32`            |
+//! | `hot-path-alloc` | receive-path files                | no `to_vec()` /               |
+//! |                  |                                   | `copy_from_slice` /           |
+//! |                  |                                   | `Vec::new`                    |
 //! | `ban-exhaustive` | message.rs / rules.rs / node.rs   | Table I covers all 26 types   |
 //!
 //! Exemptions are explicit and audited: inline `lint:allow(<rule>): <reason>`
@@ -64,6 +67,9 @@ pub fn run(root: &Path) -> Vec<Finding> {
         }
         if scope::is_wire_parse(&rel) {
             rules::casts::narrowing_cast(&sf, &mut file_findings);
+        }
+        if scope::is_recv_path(&rel) {
+            rules::alloc::hot_path_alloc(&sf, &mut file_findings);
         }
         all.extend(
             file_findings

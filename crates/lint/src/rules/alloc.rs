@@ -1,0 +1,116 @@
+//! `hot-path-alloc`: no per-frame allocations or copies in the designated
+//! receive-path files.
+//!
+//! The zero-copy receive path exists because the victim's per-frame
+//! constant factor is the paper's attack surface: a `to_vec()` tail copy or
+//! a `Bytes::copy_from_slice` payload clone quietly reintroduces the O(k²)
+//! burst cost the refactor removed, and no functional test catches it — the
+//! behaviour is identical, only slower. Flagged here: `.to_vec()`,
+//! `copy_from_slice` (both the `Bytes` constructor and the slice method)
+//! and `Vec::new`. Setup-time or error-path uses may be justified with
+//! `lint:allow(hot-path-alloc): <reason>`.
+
+use crate::findings::Finding;
+use crate::lexer::{SourceFile, TokKind};
+
+/// Rule name for hot-path allocation findings.
+pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+
+/// Flags allocating/copying constructs in receive-path files.
+pub fn hot_path_alloc(sf: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &sf.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let what = match t.text.as_str() {
+            "to_vec"
+                if i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).map(|n| n.text.as_str()) == Some("(") =>
+            {
+                "`.to_vec()` copies the buffer"
+            }
+            "copy_from_slice" if toks.get(i + 1).map(|n| n.text.as_str()) == Some("(") => {
+                "`copy_from_slice(..)` copies the payload"
+            }
+            "Vec"
+                if toks.get(i + 1).map(|n| n.text.as_str()) == Some(":")
+                    && toks.get(i + 2).map(|n| n.text.as_str()) == Some(":")
+                    && toks.get(i + 3).map(|n| n.text.as_str()) == Some("new") =>
+            {
+                "`Vec::new()` allocates per call"
+            }
+            _ => continue,
+        };
+        if !sf.reportable(HOT_PATH_ALLOC, t.line) {
+            continue;
+        }
+        out.push(Finding::new(
+            &sf.path,
+            t.line,
+            HOT_PATH_ALLOC,
+            format!(
+                "{what} on the steady-state receive path; use the cursor buffer / refcounted \
+                 slices instead, or justify with `lint:allow(hot-path-alloc): <reason>`"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let sf = lex("t.rs", src);
+        let mut out = Vec::new();
+        hot_path_alloc(&sf, &mut out);
+        out
+    }
+
+    #[test]
+    fn to_vec_call_flagged() {
+        let f = run("let copy = buf[consumed..].to_vec();\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, HOT_PATH_ALLOC);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn to_vec_as_plain_ident_not_flagged() {
+        // A field or fn named to_vec without a call isn't a copy.
+        let f = run("fn to_vec() {}\nlet x = to_vec;\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn copy_from_slice_flagged_both_forms() {
+        let f = run(
+            "let b = Bytes::copy_from_slice(payload);\nscratch.copy_from_slice(&src);\n",
+        );
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn vec_new_flagged_with_capacity_not() {
+        let f = run("let a: Vec<u8> = Vec::new();\nlet b = Vec::with_capacity(8);\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn marker_suppresses() {
+        let f = run(
+            "// lint:allow(hot-path-alloc): one-time setup, not per frame\nlet v = Vec::new();\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let f = run("#[cfg(test)]\nmod tests {\n    fn f() { let v = b\"x\".to_vec(); }\n}\n");
+        assert!(f.is_empty());
+    }
+}

@@ -3,6 +3,7 @@
 //! sees) lives in the driver, suppression (test code, inline markers) in the
 //! rules themselves so fixtures exercise it.
 
+pub mod alloc;
 pub mod ban_rules;
 pub mod casts;
 pub mod determinism;

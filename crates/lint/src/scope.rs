@@ -32,14 +32,25 @@ pub const PEER_INPUT_FILES: &[&str] = &[
     "crates/wire/src/tx.rs",
     "crates/wire/src/block.rs",
     "crates/wire/src/bloom.rs",
+    "crates/wire/src/drain.rs",
     // node message handlers and the state they drive
     "crates/node/src/node.rs",
+    "crates/node/src/node/recv.rs",
     "crates/node/src/peer.rs",
     "crates/node/src/chain.rs",
     "crates/node/src/mempool.rs",
     "crates/node/src/banman.rs",
     "crates/node/src/addrman.rs",
     "crates/node/src/banscore/tracker.rs",
+];
+
+/// The steady-state receive path: files where a `to_vec()` /
+/// `copy_from_slice` / `Vec::new` would silently reintroduce the per-frame
+/// copies the zero-copy refactor removed (`hot-path-alloc` rule scope).
+pub const RECV_PATH_FILES: &[&str] = &[
+    "crates/node/src/node/recv.rs",
+    "crates/node/src/peer.rs",
+    "crates/wire/src/drain.rs",
 ];
 
 /// Wire parsing files where `as u8`/`as u16`/`as u32` narrowing must be
@@ -71,6 +82,11 @@ pub fn is_peer_input(rel: &str) -> bool {
 /// Whether `rel` is in the narrowing-cast scope.
 pub fn is_wire_parse(rel: &str) -> bool {
     WIRE_PARSE_FILES.contains(&rel)
+}
+
+/// Whether `rel` is in the hot-path-alloc scope.
+pub fn is_recv_path(rel: &str) -> bool {
+    RECV_PATH_FILES.contains(&rel)
 }
 
 /// One entry of the allowlist file.
@@ -177,6 +193,11 @@ mod tests {
         assert!(!is_peer_input("crates/wire/src/crypto/sha256.rs"));
         assert!(is_wire_parse("crates/wire/src/bloom.rs"));
         assert!(!is_wire_parse("crates/wire/src/crypto/murmur3.rs"));
+        assert!(is_recv_path("crates/node/src/node/recv.rs"));
+        assert!(is_recv_path("crates/wire/src/drain.rs"));
+        assert!(!is_recv_path("crates/node/src/node.rs"));
+        assert!(is_peer_input("crates/node/src/node/recv.rs"));
+        assert!(is_peer_input("crates/wire/src/drain.rs"));
     }
 
     #[test]

@@ -20,6 +20,9 @@ fn fixture_workspace_findings_are_exact() {
         ("crates/netsim/src/shard.rs", 10, "unordered-map"),
         ("crates/node/src/banscore/rules.rs", 3, "ban-exhaustive"),
         ("crates/node/src/node.rs", 1, "ban-exhaustive"),
+        ("crates/node/src/node/recv.rs", 4, "hot-path-alloc"),
+        ("crates/node/src/node/recv.rs", 5, "hot-path-alloc"),
+        ("crates/node/src/node/recv.rs", 6, "hot-path-alloc"),
         ("crates/wire/src/encode.rs", 3, "unordered-map"),
         ("crates/wire/src/encode.rs", 6, "panic-path"),
         ("crates/wire/src/encode.rs", 7, "narrowing-cast"),

@@ -18,7 +18,7 @@ use crate::banscore::{BanPolicy, CoreVersion, GoodScoreTracker, Misbehavior, Mis
 use crate::chain::{BlockVerdict, Chain, HeaderVerdict};
 use crate::cost::CostModel;
 use crate::mempool::{Mempool, TxVerdict};
-use crate::metrics::{msg_type_id, Telemetry};
+use crate::metrics::Telemetry;
 use crate::peer::Peer;
 use btc_netsim::cpu::Miner;
 use btc_netsim::packet::SockAddr;
@@ -31,15 +31,14 @@ use btc_wire::constants::{
     MAX_ADDR_TO_SEND, MAX_HEADERS_RESULTS, MAX_INBOUND_CONNECTIONS, MAX_INV_SZ,
     MAX_OUTBOUND_CONNECTIONS, MAX_UNCONNECTING_HEADERS,
 };
-use btc_wire::encode::DecodeError;
-use btc_wire::message::{
-    read_frame, verify_checksum, FrameResult, MerkleBlockMsg, Message, RawMessage, VersionMessage,
-};
+use btc_wire::message::{MerkleBlockMsg, Message, RawMessage, VersionMessage};
 use btc_wire::types::{
     BlockLocator, Hash256, InvType, Inventory, NetAddr, Network, TimestampedAddr,
 };
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
+
+mod recv;
 
 /// Timer tokens used by the node.
 mod timers {
@@ -109,6 +108,12 @@ pub struct NodeConfig {
     pub reconnect_backoff_base: Nanos,
     /// Upper bound of the reconnection backoff.
     pub reconnect_backoff_cap: Nanos,
+    /// Disconnect a peer whose buffered-but-unframed bytes exceed this
+    /// after a delivery is drained. A well-formed stream can never hold
+    /// more than one incomplete frame, so the default is exactly one
+    /// maximal frame (`HEADER_SIZE + MAX_MESSAGE_SIZE`); a drip-fed
+    /// eternally-incomplete frame can no longer pin unbounded memory.
+    pub recv_buffer_limit: usize,
 }
 
 impl Default for NodeConfig {
@@ -136,6 +141,8 @@ impl Default for NodeConfig {
             ping_timeout: 0,
             reconnect_backoff_base: 0,
             reconnect_backoff_cap: 0,
+            recv_buffer_limit: btc_wire::message::HEADER_SIZE
+                + btc_wire::encode::MAX_MESSAGE_SIZE,
         }
     }
 }
@@ -189,6 +196,9 @@ pub struct Node {
     half_open_inbound: usize,
     now: Nanos,
     version_nonce: u64,
+    /// Reusable scratch for the batch frame scan (`node/recv.rs`), so the
+    /// steady-state receive path allocates nothing per delivery.
+    frame_scratch: Vec<RawMessage>,
 }
 
 impl Node {
@@ -219,6 +229,7 @@ impl Node {
             half_open_inbound: 0,
             now: 0,
             version_nonce: 0,
+            frame_scratch: Vec::new(),
             config,
         }
     }
@@ -929,83 +940,6 @@ impl Node {
         }
     }
 
-    fn process_frames(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
-        loop {
-            let Some(peer) = self.peers.get_mut(&conn) else {
-                return;
-            };
-            let buf = std::mem::take(&mut peer.recv_buf);
-            match read_frame(self.config.network, &buf) {
-                Ok(FrameResult::Incomplete) => {
-                    if let Some(p) = self.peers.get_mut(&conn) {
-                        p.recv_buf = buf;
-                    }
-                    return;
-                }
-                Err(_) => {
-                    // Wrong magic / insane length: drop the connection (no
-                    // ban — transport-level garbage).
-                    self.disconnect(ctx, conn, true);
-                    return;
-                }
-                Ok(FrameResult::Frame { raw, consumed }) => {
-                    if let Some(p) = self.peers.get_mut(&conn) {
-                        // A frame claiming more bytes than buffered would
-                        // be a parser bug; degrade to an empty buffer
-                        // instead of an out-of-range panic.
-                        p.recv_buf = buf.get(consumed..).unwrap_or_default().to_vec();
-                        p.messages_received += 1;
-                    }
-                    // Stage 2: checksum. The victim pays the hash pass for
-                    // every frame, valid or not.
-                    ctx.charge_cpu(self.config.cost.checksum_cost(raw.payload.len()));
-                    if self.config.charge_interference {
-                        ctx.charge_cpu(self.config.cost.interference_cost(raw.payload.len()));
-                    }
-                    if verify_checksum(&raw).is_err() {
-                        // BM-DoS vector 2: dropped before misbehavior
-                        // tracking; the sender's score never moves.
-                        self.telemetry.bad_checksum_frames += 1;
-                        if let Some(points) = self.config.punish_bad_checksum_score {
-                            // Counterfactual design (ablation): treat a
-                            // checksum-corrupt frame as misbehavior.
-                            self.punish_raw(ctx, conn, points);
-                        }
-                        continue;
-                    }
-                    // Stage 3: decode.
-                    ctx.charge_cpu(self.config.cost.decode_cost(raw.payload.len()));
-                    let msg = match raw
-                        .header
-                        .command_str()
-                        .and_then(|cmd| Message::decode_payload(cmd, &raw.payload))
-                    {
-                        Ok(m) => m,
-                        Err(DecodeError::UnknownCommand(_)) => {
-                            // Unknown commands are ignored, like Core.
-                            self.telemetry.undecodable_frames += 1;
-                            continue;
-                        }
-                        Err(_) => {
-                            self.telemetry.undecodable_frames += 1;
-                            continue;
-                        }
-                    };
-                    // Stage 4: handler + misbehavior tracking.
-                    ctx.charge_cpu(self.config.cost.handler_cost(&msg));
-                    if let (Some(id), Some(p)) =
-                        (msg_type_id(msg.command()), self.peers.get(&conn))
-                    {
-                        self.telemetry
-                            .record_message(self.now, id, raw.payload.len() as u32, p.addr);
-                    }
-                    if !self.handshake(ctx, conn, &msg) {
-                        self.handle_message(ctx, conn, msg);
-                    }
-                }
-            }
-        }
-    }
 }
 
 impl App for Node {
@@ -1082,7 +1016,7 @@ impl App for Node {
     fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _peer: SockAddr, data: &[u8]) {
         self.now = ctx.now();
         if let Some(p) = self.peers.get_mut(&conn) {
-            p.recv_buf.extend_from_slice(data);
+            p.recv_buf.push(data);
             self.process_frames(ctx, conn);
         }
     }

@@ -4,6 +4,7 @@ use btc_netsim::packet::SockAddr;
 use btc_netsim::tcp::ConnId;
 use btc_netsim::time::Nanos;
 use btc_wire::bloom::BloomFilter;
+use btc_wire::bytes::RecvBuffer;
 use btc_wire::message::VersionMessage;
 use btc_wire::types::Hash256;
 use std::collections::BTreeMap;
@@ -17,8 +18,10 @@ pub struct Peer {
     pub addr: SockAddr,
     /// Whether the peer connected to us.
     pub inbound: bool,
-    /// Reassembly buffer for partial frames.
-    pub recv_buf: Vec<u8>,
+    /// Reassembly cursor buffer for partial frames. Deliveries append,
+    /// framing advances the read cursor, payloads borrow the backing
+    /// allocation — see the zero-copy receive path in `node/recv.rs`.
+    pub recv_buf: RecvBuffer,
     /// The peer's `VERSION`, once received.
     pub version: Option<VersionMessage>,
     /// Whether the peer's `VERACK` arrived (handshake complete when both
@@ -53,7 +56,7 @@ impl Peer {
             conn,
             addr,
             inbound,
-            recv_buf: Vec::new(),
+            recv_buf: RecvBuffer::new(),
             version: None,
             got_verack: false,
             unconnecting_headers: 0,

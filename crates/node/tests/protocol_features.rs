@@ -9,9 +9,8 @@ use btc_netsim::time::{MINUTES, SECS};
 use btc_node::chain::mine_child;
 use btc_node::node::{Node, NodeConfig};
 use btc_wire::bloom::{BloomFilter, BloomFlags};
-use btc_wire::message::{
-    decode_frame, read_frame, FrameResult, Message, RawMessage, VersionMessage,
-};
+use btc_wire::drain::FrameAssembler;
+use btc_wire::message::{decode_frame, Message, RawMessage, VersionMessage};
 use btc_wire::types::{InvType, Inventory, NetAddr, Network};
 use std::any::Any;
 
@@ -30,7 +29,7 @@ struct Probe {
     script: Vec<Message>,
     received: Vec<Message>,
     conn: Option<ConnId>,
-    recv_buf: Vec<u8>,
+    frames: FrameAssembler,
     handshaked: bool,
 }
 
@@ -41,7 +40,7 @@ impl Probe {
             script,
             received: Vec::new(),
             conn: None,
-            recv_buf: Vec::new(),
+            frames: FrameAssembler::new(Network::Regtest),
             handshaked: false,
         }
     }
@@ -72,34 +71,23 @@ impl App for Probe {
     }
 
     fn on_data(&mut self, ctx: &mut Ctx<'_>, _conn: ConnId, _peer: SockAddr, data: &[u8]) {
-        self.recv_buf.extend_from_slice(data);
-        loop {
-            let buf = std::mem::take(&mut self.recv_buf);
-            match read_frame(Network::Regtest, &buf) {
-                Ok(FrameResult::Frame { raw, consumed }) => {
-                    self.recv_buf = buf[consumed..].to_vec();
-                    if let Ok(msg) = decode_frame(&raw) {
-                        match &msg {
-                            Message::Version(_) => {
-                                self.send(ctx, &Message::Verack);
-                            }
-                            Message::Verack
-                                if !self.handshaked => {
-                                    self.handshaked = true;
-                                    for m in self.script.clone() {
-                                        self.send(ctx, &m);
-                                    }
-                                }
-                            _ => {}
-                        }
-                        self.received.push(msg);
+        self.frames.push(data);
+        while let Some(raw) = self.frames.next_frame() {
+            if let Ok(msg) = decode_frame(&raw) {
+                match &msg {
+                    Message::Version(_) => {
+                        self.send(ctx, &Message::Verack);
                     }
+                    Message::Verack
+                        if !self.handshaked => {
+                            self.handshaked = true;
+                            for m in self.script.clone() {
+                                self.send(ctx, &m);
+                            }
+                        }
+                    _ => {}
                 }
-                Ok(FrameResult::Incomplete) => {
-                    self.recv_buf = buf;
-                    break;
-                }
-                Err(_) => break,
+                self.received.push(msg);
             }
         }
     }

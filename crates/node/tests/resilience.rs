@@ -8,7 +8,8 @@ use btc_netsim::sim::{App, Ctx, HostConfig, SimConfig, Simulator};
 use btc_netsim::tcp::ConnId;
 use btc_netsim::time::SECS;
 use btc_node::node::{Node, NodeConfig};
-use btc_wire::message::{read_frame, FrameResult, Message, RawMessage, VersionMessage};
+use btc_wire::drain::FrameAssembler;
+use btc_wire::message::{Message, RawMessage, VersionMessage};
 use btc_wire::types::{NetAddr, Network};
 use std::any::Any;
 
@@ -41,14 +42,14 @@ impl App for MuteDialer {
 /// keepalive pings.
 struct DeafDialer {
     target: SockAddr,
-    buf: Vec<u8>,
+    frames: FrameAssembler,
 }
 
 impl DeafDialer {
     fn new(target: SockAddr) -> Self {
         DeafDialer {
             target,
-            buf: Vec::new(),
+            frames: FrameAssembler::new(Network::Regtest),
         }
     }
 
@@ -71,18 +72,12 @@ impl App for DeafDialer {
         self.send(ctx, conn, &Message::Version(v));
     }
     fn on_data(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, _peer: SockAddr, data: &[u8]) {
-        self.buf.extend_from_slice(data);
-        loop {
-            match read_frame(Network::Regtest, &self.buf) {
-                Ok(FrameResult::Frame { raw, consumed }) => {
-                    self.buf.drain(..consumed);
-                    if raw.header.command_str() == Ok("version") {
-                        self.send(ctx, conn, &Message::Verack);
-                    }
-                    // Pings (and everything else) are ignored on purpose.
-                }
-                _ => return,
+        self.frames.push(data);
+        while let Some(raw) = self.frames.next_frame() {
+            if raw.header.command_str() == Ok("version") {
+                self.send(ctx, conn, &Message::Verack);
             }
+            // Pings (and everything else) are ignored on purpose.
         }
     }
     fn as_any(&self) -> &dyn Any {

@@ -4,13 +4,19 @@
 //! subset of the `bytes` API the suite actually uses lives here:
 //!
 //! * [`Bytes`]: an immutable, cheaply cloneable byte buffer backed by
-//!   `Arc<[u8]>` plus an offset/length window, so clones and slices are
+//!   `Arc<Vec<u8>>` plus an offset/length window, so clones and slices are
 //!   reference-count bumps, never copies. Message payloads cached by the
 //!   attack meter and replayed thousands of times rely on that.
 //! * [`BytesMut`]: a `Vec<u8>`-backed builder that [`BytesMut::freeze`]s
-//!   into a [`Bytes`] without copying.
+//!   into a [`Bytes`] without copying — the `Arc` adopts the builder's
+//!   allocation as-is.
 //! * [`BufMut`]: the little-endian/big-endian integer writer trait the
 //!   wire encoder drives.
+//! * [`RecvBuffer`]: the per-peer reassembly cursor buffer of the
+//!   zero-copy receive path. Deliveries append, framing advances a read
+//!   cursor, and decoded payloads are [`Bytes`] windows into the same
+//!   backing allocation — the buffer compacts (the only memmove it ever
+//!   does) solely when the writable tail is exhausted.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -20,7 +26,7 @@ use std::sync::Arc;
 /// An immutable byte buffer with cheap clones and zero-copy slicing.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     len: usize,
 }
@@ -94,7 +100,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let len = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             len,
         }
@@ -255,6 +261,151 @@ impl BufMut for Vec<u8> {
     }
 }
 
+/// Per-peer reassembly buffer for the zero-copy receive path.
+///
+/// Deliveries [`RecvBuffer::push`] onto the tail; framing reads the
+/// unconsumed [`RecvBuffer::window`] and [`RecvBuffer::advance`]s the read
+/// cursor. Decoded payloads are [`Bytes::slice`]s of the window, so they
+/// share this buffer's backing allocation and cost no copy.
+///
+/// Buffer management never moves consumed bytes eagerly. The only moves
+/// are:
+///
+/// * **compaction** — when an append would otherwise grow the allocation
+///   and a consumed prefix exists, the unconsumed tail is shifted to the
+///   front first (tail-length bytes moved, counted in
+///   [`RecvBuffer::bytes_memmoved`]);
+/// * **rebuild** — when payload slices from an earlier window are still
+///   alive (the `Arc` is shared), the unconsumed tail is re-homed into a
+///   fresh allocation so the shared bytes stay immutable.
+///
+/// On the steady-state path (payloads dropped by the end of each delivery
+/// tick, frames consumed as they arrive) neither happens: the buffer
+/// resets its cursor in place and the only copy is the unavoidable ingest
+/// of the delivered bytes.
+#[derive(Clone, Default)]
+pub struct RecvBuffer {
+    data: Arc<Vec<u8>>,
+    read: usize,
+    bytes_memmoved: u64,
+    compactions: u64,
+    rebuilds: u64,
+}
+
+impl RecvBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        RecvBuffer::default()
+    }
+
+    /// Appends delivered bytes to the writable tail.
+    pub fn push(&mut self, incoming: &[u8]) {
+        match Arc::get_mut(&mut self.data) {
+            Some(vec) => {
+                if self.read == vec.len() {
+                    // Fully consumed: reset the cursor in place, zero moves.
+                    vec.clear();
+                    self.read = 0;
+                } else if self.read > 0 && vec.len() + incoming.len() > vec.capacity() {
+                    // Writable tail exhausted: compact the unconsumed
+                    // suffix to the front before the Vec would grow.
+                    let tail = vec.len() - self.read;
+                    vec.drain(..self.read);
+                    self.read = 0;
+                    self.bytes_memmoved += tail as u64;
+                    self.compactions += 1;
+                }
+                vec.extend_from_slice(incoming);
+            }
+            None => {
+                // Payload slices of an earlier window are still alive:
+                // re-home the unconsumed tail so the shared backing stays
+                // immutable underneath them.
+                let tail = &self.data[self.read..];
+                let tail_len = tail.len();
+                let mut v = Vec::with_capacity(tail_len + incoming.len());
+                v.extend_from_slice(tail);
+                v.extend_from_slice(incoming);
+                self.bytes_memmoved += tail_len as u64;
+                self.rebuilds += 1;
+                self.read = 0;
+                self.data = Arc::new(v);
+            }
+        }
+    }
+
+    /// The unconsumed region as a zero-copy [`Bytes`] window. Slices of it
+    /// stay valid (and keep the backing allocation alive) after further
+    /// pushes or advances.
+    pub fn window(&self) -> Bytes {
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.read,
+            len: self.data.len() - self.read,
+        }
+    }
+
+    /// Marks `n` more bytes as consumed (clamped to the unconsumed length).
+    pub fn advance(&mut self, n: usize) {
+        self.read = (self.read + n).min(self.data.len());
+    }
+
+    /// Bytes buffered but not yet consumed by framing.
+    pub fn unconsumed(&self) -> usize {
+        self.data.len() - self.read
+    }
+
+    /// Whether no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.unconsumed() == 0
+    }
+
+    /// Drops all buffered bytes (framing desync / poison recovery).
+    pub fn clear(&mut self) {
+        match Arc::get_mut(&mut self.data) {
+            Some(vec) => {
+                vec.clear();
+                self.read = 0;
+            }
+            None => {
+                self.data = Arc::default();
+                self.read = 0;
+            }
+        }
+    }
+
+    /// Total bytes moved by compactions and rebuilds — the buffer-management
+    /// cost beyond the unavoidable ingest copy. The old `Vec` + per-frame
+    /// tail-`to_vec` path moved O(k²) bytes per k-frame burst; this counter
+    /// is what BENCH_msgpath compares against that.
+    pub fn bytes_memmoved(&self) -> u64 {
+        self.bytes_memmoved
+    }
+
+    /// Number of in-place compactions performed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Number of shared-backing rebuilds performed.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+}
+
+impl fmt::Debug for RecvBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RecvBuffer(unconsumed={}, memmoved={}, compactions={}, rebuilds={})",
+            self.unconsumed(),
+            self.bytes_memmoved,
+            self.compactions,
+            self.rebuilds
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,5 +493,92 @@ mod tests {
         assert_eq!(short, "b\"\\xab\\xab\"");
         let long = format!("{:?}", Bytes::from(vec![0u8; 40]));
         assert!(long.contains("…+8"), "{long}");
+    }
+
+    #[test]
+    fn freeze_is_zero_copy() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_slice(&[1, 2, 3]);
+        let before = m.as_ref().as_ptr();
+        let frozen = m.freeze();
+        assert!(std::ptr::eq(before, frozen.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn recv_window_slices_share_the_backing() {
+        let mut rb = RecvBuffer::new();
+        rb.push(&[1, 2, 3, 4, 5, 6]);
+        let w = rb.window();
+        assert_eq!(&w[..], &[1, 2, 3, 4, 5, 6]);
+        let payload = w.slice(2..5);
+        assert!(std::ptr::eq(payload.as_ref().as_ptr(), w[2..].as_ptr()));
+        rb.advance(5);
+        assert_eq!(rb.unconsumed(), 1);
+        assert_eq!(&payload[..], &[3, 4, 5]);
+        assert_eq!(rb.bytes_memmoved(), 0);
+    }
+
+    #[test]
+    fn steady_state_resets_in_place_without_moves() {
+        let mut rb = RecvBuffer::new();
+        for round in 0u8..50 {
+            rb.push(&[round; 32]);
+            assert_eq!(rb.unconsumed(), 32);
+            rb.advance(32);
+        }
+        // Every round fully consumed + windows dropped: cursor resets in
+        // place, nothing is ever moved or re-homed.
+        assert_eq!(rb.bytes_memmoved(), 0);
+        assert_eq!(rb.compactions(), 0);
+        assert_eq!(rb.rebuilds(), 0);
+    }
+
+    #[test]
+    fn compaction_only_when_tail_exhausted_and_counts_moves() {
+        let mut rb = RecvBuffer::new();
+        rb.push(&vec![7u8; 64]);
+        rb.advance(60); // 4-byte straddler left behind
+        // Keep pushing until the capacity would be exceeded: the buffer
+        // must compact (move only the 4 unconsumed bytes) instead of
+        // growing with 60 dead bytes at the front.
+        let mut pushed = 0usize;
+        while rb.bytes_memmoved() == 0 && pushed < 4096 {
+            rb.push(&[1u8; 16]);
+            rb.advance(rb.unconsumed() - 4); // always leave a 4-byte tail
+            pushed += 16;
+        }
+        assert_eq!(rb.compactions(), 1, "compaction never triggered");
+        assert_eq!(rb.bytes_memmoved(), 4, "only the unconsumed tail moves");
+        assert_eq!(rb.rebuilds(), 0);
+        assert_eq!(rb.unconsumed(), 4);
+    }
+
+    #[test]
+    fn live_payload_forces_rebuild_and_keeps_bytes_stable() {
+        let mut rb = RecvBuffer::new();
+        rb.push(&[1, 2, 3, 4]);
+        let payload = rb.window().slice(0..4);
+        rb.advance(4);
+        // The payload keeps the Arc shared, so the next push must re-home
+        // the (empty) tail rather than mutate under the payload.
+        rb.push(&[5, 6]);
+        assert_eq!(rb.rebuilds(), 1);
+        assert_eq!(&payload[..], &[1, 2, 3, 4]);
+        assert_eq!(&rb.window()[..], &[5, 6]);
+        // Tail was empty, so the rebuild moved zero bytes.
+        assert_eq!(rb.bytes_memmoved(), 0);
+    }
+
+    #[test]
+    fn clear_discards_buffered_bytes() {
+        let mut rb = RecvBuffer::new();
+        rb.push(&[1, 2, 3]);
+        rb.advance(1);
+        rb.clear();
+        assert!(rb.is_empty());
+        let held = rb.window();
+        rb.clear(); // shared-Arc clear path
+        assert!(rb.is_empty());
+        assert_eq!(held.len(), 0);
     }
 }

@@ -1,0 +1,148 @@
+//! Shared frame-reassembly drain.
+//!
+//! Every peer-side harness that speaks the wire protocol — test probes,
+//! attack tooling, background traffic feeders — used to carry its own copy
+//! of the reassembly loop, each with the same per-frame tail copy
+//! (`buf[consumed..].to_vec()`, O(k²) memmove over a k-frame burst).
+//! [`FrameAssembler`] replaces those copies with one cursor-buffer drain on
+//! the zero-copy [`read_frame_at`] path.
+//!
+//! ```
+//! use btc_wire::drain::FrameAssembler;
+//! use btc_wire::message::{Message, RawMessage};
+//! use btc_wire::types::Network;
+//!
+//! let mut asm = FrameAssembler::new(Network::Regtest);
+//! let bytes = RawMessage::frame(Network::Regtest, &Message::Ping(7)).to_bytes();
+//! asm.push(&bytes[..10]); // partial delivery
+//! assert!(asm.next_frame().is_none());
+//! asm.push(&bytes[10..]);
+//! let raw = asm.next_frame().expect("complete frame");
+//! assert_eq!(raw.header.command_str(), Ok("ping"));
+//! ```
+
+use crate::bytes::RecvBuffer;
+use crate::encode::DecodeError;
+use crate::message::{read_frame_at, FrameResult, RawMessage};
+use crate::types::Network;
+
+/// Reassembles wire frames out of arbitrarily chunked deliveries.
+///
+/// Mirrors the error handling of the drain loops it replaces: a framing
+/// error (wrong magic / oversized length) drops the buffered bytes — the
+/// stream is desynced and unrecoverable — records the error, and resumes
+/// with an empty buffer on the next [`FrameAssembler::push`].
+#[derive(Clone, Debug, Default)]
+pub struct FrameAssembler {
+    network: Network,
+    buf: RecvBuffer,
+    last_error: Option<DecodeError>,
+}
+
+impl FrameAssembler {
+    /// Creates an assembler for `network`.
+    pub fn new(network: Network) -> Self {
+        FrameAssembler {
+            network,
+            buf: RecvBuffer::new(),
+            last_error: None,
+        }
+    }
+
+    /// Appends delivered bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.push(data);
+    }
+
+    /// Pulls the next complete frame, or `None` when more bytes are needed
+    /// (or the stream just desynced — see [`FrameAssembler::last_error`]).
+    /// The payload is a refcounted slice of the reassembly buffer.
+    pub fn next_frame(&mut self) -> Option<RawMessage> {
+        let window = self.buf.window();
+        match read_frame_at(self.network, &window, 0) {
+            Ok(FrameResult::Frame { raw, consumed }) => {
+                self.buf.advance(consumed);
+                Some(raw)
+            }
+            Ok(FrameResult::Incomplete) => None,
+            Err(e) => {
+                self.buf.clear();
+                self.last_error = Some(e);
+                None
+            }
+        }
+    }
+
+    /// Bytes buffered but not yet framed.
+    pub fn buffered(&self) -> usize {
+        self.buf.unconsumed()
+    }
+
+    /// The most recent framing error, if any.
+    pub fn last_error(&self) -> Option<&DecodeError> {
+        self.last_error.as_ref()
+    }
+
+    /// Buffer-management bytes moved so far (compaction/rebuild; the
+    /// steady-state drain moves none).
+    pub fn bytes_memmoved(&self) -> u64 {
+        self.buf.bytes_memmoved()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{decode_frame, Message, RawMessage};
+
+    fn stream(msgs: &[Message]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for m in msgs {
+            out.extend_from_slice(&RawMessage::frame(Network::Regtest, m).to_bytes());
+        }
+        out
+    }
+
+    #[test]
+    fn one_byte_drip_reassembles_every_frame() {
+        let msgs = vec![Message::Ping(1), Message::GetAddr, Message::Pong(2)];
+        let bytes = stream(&msgs);
+        let mut asm = FrameAssembler::new(Network::Regtest);
+        let mut got = Vec::new();
+        for b in &bytes {
+            asm.push(std::slice::from_ref(b));
+            while let Some(raw) = asm.next_frame() {
+                got.push(decode_frame(&raw).unwrap());
+            }
+        }
+        assert_eq!(got, msgs);
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn burst_drains_in_one_pass_without_moves() {
+        let msgs: Vec<Message> = (0..32).map(Message::Ping).collect();
+        let mut asm = FrameAssembler::new(Network::Regtest);
+        asm.push(&stream(&msgs));
+        let mut n = 0;
+        while let Some(raw) = asm.next_frame() {
+            assert_eq!(raw.header.command_str(), Ok("ping"));
+            n += 1;
+        }
+        assert_eq!(n, 32);
+        assert_eq!(asm.bytes_memmoved(), 0, "burst drain must not memmove");
+    }
+
+    #[test]
+    fn desync_clears_buffer_records_error_then_recovers() {
+        let mut asm = FrameAssembler::new(Network::Regtest);
+        asm.push(&[0xFFu8; 64]); // garbage: wrong magic
+        assert!(asm.next_frame().is_none());
+        assert!(asm.last_error().is_some());
+        assert_eq!(asm.buffered(), 0);
+        // A clean stream after the desync still parses.
+        asm.push(&stream(&[Message::Verack]));
+        let raw = asm.next_frame().expect("recovered");
+        assert_eq!(raw.header.command_str(), Ok("verack"));
+    }
+}

@@ -39,6 +39,7 @@ pub mod bytes;
 pub mod compact;
 pub mod constants;
 pub mod crypto;
+pub mod drain;
 pub mod encode;
 pub mod message;
 pub mod tx;

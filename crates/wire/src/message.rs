@@ -556,10 +556,54 @@ pub enum FrameResult {
 /// [`DecodeError::OversizedLength`] for a length over
 /// [`MAX_MESSAGE_SIZE`].
 pub fn read_frame(network: Network, buf: &[u8]) -> DecodeResult<FrameResult> {
-    if buf.len() < HEADER_SIZE {
+    let Some((header, total)) = frame_header(network, buf)? else {
         return Ok(FrameResult::Incomplete);
+    };
+    let Some(payload_bytes) = buf.get(HEADER_SIZE..total) else {
+        return Ok(FrameResult::Incomplete);
+    };
+    let payload = Bytes::copy_from_slice(payload_bytes);
+    Ok(FrameResult::Frame {
+        raw: RawMessage { header, payload },
+        consumed: total,
+    })
+}
+
+/// Zero-copy variant of [`read_frame`]: reads the frame starting at byte
+/// `offset` of `buf`, returning a payload that is a refcounted
+/// [`Bytes::slice`] of `buf` instead of a fresh allocation. `consumed` is
+/// relative to `offset`. An `offset` at or past the end of `buf` reads as
+/// an empty stream ([`FrameResult::Incomplete`]).
+///
+/// # Errors
+///
+/// Same as [`read_frame`]: [`DecodeError::WrongMagic`] and
+/// [`DecodeError::OversizedLength`].
+pub fn read_frame_at(network: Network, buf: &Bytes, offset: usize) -> DecodeResult<FrameResult> {
+    let region = buf.get(offset..).unwrap_or_default();
+    let Some((header, total)) = frame_header(network, region)? else {
+        return Ok(FrameResult::Incomplete);
+    };
+    // `frame_header` proved `offset + total <= buf.len()`, so the slice is
+    // in range.
+    let payload = buf.slice(offset + HEADER_SIZE..offset + total);
+    Ok(FrameResult::Frame {
+        raw: RawMessage { header, payload },
+        consumed: total,
+    })
+}
+
+/// Header parse + validation shared by [`read_frame`] and
+/// [`read_frame_at`]: returns `None` when `region` does not yet hold a
+/// complete frame, else the header and the frame's total wire length.
+fn frame_header(
+    network: Network,
+    region: &[u8],
+) -> DecodeResult<Option<(MessageHeader, usize)>> {
+    if region.len() < HEADER_SIZE {
+        return Ok(None);
     }
-    let mut r = Reader::new(buf);
+    let mut r = Reader::new(region);
     let header = MessageHeader::decode(&mut r)?;
     if header.magic != network.magic() {
         return Err(DecodeError::WrongMagic(header.magic));
@@ -572,14 +616,10 @@ pub fn read_frame(network: Network, buf: &[u8]) -> DecodeResult<FrameResult> {
         });
     }
     let total = HEADER_SIZE + header.length as usize;
-    let Some(payload_bytes) = buf.get(HEADER_SIZE..total) else {
-        return Ok(FrameResult::Incomplete);
-    };
-    let payload = Bytes::copy_from_slice(payload_bytes);
-    Ok(FrameResult::Frame {
-        raw: RawMessage { header, payload },
-        consumed: total,
-    })
+    if region.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((header, total)))
 }
 
 /// Verifies a frame's checksum.
@@ -777,6 +817,65 @@ mod tests {
             panic!()
         };
         assert_eq!(decode_frame(&raw).unwrap(), Message::Pong(2));
+    }
+
+    #[test]
+    fn read_frame_at_matches_read_frame_and_borrows_the_buffer() {
+        let a = RawMessage::frame(Network::Regtest, &Message::Ping(1)).to_bytes();
+        let b = RawMessage::frame(Network::Regtest, &Message::Pong(2))
+            .corrupt_checksum()
+            .to_bytes();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+        let shared = Bytes::from(stream.clone());
+
+        let mut off = 0;
+        let mut copied = Vec::new();
+        let mut borrowed = Vec::new();
+        loop {
+            let by_copy = read_frame(Network::Regtest, stream.get(off..).unwrap_or_default());
+            let by_slice = read_frame_at(Network::Regtest, &shared, off);
+            assert_eq!(by_copy, by_slice, "divergence at offset {off}");
+            match by_slice.unwrap() {
+                FrameResult::Frame { raw, consumed } => {
+                    // Zero-copy: the payload points into the shared buffer.
+                    assert!(std::ptr::eq(
+                        raw.payload.as_ref().as_ptr(),
+                        shared[off + HEADER_SIZE..].as_ptr()
+                    ));
+                    borrowed.push(raw.clone());
+                    if let FrameResult::Frame { raw, .. } = by_copy.unwrap() {
+                        copied.push(raw);
+                    }
+                    off += consumed;
+                }
+                FrameResult::Incomplete => break,
+            }
+        }
+        assert_eq!(copied, borrowed);
+        assert_eq!(copied.len(), 2);
+        // Past-the-end offsets read as an empty stream, not a panic.
+        assert_eq!(
+            read_frame_at(Network::Regtest, &shared, stream.len() + 10),
+            Ok(FrameResult::Incomplete)
+        );
+    }
+
+    #[test]
+    fn read_frame_at_propagates_header_errors() {
+        let shared = Bytes::from(vec![0xAB; 64]);
+        assert!(matches!(
+            read_frame_at(Network::Regtest, &shared, 0),
+            Err(DecodeError::WrongMagic(_))
+        ));
+        let mut oversize = RawMessage::frame(Network::Regtest, &Message::Verack);
+        oversize.header.length = (MAX_MESSAGE_SIZE + 1) as u32;
+        let bytes = oversize.to_bytes();
+        assert!(matches!(
+            read_frame_at(Network::Regtest, &Bytes::from(bytes.to_vec()), 0),
+            Err(DecodeError::OversizedLength { .. })
+        ));
     }
 
     #[test]

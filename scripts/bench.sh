@@ -43,13 +43,15 @@ if [ ! -s "$jsonl" ]; then
   exit 1
 fi
 
-# Split the sweep group out of the combined record stream: it has its own
-# baseline (captured before the parallel fan-out landed) and document.
+# Split the sweep and msgpath groups out of the combined record stream:
+# each has its own baseline and document.
 sweep_jsonl=$(mktemp)
 grep '"group":"sweep"' "$jsonl" > "$sweep_jsonl" || true
+msgpath_jsonl=$(mktemp)
+grep '"group":"msgpath"' "$jsonl" > "$msgpath_jsonl" || true
 hash_jsonl=$(mktemp)
-grep -v '"group":"sweep"' "$jsonl" > "$hash_jsonl" || true
-trap 'rm -f "$jsonl" "$sweep_jsonl" "$hash_jsonl"' EXIT
+grep -v '"group":"sweep"\|"group":"msgpath"' "$jsonl" > "$hash_jsonl" || true
+trap 'rm -f "$jsonl" "$sweep_jsonl" "$msgpath_jsonl" "$hash_jsonl"' EXIT
 
 mkdir -p results
 
@@ -76,12 +78,35 @@ assemble() {
 if [ "$MODE" = baseline ]; then
   cp "$hash_jsonl" results/BENCH_hashpath_baseline.jsonl
   cp "$sweep_jsonl" results/BENCH_sweep_baseline.jsonl
+  # The msgpath bench carries its own pre-change reference: the `oldpath_*`
+  # rows reimplement the replaced Vec-plus-tail-copy drain, so they ARE the
+  # baseline regardless of when the baseline is re-seeded.
+  grep '"bench":"oldpath' "$msgpath_jsonl" \
+    > results/BENCH_msgpath_baseline.jsonl || true
 fi
 
 assemble banscore-bench-hashpath-v1 results/BENCH_hashpath_baseline.jsonl \
   "$hash_jsonl" results/BENCH_hashpath.json
 assemble banscore-bench-sweep-v1 results/BENCH_sweep_baseline.jsonl \
   "$sweep_jsonl" results/BENCH_sweep.json
+assemble banscore-bench-msgpath-v1 results/BENCH_msgpath_baseline.jsonl \
+  "$msgpath_jsonl" results/BENCH_msgpath.json
+
+# Gate: per multi-frame burst (ping flood, fig10 mix) the zero-copy path
+# must move at least 2x fewer bytes than the old drain. The memmove counts
+# are deterministic (throughput_per_iter of the *_memmove rows), so this is
+# a property of the code, not of the machine.
+for shape in ping_flood fig10_mix; do
+  new_mv=$(grep "\"bench\":\"${shape}_memmove\"" "$msgpath_jsonl" \
+    | sed 's/.*"throughput_per_iter"://; s/[^0-9].*//')
+  old_mv=$(grep "\"bench\":\"oldpath_${shape}_memmove\"" "$msgpath_jsonl" \
+    | sed 's/.*"throughput_per_iter"://; s/[^0-9].*//')
+  if [ -z "$new_mv" ] || [ -z "$old_mv" ] || [ $((old_mv / (new_mv > 0 ? new_mv : 1))) -lt 2 ]; then
+    echo "ERROR: msgpath memmove gate failed for ${shape}: new=${new_mv:-?} old=${old_mv:-?} (need >=2x reduction)" >&2
+    exit 1
+  fi
+  echo "msgpath memmove gate: ${shape} ${old_mv} -> ${new_mv} bytes/burst OK"
+done
 
 # ---- detector robustness under injected faults ------------------------
 # The fault matrix is fully deterministic (fixed seeds, virtual time), so

@@ -36,8 +36,15 @@ trap 'rm -f "$smoke_json"' EXIT
 BANSCORE_BENCH_SAMPLES=2 BANSCORE_BENCH_WARMUP_MS=1 BANSCORE_BENCH_SAMPLE_MS=1 \
   BANSCORE_BENCH_JSON="$smoke_json" \
   cargo bench --offline -p btc-bench --bench wire_throughput
+BANSCORE_BENCH_SAMPLES=2 BANSCORE_BENCH_WARMUP_MS=1 BANSCORE_BENCH_SAMPLE_MS=1 \
+  BANSCORE_BENCH_JSON="$smoke_json" \
+  cargo bench --offline -p btc-bench --bench msgpath
 if ! grep -q '"median_ns"' "$smoke_json"; then
   echo "ERROR: bench smoke produced no JSON records (BANSCORE_BENCH_JSON broken?)" >&2
+  exit 1
+fi
+if ! grep -q '"group":"msgpath"' "$smoke_json"; then
+  echo "ERROR: msgpath bench emitted no records" >&2
   exit 1
 fi
 echo "    $(wc -l < "$smoke_json") bench records OK"
