@@ -1,0 +1,150 @@
+//! Reputation bench: what the trust-tier engine costs per event next to
+//! the stock `MisbehaviorTracker`, and what it buys in recovery time.
+//!
+//! Three row families in group `reputation`:
+//!
+//! * `stock_strike` / `tiers_strike` — one Table-I misbehavior event
+//!   through the stock tracker vs the tier engine (weighted penalty,
+//!   decay settlement, ladder reclassification). Elements throughput is
+//!   the event count; the per-element delta is the tier-accounting
+//!   overhead scripts/bench.sh gates against the committed stock
+//!   baseline.
+//! * `stock_message` / `tiers_message` — the per-delivered-frame cost:
+//!   stock does no per-message reputation accounting (a score lookup is
+//!   its whole steady-state read path); the tier engine settles decay and
+//!   runs the flood-pressure and graylist token buckets.
+//! * `stock_recovery_s` / `tiers_recovery_s` — not wall-clock at all: the
+//!   *deterministic* seconds a misclassified innocent stays excluded,
+//!   carried as `throughput_per_iter` (the msgpath memmove idiom). Stock
+//!   is the 24 h `BanMan` ban; tiers is the measured graylist sentence,
+//!   verified against the engine before the row is emitted. The ratio is
+//!   the graceful-degradation headline of BENCH_reputation.json.
+
+use btc_bench::harness::{BatchSize, Criterion, Throughput};
+use btc_bench::{criterion_group, criterion_main};
+use btc_netsim::packet::SockAddr;
+use btc_netsim::time::{Nanos, MILLIS, SECS};
+use btc_node::banscore::rules::ALL_MISBEHAVIORS;
+use btc_node::banscore::{
+    BanPolicy, CoreVersion, Misbehavior, MisbehaviorTracker, ReputationConfig, ReputationEngine,
+    Tier,
+};
+use btc_node::node::NodeConfig;
+use std::hint::black_box;
+
+const EVENTS: usize = 1024;
+const PEERS: u8 = 16;
+
+fn peer(i: usize) -> SockAddr {
+    SockAddr::new([10, 0, 0, (i as u8 % PEERS) + 1], 8333)
+}
+
+/// A deterministic misbehavior stream: every rule in Table I, spread over
+/// 16 peers, 50 ms apart.
+fn strike_stream() -> Vec<(Nanos, SockAddr, Misbehavior)> {
+    (0..EVENTS)
+        .map(|i| {
+            (
+                i as u64 * 50 * MILLIS,
+                peer(i),
+                ALL_MISBEHAVIORS[i % ALL_MISBEHAVIORS.len()],
+            )
+        })
+        .collect()
+}
+
+/// Graylist sentence length measured from the engine itself: strike a
+/// peer into the graylist, then check the sentence boundary.
+fn measured_graylist_secs(cfg: &ReputationConfig) -> u64 {
+    let mut engine = ReputationEngine::new(*cfg);
+    let p = peer(0);
+    let mut entered = None;
+    for i in 0..8 {
+        if engine.strike_raw(0, p, 100).graylisted() {
+            entered = Some(i);
+            break;
+        }
+    }
+    assert!(entered.is_some(), "severe strikes never graylisted");
+    assert!(engine.is_graylisted(cfg.graylist_duration - 1, &p));
+    let out = engine.on_message(cfg.graylist_duration, p);
+    assert!(out.deliver, "served sentence still rate-limited");
+    assert!(engine.tier(cfg.graylist_duration, &p) <= Tier::Probation);
+    cfg.graylist_duration / SECS
+}
+
+fn reputation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reputation");
+    let stream = strike_stream();
+
+    // Per-strike accounting.
+    g.throughput(Throughput::Elements(EVENTS as u64));
+    g.bench_function("stock_strike", |b| {
+        b.iter_batched(
+            || MisbehaviorTracker::new(CoreVersion::V0_20, BanPolicy::Standard),
+            |mut t| {
+                for (now, p, rule) in &stream {
+                    black_box(t.misbehaving(*now, *p, true, *rule));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("tiers_strike", |b| {
+        b.iter_batched(
+            || ReputationEngine::new(ReputationConfig::default()),
+            |mut e| {
+                for (now, p, rule) in &stream {
+                    black_box(e.on_misbehavior(*now, *p, true, *rule));
+                }
+                e
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Per-delivered-frame accounting. The stock row is the tracker's
+    // whole steady-state read path (a score lookup); the tiers row runs
+    // decay settlement plus both token buckets.
+    g.bench_function("stock_message", |b| {
+        let mut t = MisbehaviorTracker::new(CoreVersion::V0_20, BanPolicy::Standard);
+        for (now, p, rule) in &stream {
+            t.misbehaving(*now, *p, true, *rule);
+        }
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..EVENTS {
+                acc = acc.wrapping_add(black_box(t.score(&peer(i))));
+            }
+            acc
+        })
+    });
+    g.bench_function("tiers_message", |b| {
+        let mut e = ReputationEngine::new(ReputationConfig::default());
+        for (now, p, rule) in &stream {
+            e.on_misbehavior(*now, *p, true, *rule);
+        }
+        let base = EVENTS as u64 * 50 * MILLIS;
+        b.iter(|| {
+            let mut delivered = 0u32;
+            for i in 0..EVENTS {
+                let now = base + i as u64 * 10 * MILLIS;
+                delivered += u32::from(black_box(e.on_message(now, peer(i))).deliver);
+            }
+            delivered
+        })
+    });
+
+    // Deterministic recovery seconds, carried as throughput_per_iter.
+    let stock_secs = NodeConfig::default().ban_duration / SECS;
+    let tiers_secs = measured_graylist_secs(&ReputationConfig::default());
+    g.throughput(Throughput::Elements(stock_secs));
+    g.bench_function("stock_recovery_s", |b| b.iter(|| black_box(stock_secs)));
+    g.throughput(Throughput::Elements(tiers_secs));
+    g.bench_function("tiers_recovery_s", |b| b.iter(|| black_box(tiers_secs)));
+    g.finish();
+}
+
+criterion_group!(benches, reputation);
+criterion_main!(benches);

@@ -136,12 +136,12 @@ fn good_score_credit() {
     for min_credit in [1u64, 2, 5] {
         let mut g = btc_node::banscore::GoodScoreTracker::new();
         let peer = btc_netsim::packet::SockAddr::new([10, 0, 0, 9], 8333);
-        g.credit(peer); // one valid block relayed
+        g.credit(0, peer); // one valid block relayed
         println!(
             "{:<12} {:>10} {:>16}",
             min_credit,
-            g.score(&peer),
-            g.is_trusted(&peer, min_credit)
+            g.score(0, &peer),
+            g.is_trusted(0, &peer, min_credit)
         );
     }
     println!("\nHigher credit floors resist longer defamation campaigns but delay");

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--csv] [--jobs N]
-//!       [table1|table2|fig6|fig7|table3|fig8|fig10|fig11|serve|counter|evasion|faults|swarm|all]
+//!       [table1|table2|fig6|fig7|table3|fig8|fig10|fig11|serve|counter|evasion|faults|reputation|swarm|all]
 //! ```
 //!
 //! `swarm` is the sharded-simulator scale bench (hosts-vs-wall-clock
@@ -20,6 +20,7 @@ use banscore::scenario::fault_matrix::{render_fault_matrix, run_fault_matrix_job
 use banscore::scenario::fig10::{render_fig10, run_fig10_jobs};
 use banscore::scenario::fig6::{render_fig6, run_fig6_jobs};
 use banscore::scenario::fig8::{render_fig8, run_fig8_jobs};
+use banscore::scenario::reputation::{render_reputation, run_reputation_jobs};
 use banscore::scenario::serve::{render_serve, run_serve_jobs};
 use banscore::scenario::table3::{render_table3, run_table3_jobs};
 use btc_attack::meter::{fixtures, measure_bogus_block_with, measure_table2_with, render_table2};
@@ -179,6 +180,17 @@ fn faults(cfg: &ReproConfig, args: &ReproArgs) {
     println!("reconnection-rate feature toward Defamation's signature (false positives).");
 }
 
+fn reputation(cfg: &ReproConfig, args: &ReproArgs) {
+    section("Trust tiers — graceful degradation vs stock ban cliff vs detector");
+    let r = run_reputation_jobs(&cfg.reputation, args.jobs);
+    print!("{}", render_reputation(&r));
+    csv_out(args, "reputation.csv", &btc_bench::csv::reputation(&r));
+    println!("\nStock never scores the PING flood and 24h-bans defamed innocents; the");
+    println!("trust-tier engine graylists the flooder via flood pressure and lets the");
+    println!("defamed re-enter at Probation when the graylist expires. All columns are");
+    println!("simulation-derived and byte-identical for any --jobs count.");
+}
+
 fn swarm(cfg: &ReproConfig, args: &ReproArgs) {
     section("Swarm scale — sharded simulator, attack testbed in a 100k+ host swarm");
     let r = btc_bench::swarm::run_swarm_bench(&cfg.swarm);
@@ -206,7 +218,7 @@ fn counter() {
 }
 
 const USAGE: &str = "usage: repro [--quick] [--csv] [--jobs N] \
-[table1|table2|fig6|fig7|table3|fig8|fig10|fig11|serve|evasion|counter|faults|swarm|all]";
+[table1|table2|fig6|fig7|table3|fig8|fig10|fig11|serve|evasion|counter|faults|reputation|swarm|all]";
 
 fn main() {
     let args = match ReproArgs::parse(std::env::args().skip(1)) {
@@ -236,6 +248,7 @@ fn main() {
             "counter" => counter(),
             "evasion" => evasion(&args),
             "faults" => faults(&cfg, &args),
+            "reputation" => reputation(&cfg, &args),
             "swarm" => swarm(&cfg, &args),
             "all" => {
                 table1();
@@ -248,6 +261,7 @@ fn main() {
                 serve(&cfg, &args);
                 evasion(&args);
                 faults(&cfg, &args);
+                reputation(&cfg, &args);
                 counter();
             }
             other => {

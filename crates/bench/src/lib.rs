@@ -15,6 +15,7 @@ pub mod swarm;
 
 use banscore::scenario::fault_matrix::FaultMatrixConfig;
 use banscore::scenario::fig10::Fig10Config;
+use banscore::scenario::reputation::ReputationSweepConfig;
 use banscore::scenario::serve::ServeConfig;
 use btc_netsim::time::MINUTES;
 
@@ -35,6 +36,8 @@ pub struct ReproConfig {
     pub faults: FaultMatrixConfig,
     /// The swarm scale-bench grid (sharded simulator).
     pub swarm: swarm::SwarmBenchConfig,
+    /// The three-way trust-tier reputation sweep.
+    pub reputation: ReputationSweepConfig,
 }
 
 impl Default for ReproConfig {
@@ -56,6 +59,7 @@ impl Default for ReproConfig {
             table2_iters: 200,
             faults: FaultMatrixConfig::full(),
             swarm: swarm::SwarmBenchConfig::full(),
+            reputation: ReputationSweepConfig::full(),
         }
     }
 }
@@ -80,6 +84,7 @@ impl ReproConfig {
             table2_iters: 10,
             faults: FaultMatrixConfig::quick(),
             swarm: swarm::SwarmBenchConfig::quick(),
+            reputation: ReputationSweepConfig::quick(),
         }
     }
 }
@@ -383,6 +388,40 @@ pub mod csv {
                 ));
             }
         }
+        out
+    }
+
+    /// The three-way reputation sweep: one row per (case, policy), then
+    /// one `swarm` row. Every column is simulation-derived and therefore
+    /// byte-identical for any `--jobs` count.
+    pub fn reputation(r: &banscore::scenario::reputation::ReputationResult) -> String {
+        let mut out = String::from(
+            "case,policy,bans,graylists,graylist_dropped,tier_changes,\
+             innocents_excluded,recovery_s,detected,latency_s,target_msgs,outbound_at_end\n",
+        );
+        for row in &r.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{:.0},{},{:.0},{},{}\n",
+                row.case,
+                row.policy,
+                row.bans,
+                row.graylists,
+                row.graylist_dropped,
+                row.tier_changes,
+                row.innocents_excluded,
+                row.recovery_s,
+                u8::from(row.detected),
+                row.latency_s,
+                row.target_msgs,
+                row.outbound_at_end,
+            ));
+        }
+        let s = &r.swarm;
+        out.push_str(&format!(
+            "swarm,trust-tiers,{},{},{},0,0,NaN,0,NaN,{},{}\n",
+            s.bans, s.graylists, s.graylist_dropped, s.target_msgs, s.hosts
+        ));
+        out.push_str(&format!("# swarm_digest,{:016x}\n", s.digest));
         out
     }
 

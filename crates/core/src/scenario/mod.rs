@@ -5,6 +5,7 @@ pub mod fault_matrix;
 pub mod fig10;
 pub mod fig6;
 pub mod fig8;
+pub mod reputation;
 pub mod serve;
 pub mod swarm;
 pub mod table3;

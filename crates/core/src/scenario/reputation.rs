@@ -1,0 +1,756 @@
+//! `repro reputation` — the trust-tier reputation engine versus the stock
+//! ban cliff and the paper's detector, three ways across every threat the
+//! paper raises.
+//!
+//! The sweep runs the same attack cases against three peer policies:
+//!
+//! * **stock** — Table-I points, 100 → 24 h hard ban (the paper's victim);
+//! * **detector** — the same node, with the §VII anomaly detector trained
+//!   on clean traffic and evaluated over the measured telemetry (the
+//!   detector *observes* but the ban mechanism is unchanged — exactly the
+//!   paper's proposal);
+//! * **trust-tiers** — the [`btc_node::banscore::ReputationEngine`]:
+//!   weighted penalties, sim-time decay, graylist soft-bans, hard ban only
+//!   from within the graylist.
+//!
+//! Cases: `bm-dos` (serial-Sybil PING flood — *no* Table-I rule covers it,
+//! so the stock tracker never moves), `defamation` (spoofed strikes on the
+//! target's innocent peers, the 24 h false-ban amplifier), and ≥ 2
+//! honest-churn points from the fault-matrix grid (link flaps, no
+//! attacker — the false-positive probe). A swarm case pins the tier
+//! engine inside the sharded 100k-host simulator and checks its digest is
+//! invariant across worker counts.
+//!
+//! The headline numbers: whether the flood is finally *punished* (tiers
+//! graylist the flooder where stock scores nothing), and the
+//! recovery-time delta for defamed innocents — a graylist expires into
+//! Probation after [`btc_node::banscore::ReputationConfig::graylist_duration`]
+//! while a stock ban excludes the identifier for 24 hours.
+//!
+//! Everything below is deterministic: fixed per-case seeds, sim-time-only
+//! state, [`btc_par::par_map`] preserving input order — `--jobs N` output
+//! is byte-identical for any `N`.
+
+use crate::scenario::fault_matrix::FaultPoint;
+use crate::scenario::swarm::{swarm_ip, SwarmPinger};
+use crate::testbed::{addrs, Testbed, TestbedConfig};
+use btc_attack::defamation::PostConnDefamer;
+use btc_attack::flood::{FloodConfig, Flooder};
+use btc_attack::payload::FloodPayload;
+use btc_detect::engine::{AnalysisEngine, Profile};
+use btc_detect::features::TrafficWindow;
+use btc_netsim::faults::{FaultKind, FaultPlan};
+use btc_netsim::packet::{Ipv4, SockAddr};
+use btc_netsim::shard::{ShardConfig, ShardedSim};
+use btc_netsim::sim::{HostConfig, TapFilter};
+use btc_netsim::time::{Nanos, MILLIS, MINUTES, SECS};
+use btc_node::node::{Node, NodeConfig, PeerPolicy};
+use btc_node::Tier;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The compared policies, in presentation order.
+pub const POLICIES: [&str; 3] = ["stock", "detector", "trust-tiers"];
+
+/// One attack/traffic case of the sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepCase {
+    /// Serial-Sybil PING flood (reconnect-on-ban).
+    BmDos,
+    /// Post-connection Defamation against the target's innocent peers.
+    Defamation,
+    /// No attacker; scheduled link flaps at this many per minute (a
+    /// fault-matrix churn grid point).
+    Churn(u32),
+}
+
+impl SweepCase {
+    /// Stable label, e.g. `bm-dos` or `churn=5`.
+    pub fn label(&self) -> String {
+        match self {
+            SweepCase::BmDos => "bm-dos".to_owned(),
+            SweepCase::Defamation => "defamation".to_owned(),
+            SweepCase::Churn(fpm) => format!("churn={fpm}"),
+        }
+    }
+
+    /// The per-case seed — identical across policies, so row differences
+    /// are attributable to the policy alone.
+    fn seed(&self) -> u64 {
+        match self {
+            SweepCase::BmDos => 3,
+            SweepCase::Defamation => 4,
+            SweepCase::Churn(fpm) => 100 + u64::from(*fpm),
+        }
+    }
+}
+
+/// The swarm pinning case: the tier-engine target embedded in a sharded
+/// background swarm under a PING flood.
+#[derive(Clone, Copy, Debug)]
+pub struct SwarmTierSpec {
+    /// Background swarm hosts (the attack core adds a few more).
+    pub swarm_hosts: usize,
+    /// Region count (part of the experiment configuration).
+    pub regions: u32,
+    /// Worker threads — a pure execution knob; the outcome must not
+    /// change with it.
+    pub workers: usize,
+    /// Measured virtual duration.
+    pub dur: Nanos,
+    /// Innocent peers the target dials.
+    pub innocents: usize,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+/// Sweep configuration.
+#[derive(Clone, Debug)]
+pub struct ReputationSweepConfig {
+    /// Clean-traffic training duration for the detector policy.
+    pub train: Nanos,
+    /// Detection window length.
+    pub window: Nanos,
+    /// Measured duration per case (after a one-minute settle).
+    pub test: Nanos,
+    /// Innocent listening nodes the target draws outbound peers from.
+    pub innocents: usize,
+    /// Honest-churn grid points (flaps per minute); at least two.
+    pub churn_points: Vec<u32>,
+    /// The swarm pinning case.
+    pub swarm: SwarmTierSpec,
+}
+
+impl ReputationSweepConfig {
+    /// The full sweep.
+    pub fn full() -> Self {
+        ReputationSweepConfig {
+            train: 15 * MINUTES,
+            window: MINUTES,
+            test: 5 * MINUTES,
+            innocents: 12,
+            churn_points: vec![5, 10],
+            swarm: SwarmTierSpec {
+                swarm_hosts: 10_000,
+                regions: 8,
+                workers: 4,
+                dur: 3 * SECS,
+                innocents: 4,
+                seed: 7,
+            },
+        }
+    }
+
+    /// A faster sweep for smoke runs (same shape: both attacks plus two
+    /// churn points).
+    pub fn quick() -> Self {
+        ReputationSweepConfig {
+            train: 8 * MINUTES,
+            window: MINUTES,
+            test: 3 * MINUTES,
+            innocents: 8,
+            churn_points: vec![5, 10],
+            swarm: SwarmTierSpec {
+                swarm_hosts: 300,
+                regions: 5,
+                workers: 2,
+                dur: 2 * SECS,
+                innocents: 4,
+                seed: 7,
+            },
+        }
+    }
+
+    fn cases(&self) -> Vec<SweepCase> {
+        let mut cases = vec![SweepCase::BmDos, SweepCase::Defamation];
+        cases.extend(self.churn_points.iter().map(|f| SweepCase::Churn(*f)));
+        cases
+    }
+}
+
+/// One `(policy, case)` row of the sweep.
+#[derive(Clone, Debug)]
+pub struct PolicyCaseRow {
+    /// One of [`POLICIES`].
+    pub policy: &'static str,
+    /// The case label.
+    pub case: String,
+    /// Hard (24 h, `BanMan`) bans the target issued.
+    pub bans: u64,
+    /// Graylist soft-bans (tiers policy only).
+    pub graylists: u64,
+    /// Frames dropped by the graylist service rate limit.
+    pub graylist_dropped: u64,
+    /// Tier transitions recorded in telemetry.
+    pub tier_changes: u64,
+    /// Innocent identifiers excluded from service at least once (hard ban
+    /// or graylist).
+    pub innocents_excluded: usize,
+    /// Mean seconds an excluded innocent stays out of service (`NaN` when
+    /// none were excluded). Stock bans run the full 24 h; graylists
+    /// measured to the observed re-entry, or the configured duration.
+    pub recovery_s: f64,
+    /// The detector's aggregate verdict over the measured span.
+    pub detected: bool,
+    /// Seconds to the first anomalous window (`NaN` when none fires).
+    pub latency_s: f64,
+    /// Messages the target processed.
+    pub target_msgs: u64,
+    /// Outbound peers still connected at the end.
+    pub outbound_at_end: usize,
+}
+
+/// The deterministic outcome of the swarm pinning case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwarmTierOutcome {
+    /// Total hosts simulated.
+    pub hosts: usize,
+    /// FNV-1a over the run's observable state (the CI anchor).
+    pub digest: u64,
+    /// Messages the tier-engine target processed.
+    pub target_msgs: u64,
+    /// Hard bans the target issued.
+    pub bans: u64,
+    /// Graylist entries.
+    pub graylists: u64,
+    /// Frames dropped by the graylist rate limit.
+    pub graylist_dropped: u64,
+}
+
+/// The full sweep result.
+#[derive(Clone, Debug)]
+pub struct ReputationResult {
+    /// Detector profile trained on clean traffic.
+    pub profile: Profile,
+    /// Case labels, in presentation order.
+    pub cases: Vec<String>,
+    /// One row per `(case, policy)`, grouped by case in [`POLICIES`]
+    /// order.
+    pub rows: Vec<PolicyCaseRow>,
+    /// The swarm pinning outcome.
+    pub swarm: SwarmTierOutcome,
+    /// Stock hard-ban duration in seconds (the 24 h reference).
+    pub stock_ban_s: f64,
+    /// Graylist soft-ban duration in seconds.
+    pub graylist_s: f64,
+}
+
+impl ReputationResult {
+    /// The row for `(policy, case)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pair was not part of the sweep.
+    pub fn row(&self, policy: &str, case: &str) -> &PolicyCaseRow {
+        self.rows
+            .iter()
+            .find(|r| r.policy == policy && r.case == case)
+            .expect("row present")
+    }
+
+    /// `(stock, trust-tiers)` mean innocent recovery seconds under
+    /// Defamation — the headline graylist-vs-24h-ban delta.
+    pub fn defamation_recovery(&self) -> (f64, f64) {
+        (
+            self.row("stock", "defamation").recovery_s,
+            self.row("trust-tiers", "defamation").recovery_s,
+        )
+    }
+}
+
+const SETTLE: Nanos = MINUTES;
+
+/// The hardened target (same resilience knobs as the fault-matrix sweep,
+/// so the churn dimension exercises eviction and redial) under the given
+/// policy.
+fn node_for(policy: &str) -> NodeConfig {
+    NodeConfig {
+        ping_interval: 10 * SECS,
+        ping_timeout: 20 * SECS,
+        handshake_timeout: 30 * SECS,
+        reconnect_backoff_base: 500 * MILLIS,
+        reconnect_backoff_cap: 8 * SECS,
+        peer_policy: match policy {
+            "stock" => PeerPolicy::Stock,
+            "detector" => PeerPolicy::Detector,
+            "trust-tiers" => PeerPolicy::TrustTiers,
+            other => panic!("unknown policy {other}"),
+        },
+        ..NodeConfig::default()
+    }
+}
+
+/// Schedules `fpm` flaps per minute over the measured span (the
+/// fault-matrix churn plan).
+fn churn_plan(fpm: u32, innocents: usize, test: Nanos) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    if fpm == 0 || innocents == 0 {
+        return plan;
+    }
+    let period = 60 * SECS / u64::from(fpm);
+    let down = 12 * SECS;
+    let mut t = SETTLE;
+    let mut i = 0usize;
+    while t + down < SETTLE + test {
+        plan = plan.with(t, t + down, FaultKind::HostDown(addrs::innocent(i % innocents)));
+        t += period;
+        i += 1;
+    }
+    plan
+}
+
+/// Everything one simulated `(policy, case)` run reduces to (plain data,
+/// so the run can execute on a worker thread).
+struct CaseData {
+    bans: u64,
+    graylists: u64,
+    graylist_dropped: u64,
+    tier_changes: u64,
+    innocents_excluded: usize,
+    recovery_s: f64,
+    target_msgs: u64,
+    outbound_at_end: usize,
+    aggregate: TrafficWindow,
+    windows: Vec<TrafficWindow>,
+}
+
+/// Mean seconds an excluded innocent identifier stays out of service.
+///
+/// Stock: every innocent in the ban log is out for the full ban duration
+/// (no run is 24 h long, so none recover in-run). Tiers: graylist spans
+/// measured from the telemetry tier stream — entry to observed
+/// re-admission, or the configured duration when the run ends first; a
+/// hard-banned innocent counts the full ban duration.
+fn innocent_exclusion(node: &Node, innocent_ips: &BTreeSet<Ipv4>) -> (usize, f64) {
+    let ban_s = node.banman.ban_duration() as f64 / SECS as f64;
+    let gray_s = node.reputation.config().graylist_duration as f64 / SECS as f64;
+    let mut excluded: BTreeSet<SockAddr> = BTreeSet::new();
+    let mut spans: Vec<f64> = Vec::new();
+    // Hard bans (both policies) from the ban log.
+    for (_, addr) in node.banman.history() {
+        if innocent_ips.contains(&addr.ip) && excluded.insert(*addr) {
+            spans.push(ban_s);
+        }
+    }
+    // Graylist spans from the tier stream (tiers policy only; empty
+    // otherwise).
+    let mut entered: BTreeMap<SockAddr, Nanos> = BTreeMap::new();
+    for tc in &node.telemetry.tier_changes {
+        if !innocent_ips.contains(&tc.peer.ip) {
+            continue;
+        }
+        if tc.to == Tier::Graylist {
+            entered.entry(tc.peer).or_insert(tc.time);
+            excluded.insert(tc.peer);
+        } else if tc.from == Tier::Graylist && tc.to != Tier::Banned {
+            if let Some(t0) = entered.remove(&tc.peer) {
+                spans.push(tc.time.saturating_sub(t0) as f64 / SECS as f64);
+            }
+        }
+        // Graylist → Banned: already counted as a hard ban above.
+    }
+    // Still graylisted when the run ended: the soft-ban runs its course.
+    spans.extend(entered.iter().map(|_| gray_s));
+    let mean = if spans.is_empty() {
+        f64::NAN
+    } else {
+        spans.iter().sum::<f64>() / spans.len() as f64
+    };
+    (excluded.len(), mean)
+}
+
+fn run_case(policy: &'static str, case: SweepCase, cfg: &ReputationSweepConfig) -> CaseData {
+    let fault_plan = match case {
+        SweepCase::Churn(fpm) => churn_plan(fpm, cfg.innocents, cfg.test),
+        _ => FaultPlan::none(),
+    };
+    let mut tb = Testbed::build(TestbedConfig {
+        node: node_for(policy),
+        feeders: 3,
+        innocents: cfg.innocents,
+        target_outbound: 2,
+        seed: case.seed(),
+        fault_plan,
+        ..TestbedConfig::default()
+    });
+    match case {
+        SweepCase::BmDos => {
+            tb.sim.add_host(
+                addrs::ATTACKER,
+                Box::new(Flooder::new(FloodConfig {
+                    target: tb.target_addr,
+                    payload: FloodPayload::Ping,
+                    reconnect_on_ban: true,
+                    sybil_port_start: 50_000,
+                    ..FloodConfig::default()
+                })),
+                HostConfig::default(),
+            );
+        }
+        SweepCase::Defamation => {
+            let tap = tb.sim.add_tap(TapFilter::Host(addrs::TARGET));
+            let victim_ips = tb.innocent_ips.clone();
+            let mut defamer = PostConnDefamer::new(tb.target_addr, victim_ips, tap);
+            defamer.poll = 20 * SECS;
+            tb.sim.add_host(addrs::ATTACKER, Box::new(defamer), HostConfig::default());
+        }
+        SweepCase::Churn(_) => {}
+    }
+    tb.sim.run_for(SETTLE + cfg.test);
+    let innocent_ips: BTreeSet<Ipv4> = tb.innocent_ips.iter().copied().collect();
+    let node = tb.target_node();
+    let (innocents_excluded, recovery_s) = innocent_exclusion(node, &innocent_ips);
+    CaseData {
+        bans: node.telemetry.bans,
+        graylists: node.telemetry.graylists,
+        graylist_dropped: node.telemetry.graylist_dropped,
+        tier_changes: node.telemetry.tier_changes.len() as u64,
+        innocents_excluded,
+        recovery_s,
+        target_msgs: node.telemetry.messages.len() as u64,
+        outbound_at_end: node.outbound_count(),
+        aggregate: tb.single_window(SETTLE, SETTLE + cfg.test),
+        windows: tb.windows(SETTLE, SETTLE + cfg.test, cfg.window),
+    }
+}
+
+/// The swarm pinning case: a trust-tier target + PING flooder in region 0
+/// of a sharded swarm. The outcome (incl. digest) must be identical for
+/// any worker count.
+///
+/// # Panics
+///
+/// Panics when the target host is missing (it never is).
+pub fn run_swarm_tiers(spec: &SwarmTierSpec) -> SwarmTierOutcome {
+    let mut sim = ShardedSim::new(ShardConfig {
+        regions: spec.regions,
+        workers: spec.workers,
+        seed: spec.seed,
+        ..ShardConfig::default()
+    });
+    let mut hosts = 0usize;
+    let innocent_ips: Vec<Ipv4> = (0..spec.innocents).map(addrs::innocent).collect();
+    for ip in &innocent_ips {
+        sim.add_host_pinned(*ip, Box::new(Node::new(NodeConfig::default())), HostConfig::default(), 0);
+        hosts += 1;
+    }
+    let mut node_cfg = node_for("trust-tiers");
+    node_cfg.target_outbound = 2.min(spec.innocents);
+    node_cfg.outbound_targets = innocent_ips.iter().map(|ip| SockAddr::new(*ip, 8333)).collect();
+    let target_addr = SockAddr::new(addrs::TARGET, node_cfg.listen_port);
+    sim.add_host_pinned(addrs::TARGET, Box::new(Node::new(node_cfg)), HostConfig::default(), 0);
+    hosts += 1;
+    sim.add_host_pinned(
+        addrs::ATTACKER,
+        Box::new(Flooder::new(FloodConfig {
+            target: target_addr,
+            payload: FloodPayload::Ping,
+            reconnect_on_ban: true,
+            sybil_port_start: 50_000,
+            ..FloodConfig::default()
+        })),
+        HostConfig::default(),
+        0,
+    );
+    hosts += 1;
+    let n = spec.swarm_hosts;
+    for i in 0..n {
+        let targets = [swarm_ip((i + 1) % n), swarm_ip((i * 7 + 3) % n)];
+        let period = 250 * MILLIS + (i as u64 % 64) * 25 * MILLIS;
+        sim.add_host(
+            swarm_ip(i),
+            Box::new(SwarmPinger {
+                targets,
+                period,
+                next: 0,
+                replies: 0,
+            }),
+            HostConfig::default(),
+        );
+        hosts += 1;
+    }
+    sim.run_for(spec.dur);
+
+    let fnv = |h: u64, x: u64| (h ^ x).wrapping_mul(0x100_0000_01B3);
+    let (target_msgs, bans, graylists, graylist_dropped, tier_changes) = {
+        let node: &Node = sim.app(addrs::TARGET).expect("target is a Node");
+        (
+            node.telemetry.messages.len() as u64,
+            node.telemetry.bans,
+            node.telemetry.graylists,
+            node.telemetry.graylist_dropped,
+            node.telemetry.tier_changes.len() as u64,
+        )
+    };
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let stride = (n / 32).max(1);
+    let mut i = 0;
+    while i < n {
+        let c = sim.host_counters(swarm_ip(i));
+        for v in [c.rx_packets, c.rx_bytes, c.tx_packets, c.tx_bytes] {
+            h = fnv(h, v);
+        }
+        i += stride;
+    }
+    let tc = sim.host_counters(addrs::TARGET);
+    for v in [
+        sim.delivered_packets(),
+        target_msgs,
+        bans,
+        graylists,
+        graylist_dropped,
+        tier_changes,
+        tc.rx_packets,
+        tc.rx_bytes,
+        tc.tx_packets,
+        tc.tx_bytes,
+        hosts as u64,
+    ] {
+        h = fnv(h, v);
+    }
+    SwarmTierOutcome {
+        hosts,
+        digest: h,
+        target_msgs,
+        bans,
+        graylists,
+        graylist_dropped,
+    }
+}
+
+/// Runs the sweep serially.
+pub fn run_reputation(cfg: &ReputationSweepConfig) -> ReputationResult {
+    run_reputation_jobs(cfg, 1)
+}
+
+/// Runs the sweep with every `(case, policy)` pair fanned across `jobs`
+/// workers. Results are byte-identical for any job count.
+///
+/// # Panics
+///
+/// Panics when detector training produces no windows (the configured
+/// training span is always long enough).
+pub fn run_reputation_jobs(cfg: &ReputationSweepConfig, jobs: usize) -> ReputationResult {
+    // Train the detector once, on clean stock traffic.
+    let engine = AnalysisEngine::default();
+    let mut tb = Testbed::build(TestbedConfig {
+        node: node_for("stock"),
+        feeders: 3,
+        innocents: cfg.innocents,
+        target_outbound: 2,
+        seed: 1,
+        ..TestbedConfig::default()
+    });
+    tb.sim.run_for(cfg.train);
+    let profile = engine
+        .train(&tb.windows(SETTLE, cfg.train, cfg.window))
+        .expect("training windows");
+
+    let cases = cfg.cases();
+    let pairs: Vec<(SweepCase, &'static str)> = cases
+        .iter()
+        .flat_map(|c| POLICIES.iter().map(move |p| (*c, *p)))
+        .collect();
+    let runs = btc_par::par_map(jobs, pairs.clone(), |(case, policy)| {
+        run_case(policy, case, cfg)
+    });
+    let rows = pairs
+        .iter()
+        .zip(runs)
+        .map(|((case, policy), data)| {
+            let detection = engine.detect(&profile, &data.aggregate);
+            let latency_s = data
+                .windows
+                .iter()
+                .position(|w| engine.detect(&profile, w).anomalous)
+                .map_or(f64::NAN, |i| {
+                    ((i as u64 + 1) * cfg.window) as f64 / SECS as f64
+                });
+            PolicyCaseRow {
+                policy,
+                case: case.label(),
+                bans: data.bans,
+                graylists: data.graylists,
+                graylist_dropped: data.graylist_dropped,
+                tier_changes: data.tier_changes,
+                innocents_excluded: data.innocents_excluded,
+                recovery_s: data.recovery_s,
+                detected: detection.anomalous,
+                latency_s,
+                target_msgs: data.target_msgs,
+                outbound_at_end: data.outbound_at_end,
+            }
+        })
+        .collect();
+    let swarm = run_swarm_tiers(&cfg.swarm);
+    let reference = NodeConfig::default();
+    ReputationResult {
+        profile,
+        cases: cases.iter().map(SweepCase::label).collect(),
+        rows,
+        swarm,
+        stock_ban_s: reference.ban_duration as f64 / SECS as f64,
+        graylist_s: reference.reputation.graylist_duration as f64 / SECS as f64,
+    }
+}
+
+/// Renders the sweep as text.
+pub fn render_reputation(r: &ReputationResult) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Three-way reputation sweep (detector trained clean: τ_n = [{:.0}, {:.0}]/min, \
+         τ_c ≤ {:.1}/min, τ_Λ = {:.3})",
+        r.profile.tau_n.0, r.profile.tau_n.1, r.profile.tau_c.1, r.profile.tau_lambda
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:<12} {:>6} {:>6} {:>9} {:>6} {:>5} {:>11} {:>5} {:>7} {:>8} {:>4}",
+        "case",
+        "policy",
+        "bans",
+        "gray",
+        "dropped",
+        "tier∆",
+        "excl",
+        "recovery(s)",
+        "det?",
+        "lat(s)",
+        "msgs",
+        "out"
+    );
+    for case in &r.cases {
+        for policy in POLICIES {
+            let row = r.row(policy, case);
+            let _ = writeln!(
+                out,
+                "{:<12} {:<12} {:>6} {:>6} {:>9} {:>6} {:>5} {:>11.0} {:>5} {:>7.0} {:>8} {:>4}",
+                row.case,
+                row.policy,
+                row.bans,
+                row.graylists,
+                row.graylist_dropped,
+                row.tier_changes,
+                row.innocents_excluded,
+                row.recovery_s,
+                if row.detected { "yes" } else { "-" },
+                row.latency_s,
+                row.target_msgs,
+                row.outbound_at_end,
+            );
+        }
+    }
+    let (stock_rec, tiers_rec) = r.defamation_recovery();
+    if stock_rec.is_finite() && tiers_rec.is_finite() && tiers_rec > 0.0 {
+        let _ = writeln!(
+            out,
+            "defamation recovery: stock {stock_rec:.0} s (24 h identifier ban) vs \
+             trust-tiers {tiers_rec:.0} s — {:.0}x faster re-admission",
+            stock_rec / tiers_rec
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "defamation recovery: stock {stock_rec:.0} s vs trust-tiers {tiers_rec:.0} s \
+             (graylist duration {:.0} s, stock ban {:.0} s)",
+            r.graylist_s, r.stock_ban_s
+        );
+    }
+    let s = &r.swarm;
+    let _ = writeln!(
+        out,
+        "swarm[digest]: hosts={} digest={:016x} target_msgs={} bans={} graylists={} dropped={}",
+        s.hosts, s.digest, s.target_msgs, s.bans, s.graylists, s.graylist_dropped
+    );
+    out
+}
+
+/// The churn grid points shared with the fault matrix (documentation of
+/// provenance; the sweep itself only varies the churn rate).
+pub fn churn_fault_points(churn_points: &[u32]) -> Vec<FaultPoint> {
+    churn_points
+        .iter()
+        .map(|fpm| FaultPoint {
+            churn_fpm: *fpm,
+            ..FaultPoint::CLEAN
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ReputationSweepConfig {
+        ReputationSweepConfig {
+            train: 6 * MINUTES,
+            window: MINUTES,
+            test: 2 * MINUTES,
+            innocents: 6,
+            churn_points: vec![5],
+            swarm: SwarmTierSpec {
+                swarm_hosts: 120,
+                regions: 4,
+                workers: 2,
+                dur: 2 * SECS,
+                innocents: 3,
+                seed: 7,
+            },
+        }
+    }
+
+    #[test]
+    fn tiers_punish_the_flood_that_stock_ignores() {
+        let r = run_reputation(&tiny());
+        let stock = r.row("stock", "bm-dos");
+        let tiers = r.row("trust-tiers", "bm-dos");
+        // No Table-I rule covers PING: the stock tracker never moves.
+        assert_eq!(stock.bans, 0, "{stock:?}");
+        // The flood-pressure bucket does: the flooder is graylisted.
+        assert!(tiers.graylists > 0, "{tiers:?}");
+        assert!(tiers.graylist_dropped > 0, "{tiers:?}");
+    }
+
+    #[test]
+    fn graylist_recovers_faster_than_the_stock_ban() {
+        let r = run_reputation(&tiny());
+        let (stock_rec, tiers_rec) = r.defamation_recovery();
+        let stock = r.row("stock", "defamation");
+        let tiers = r.row("trust-tiers", "defamation");
+        assert!(stock.innocents_excluded > 0, "{stock:?}");
+        assert!(tiers.innocents_excluded > 0, "{tiers:?}");
+        assert!(
+            tiers_rec < stock_rec,
+            "graylist did not beat the 24 h ban: {tiers_rec} vs {stock_rec}"
+        );
+    }
+
+    #[test]
+    fn honest_churn_excludes_no_innocents() {
+        let r = run_reputation(&tiny());
+        for policy in POLICIES {
+            let row = r.row(policy, "churn=5");
+            assert_eq!(row.innocents_excluded, 0, "{row:?}");
+            assert_eq!(row.bans, 0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn swarm_outcome_is_invariant_across_worker_counts() {
+        let mut spec = tiny().swarm;
+        spec.workers = 1;
+        let base = run_swarm_tiers(&spec);
+        spec.workers = 3;
+        let multi = run_swarm_tiers(&spec);
+        assert_eq!(base, multi, "outcome diverged across workers");
+        assert!(base.target_msgs > 0, "target silent");
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_rendered_output() {
+        let cfg = tiny();
+        let a = render_reputation(&run_reputation_jobs(&cfg, 1));
+        let b = render_reputation(&run_reputation_jobs(&cfg, 4));
+        assert_eq!(a, b);
+    }
+}

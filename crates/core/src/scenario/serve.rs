@@ -68,13 +68,19 @@ pub fn telemetry_trace(telemetry: &Telemetry, start: Nanos, end: Nanos) -> Vec<T
     telemetry
         .events_in_window(start, end)
         .iter()
-        .map(|ev| TraceEvent {
-            time: ev.time,
-            peer: peer_key(ev.peer),
-            kind: match ev.kind {
+        .filter_map(|ev| {
+            let kind = match ev.kind {
                 TelemetryEventKind::Message(ty) => TraceEventKind::Message(ty),
                 TelemetryEventKind::Reconnect => TraceEventKind::Reconnect,
-            },
+                // Tier transitions are reputation-engine output, not
+                // detector input traffic.
+                TelemetryEventKind::TierChange { .. } => return None,
+            };
+            Some(TraceEvent {
+                time: ev.time,
+                peer: peer_key(ev.peer),
+                kind,
+            })
         })
         .collect()
 }

@@ -101,12 +101,13 @@ pub fn swarm_ip(i: usize) -> Ipv4 {
 
 /// A background swarm host: staggered periodic ICMP probes to two fixed
 /// swarm peers. Targets, period and phase are all index-derived, so the
-/// traffic pattern is a function of the topology alone.
-struct SwarmPinger {
-    targets: [Ipv4; 2],
-    period: Nanos,
-    next: usize,
-    replies: u64,
+/// traffic pattern is a function of the topology alone. Shared with the
+/// `reputation` scenario's swarm case.
+pub(crate) struct SwarmPinger {
+    pub(crate) targets: [Ipv4; 2],
+    pub(crate) period: Nanos,
+    pub(crate) next: usize,
+    pub(crate) replies: u64,
 }
 
 impl App for SwarmPinger {

@@ -12,6 +12,11 @@
 //! 3. the `Message::…` match arms in `crates/node/src/node.rs` — every
 //!    command must be dispatched somewhere in the handler.
 //!
+//! The trust-tier engine adds a fourth table to the same file:
+//! `TIER_WEIGHTS` must carry one explicit weight class per command, so a
+//! new wire command cannot silently enter the reputation ladder unweighted
+//! (the same omission-by-default the paper found in the stock ruleset).
+//!
 //! The check is textual (token-level); the semantic half — that
 //! `BAN_DECISIONS` agrees with `Misbehavior::penalty` — is a unit test next
 //! to the table itself.
@@ -24,6 +29,9 @@ pub const BAN_EXHAUSTIVE: &str = "ban-exhaustive";
 
 /// Decision variant names accepted in a `BAN_DECISIONS` row.
 const DECISION_NAMES: &[&str] = &["Penalize", "Tolerate"];
+
+/// Weight-class variant names accepted in a `TIER_WEIGHTS` row.
+const WEIGHT_NAMES: &[&str] = &["Severe", "Moderate", "Light", "Neutral"];
 
 /// One parsed `(command, decisions)` row.
 struct DecisionRow {
@@ -130,6 +138,9 @@ pub fn ban_exhaustive(
         }
     }
 
+    // …a tier weight for the reputation ladder…
+    tier_weights(&commands, rules_sf, out);
+
     // …and a dispatch arm in the node.
     let dispatched = message_variants(node_sf);
     for cmd in &commands {
@@ -178,9 +189,96 @@ fn extract_str_array(sf: &SourceFile, name: &str) -> Option<(Vec<String>, u32)> 
     Some((items, sf.tokens[open].line))
 }
 
+/// Cross-checks `TIER_WEIGHTS` against `ALL_COMMANDS`: the table must
+/// exist, carry exactly one known weight class per command, and cover
+/// every command with no duplicates or strays.
+fn tier_weights(commands: &[String], rules_sf: &SourceFile, out: &mut Vec<Finding>) {
+    let Some((rows, table_line)) = extract_rows(rules_sf, "TIER_WEIGHTS", "TierWeight") else {
+        out.push(Finding::new(
+            &rules_sf.path,
+            1,
+            BAN_EXHAUSTIVE,
+            "could not locate the `TIER_WEIGHTS` table; every wire command needs an explicit \
+             reputation weight class",
+        ));
+        return;
+    };
+    let mut seen: Vec<&str> = Vec::new();
+    for row in &rows {
+        if !commands.contains(&row.command) {
+            out.push(Finding::new(
+                &rules_sf.path,
+                row.line,
+                BAN_EXHAUSTIVE,
+                format!(
+                    "`TIER_WEIGHTS` row for unknown command \"{}\" (not in ALL_COMMANDS)",
+                    row.command
+                ),
+            ));
+        }
+        if seen.contains(&row.command.as_str()) {
+            out.push(Finding::new(
+                &rules_sf.path,
+                row.line,
+                BAN_EXHAUSTIVE,
+                format!("duplicate `TIER_WEIGHTS` row for \"{}\"", row.command),
+            ));
+        }
+        seen.push(&row.command);
+        if row.decisions.len() != 1 {
+            out.push(Finding::new(
+                &rules_sf.path,
+                row.line,
+                BAN_EXHAUSTIVE,
+                format!(
+                    "`TIER_WEIGHTS` row for \"{}\" has {} weight classes; need exactly 1",
+                    row.command,
+                    row.decisions.len()
+                ),
+            ));
+        }
+        for d in &row.decisions {
+            if !WEIGHT_NAMES.contains(&d.as_str()) {
+                out.push(Finding::new(
+                    &rules_sf.path,
+                    row.line,
+                    BAN_EXHAUSTIVE,
+                    format!(
+                        "unknown tier weight `{d}` for \"{}\" (expected one of {:?})",
+                        row.command, WEIGHT_NAMES
+                    ),
+                ));
+            }
+        }
+    }
+    for cmd in commands {
+        if !rows.iter().any(|r| &r.command == cmd) {
+            out.push(Finding::new(
+                &rules_sf.path,
+                table_line,
+                BAN_EXHAUSTIVE,
+                format!(
+                    "no `TIER_WEIGHTS` row for \"{cmd}\": every wire message type needs an \
+                     explicit reputation weight class"
+                ),
+            ));
+        }
+    }
+}
+
 /// Finds `NAME … = [ ("cmd", [D, D, D]), … ]` and parses the rows.
 fn extract_decision_rows(sf: &SourceFile) -> Option<(Vec<DecisionRow>, u32)> {
-    let open = find_array_start(sf, "BAN_DECISIONS")?;
+    extract_rows(sf, "BAN_DECISIONS", "BanDecision")
+}
+
+/// Finds `NAME … = [ ("cmd", Type::Variant…), … ]` and parses the rows,
+/// collecting every identifier except `type_ident` as a decision.
+fn extract_rows(
+    sf: &SourceFile,
+    name: &str,
+    type_ident: &str,
+) -> Option<(Vec<DecisionRow>, u32)> {
+    let open = find_array_start(sf, name)?;
     let toks = &sf.tokens;
     let table_line = toks[open].line;
     let mut rows = Vec::new();
@@ -209,7 +307,7 @@ fn extract_decision_rows(sf: &SourceFile) -> Option<(Vec<DecisionRow>, u32)> {
                     row.command = s.to_owned();
                 }
             }
-            (TokKind::Ident, id) if id != "BanDecision" => {
+            (TokKind::Ident, id) if id != type_ident => {
                 if let Some(row) = cur.as_mut() {
                     row.decisions.push(id.to_owned());
                 }
@@ -282,8 +380,19 @@ mod tests {
 pub const ALL_COMMANDS: [&str; 3] = ["version", "ping", "tx"];
 "#;
 
+    const GOOD_WEIGHTS: &str = r#"("version", TierWeight::Moderate),
+("ping", TierWeight::Neutral),
+("tx", TierWeight::Severe),"#;
+
     fn rules_src(rows: &str) -> String {
-        format!("pub const BAN_DECISIONS: [(&str, [BanDecision; 3]); 3] = [\n{rows}\n];\n")
+        rules_src_with(rows, GOOD_WEIGHTS)
+    }
+
+    fn rules_src_with(rows: &str, weights: &str) -> String {
+        format!(
+            "pub const BAN_DECISIONS: [(&str, [BanDecision; 3]); 3] = [\n{rows}\n];\n\
+             pub const TIER_WEIGHTS: [(&str, TierWeight); 3] = [\n{weights}\n];\n"
+        )
     }
 
     fn check(rules: &str, node: &str) -> Vec<Finding> {
@@ -354,6 +463,39 @@ pub const ALL_COMMANDS: [&str; 3] = ["version", "ping", "tx"];
         let node = "fn h(m: Message) { match m { Message::Version(_) => {}, Message::Ping(_) => {} } }\n#[cfg(test)]\nmod tests { fn t() { let _ = Message::Tx(x); } }\n";
         let f = check(&rules_src(GOOD_ROWS), node);
         assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn missing_weight_row_flagged() {
+        let weights = r#"("version", TierWeight::Moderate),
+("ping", TierWeight::Neutral),"#;
+        let f = check(&rules_src_with(GOOD_ROWS, weights), GOOD_NODE);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("no `TIER_WEIGHTS` row for \"tx\""));
+    }
+
+    #[test]
+    fn missing_weight_table_flagged() {
+        let rules =
+            format!("pub const BAN_DECISIONS: [(&str, [BanDecision; 3]); 3] = [\n{GOOD_ROWS}\n];\n");
+        let f = check(&rules, GOOD_NODE);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("could not locate the `TIER_WEIGHTS` table"));
+    }
+
+    #[test]
+    fn bad_weight_rows_flagged() {
+        let weights = r#"("version", TierWeight::Harsh),
+("version", TierWeight::Moderate),
+("ping", TierWeight::Neutral),
+("tx", TierWeight::Severe),
+("bogus", TierWeight::Light),"#;
+        let f = check(&rules_src_with(GOOD_ROWS, weights), GOOD_NODE);
+        assert!(f.iter().any(|x| x.message.contains("unknown tier weight `Harsh`")), "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("duplicate `TIER_WEIGHTS` row for \"version\"")));
+        assert!(f
+            .iter()
+            .any(|x| x.message.contains("`TIER_WEIGHTS` row for unknown command \"bogus\"")));
     }
 
     #[test]

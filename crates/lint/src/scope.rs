@@ -42,6 +42,7 @@ pub const PEER_INPUT_FILES: &[&str] = &[
     "crates/node/src/banman.rs",
     "crates/node/src/addrman.rs",
     "crates/node/src/banscore/tracker.rs",
+    "crates/node/src/banscore/reputation.rs",
 ];
 
 /// The steady-state receive path: files where a `to_vec()` /
@@ -190,6 +191,7 @@ mod tests {
         assert!(!in_sim_deterministic("crates/detect/src/latency.rs"));
         assert!(!in_sim_deterministic("crates/wireless/src/x.rs"));
         assert!(is_peer_input("crates/wire/src/encode.rs"));
+        assert!(is_peer_input("crates/node/src/banscore/reputation.rs"));
         assert!(!is_peer_input("crates/wire/src/crypto/sha256.rs"));
         assert!(is_wire_parse("crates/wire/src/bloom.rs"));
         assert!(!is_wire_parse("crates/wire/src/crypto/murmur3.rs"));

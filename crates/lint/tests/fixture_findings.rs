@@ -19,6 +19,7 @@ fn fixture_workspace_findings_are_exact() {
         ("crates/netsim/src/shard.rs", 8, "wallclock"),
         ("crates/netsim/src/shard.rs", 10, "unordered-map"),
         ("crates/node/src/banscore/rules.rs", 3, "ban-exhaustive"),
+        ("crates/node/src/banscore/rules.rs", 8, "ban-exhaustive"),
         ("crates/node/src/node.rs", 1, "ban-exhaustive"),
         ("crates/node/src/node/recv.rs", 4, "hot-path-alloc"),
         ("crates/node/src/node/recv.rs", 5, "hot-path-alloc"),
@@ -41,6 +42,9 @@ fn fixture_workspace_findings_are_exact() {
     assert!(findings
         .iter()
         .any(|f| f.message.contains("no `BAN_DECISIONS` row for \"tx\"")));
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("no `TIER_WEIGHTS` row for \"tx\"")));
     assert!(findings
         .iter()
         .any(|f| f.message.contains("\"tx\"") && f.file.ends_with("node.rs")));

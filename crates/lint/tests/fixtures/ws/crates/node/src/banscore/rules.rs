@@ -4,3 +4,8 @@ pub const BAN_DECISIONS: [(&str, [BanDecision; 3]); 2] = [
     ("version", [BanDecision::Penalize, BanDecision::Penalize, BanDecision::Tolerate]),
     ("ping", [BanDecision::Tolerate, BanDecision::Tolerate, BanDecision::Tolerate]),
 ];
+
+pub const TIER_WEIGHTS: [(&str, TierWeight); 2] = [
+    ("version", TierWeight::Moderate),
+    ("ping", TierWeight::Neutral),
+];

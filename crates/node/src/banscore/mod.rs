@@ -1,10 +1,17 @@
-//! The ban-score mechanism: Table-I rules and the misbehavior tracker.
+//! The ban-score mechanism: Table-I rules, the misbehavior tracker, and
+//! the trust-tier reputation engine layered on top of both.
 
+pub mod reputation;
 pub mod rules;
 pub mod tracker;
 
+pub use reputation::{
+    MessageOutcome, PenaltyWeights, ReputationConfig, ReputationEngine, StrikeOutcome, Tier,
+    TierTransition,
+};
 pub use rules::{
-    protected_message_types, render_table1, unprotected_message_types, BanObject, CoreVersion,
-    Misbehavior, MisbehaviorKind, ALL_MISBEHAVIORS,
+    protected_message_types, render_table1, tier_weight, tier_weight_of_penalty,
+    unprotected_message_types, BanObject, CoreVersion, Misbehavior, MisbehaviorKind, TierWeight,
+    ALL_MISBEHAVIORS, TIER_WEIGHTS,
 };
 pub use tracker::{BanPolicy, GoodScoreTracker, MisbehaviorTracker, ScoreEvent, Verdict};

@@ -326,6 +326,106 @@ pub fn ban_decision(command: &str) -> Option<[BanDecision; 3]> {
         .map(|(_, d)| *d)
 }
 
+/// Weight class of a command under the trust-tier reputation engine
+/// (ROADMAP item 3). Where the stock mechanism is binary (100 points →
+/// 24 h ban), the tier engine grades strikes so that no single rule can
+/// jump a peer straight past the graylist into a hard ban.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TierWeight {
+    /// Consensus-invalid payloads (stock 100-point rules).
+    Severe,
+    /// Protocol-limit violations (stock 10–20-point rules).
+    Moderate,
+    /// Handshake-order slips (stock 1-point rules).
+    Light,
+    /// No per-message misbehavior rule; the command is still covered by
+    /// the engine's flood-pressure accounting, so "Neutral" is an
+    /// explicit decision, not an omission.
+    Neutral,
+}
+
+impl TierWeight {
+    /// Strike points of the class. The maximum (Severe) is deliberately
+    /// no larger than `ban_threshold - graylist_threshold` of the default
+    /// [`super::reputation::ReputationConfig`], so a peer always passes
+    /// through the graylist soft-ban before any hard ban.
+    pub fn points(self) -> f64 {
+        match self {
+            TierWeight::Severe => 40.0,
+            TierWeight::Moderate => 15.0,
+            TierWeight::Light => 5.0,
+            TierWeight::Neutral => 0.0,
+        }
+    }
+}
+
+impl fmt::Display for TierWeight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierWeight::Severe => write!(f, "Severe"),
+            TierWeight::Moderate => write!(f, "Moderate"),
+            TierWeight::Light => write!(f, "Light"),
+            TierWeight::Neutral => write!(f, "Neutral"),
+        }
+    }
+}
+
+/// One explicit tier-weight decision per wire command — the reputation
+/// engine's analogue of [`BAN_DECISIONS`]. `btc-lint`'s `ban-exhaustive`
+/// rule cross-checks this table against `ALL_COMMANDS` exactly like the
+/// decision table, so a new message type cannot land without a weight
+/// class, and `tier_weights_agree_with_ban_decisions` pins each row to
+/// the stock penalty it grades.
+pub const TIER_WEIGHTS: [(&str, TierWeight); 26] = [
+    ("version", TierWeight::Light),
+    ("verack", TierWeight::Light),
+    ("addr", TierWeight::Moderate),
+    ("getaddr", TierWeight::Neutral),
+    ("ping", TierWeight::Neutral),
+    ("pong", TierWeight::Neutral),
+    ("inv", TierWeight::Moderate),
+    ("getdata", TierWeight::Moderate),
+    ("notfound", TierWeight::Neutral),
+    ("getblocks", TierWeight::Neutral),
+    ("getheaders", TierWeight::Neutral),
+    ("headers", TierWeight::Moderate),
+    ("tx", TierWeight::Severe),
+    ("block", TierWeight::Severe),
+    ("mempool", TierWeight::Neutral),
+    ("merkleblock", TierWeight::Neutral),
+    ("sendheaders", TierWeight::Neutral),
+    ("feefilter", TierWeight::Neutral),
+    ("filterload", TierWeight::Severe),
+    ("filteradd", TierWeight::Severe),
+    ("filterclear", TierWeight::Neutral),
+    ("sendcmpct", TierWeight::Neutral),
+    ("cmpctblock", TierWeight::Severe),
+    ("getblocktxn", TierWeight::Severe),
+    ("blocktxn", TierWeight::Neutral),
+    ("reject", TierWeight::Neutral),
+];
+
+/// The [`TIER_WEIGHTS`] row for `command`, if any.
+pub fn tier_weight(command: &str) -> Option<TierWeight> {
+    TIER_WEIGHTS
+        .iter()
+        .find(|(c, _)| *c == command)
+        .map(|(_, w)| *w)
+}
+
+/// Maps a stock score increment to its tier weight class: 100-point rules
+/// are Severe, the 10–20-point limit rules Moderate, the 1-point
+/// handshake rules Light. This is how the tier engine "reuses" Table I —
+/// relative rule severity is preserved while the absolute cliff is not.
+pub fn tier_weight_of_penalty(stock: u32) -> TierWeight {
+    match stock {
+        100.. => TierWeight::Severe,
+        10..=99 => TierWeight::Moderate,
+        1..=9 => TierWeight::Light,
+        0 => TierWeight::Neutral,
+    }
+}
+
 /// Message types that carry at least one ban-score rule under `version`.
 pub fn protected_message_types(version: CoreVersion) -> Vec<&'static str> {
     let mut v: Vec<&'static str> = ALL_MISBEHAVIORS
@@ -513,6 +613,62 @@ mod tests {
         assert_eq!(commands, expect);
         assert_eq!(ban_decision("ping"), Some([BanDecision::Tolerate; 3]));
         assert_eq!(ban_decision("bogus"), None);
+    }
+
+    #[test]
+    fn tier_weights_cover_every_command_once() {
+        let mut commands: Vec<&str> = TIER_WEIGHTS.iter().map(|(c, _)| *c).collect();
+        let mut expect = btc_wire::message::ALL_COMMANDS.to_vec();
+        commands.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(commands, expect);
+        assert_eq!(tier_weight("ping"), Some(TierWeight::Neutral));
+        assert_eq!(tier_weight("block"), Some(TierWeight::Severe));
+        assert_eq!(tier_weight("bogus"), None);
+    }
+
+    #[test]
+    fn tier_weights_agree_with_ban_decisions() {
+        // A command is Neutral exactly when no version ever penalizes it,
+        // and a weighted command's class matches the strongest stock rule
+        // on that message type.
+        for (command, weight) in TIER_WEIGHTS {
+            let ever_penalized = ban_decision(command)
+                .expect("tier-weight command missing from BAN_DECISIONS")
+                .iter()
+                .any(|d| *d == BanDecision::Penalize);
+            assert_eq!(
+                weight != TierWeight::Neutral,
+                ever_penalized,
+                "TIER_WEIGHTS disagrees with BAN_DECISIONS for {command}"
+            );
+            if ever_penalized {
+                let strongest = ALL_MISBEHAVIORS
+                    .iter()
+                    .filter(|m| m.message_type() == command)
+                    .filter_map(|m| m.penalty(CoreVersion::V0_20))
+                    .max()
+                    .unwrap_or(0);
+                assert_eq!(
+                    weight,
+                    tier_weight_of_penalty(strongest),
+                    "weight class of {command} does not match its strongest stock rule"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tier_weight_points_are_graded() {
+        assert!(TierWeight::Severe.points() > TierWeight::Moderate.points());
+        assert!(TierWeight::Moderate.points() > TierWeight::Light.points());
+        assert!(TierWeight::Light.points() > TierWeight::Neutral.points());
+        assert_eq!(TierWeight::Neutral.points(), 0.0);
+        assert_eq!(tier_weight_of_penalty(100), TierWeight::Severe);
+        assert_eq!(tier_weight_of_penalty(20), TierWeight::Moderate);
+        assert_eq!(tier_weight_of_penalty(10), TierWeight::Moderate);
+        assert_eq!(tier_weight_of_penalty(1), TierWeight::Light);
+        assert_eq!(tier_weight_of_penalty(0), TierWeight::Neutral);
     }
 
     #[test]

@@ -158,13 +158,26 @@ impl MisbehaviorTracker {
     }
 }
 
+/// Maximum credit a peer can accumulate. Without a cap, a long-lived
+/// idle peer holds eviction immunity forever — exactly the brittleness
+/// the trust-tier engine is meant to remove.
+pub const GOOD_SCORE_CAP: u64 = 64;
+
+/// Credit half-life on sim time: stored credit halves once per hour of
+/// inactivity (integer halving, so the decay is exact and deterministic).
+pub const GOOD_SCORE_HALF_LIFE: Nanos = 60 * btc_netsim::time::MINUTES;
+
 /// The §VIII *good-score* countermeasure: peers earn credit (+1 per valid
 /// `BLOCK`), and the node prefers evicting low-credit peers instead of
 /// banning identifiers — an innocent peer with history cannot be defamed
 /// into a ban.
+///
+/// Credit is capped at [`GOOD_SCORE_CAP`] and decays on sim time with
+/// half-life [`GOOD_SCORE_HALF_LIFE`] (one right-shift per elapsed
+/// half-life), so immunity has to be re-earned rather than hoarded.
 #[derive(Clone, Debug, Default)]
 pub struct GoodScoreTracker {
-    scores: BTreeMap<SockAddr, u64>,
+    scores: BTreeMap<SockAddr, (u64, Nanos)>,
 }
 
 impl GoodScoreTracker {
@@ -173,29 +186,42 @@ impl GoodScoreTracker {
         Self::default()
     }
 
-    /// Credits `peer` for a valid block.
-    pub fn credit(&mut self, peer: SockAddr) {
-        *self.scores.entry(peer).or_insert(0) += 1;
+    /// Stored credit halved once per elapsed half-life since `since`.
+    fn decayed(stored: u64, since: Nanos, now: Nanos) -> u64 {
+        let elapsed = now.saturating_sub(since);
+        let halvings = (elapsed / GOOD_SCORE_HALF_LIFE).min(63);
+        stored >> halvings
     }
 
-    /// Current credit of a peer.
-    pub fn score(&self, peer: &SockAddr) -> u64 {
-        self.scores.get(peer).copied().unwrap_or(0)
+    /// Credits `peer` for a valid block at sim time `now`.
+    pub fn credit(&mut self, now: Nanos, peer: SockAddr) {
+        let entry = self.scores.entry(peer).or_insert((0, now));
+        let current = Self::decayed(entry.0, entry.1, now.max(entry.1));
+        *entry = ((current + 1).min(GOOD_SCORE_CAP), now.max(entry.1));
+    }
+
+    /// Current (decayed) credit of a peer at sim time `now`.
+    pub fn score(&self, now: Nanos, peer: &SockAddr) -> u64 {
+        self.scores
+            .get(peer)
+            .map(|(s, t)| Self::decayed(*s, *t, now.max(*t)))
+            .unwrap_or(0)
     }
 
     /// Whether `peer` has enough credit to be shielded from banning.
-    pub fn is_trusted(&self, peer: &SockAddr, min_credit: u64) -> bool {
-        self.score(peer) >= min_credit
+    pub fn is_trusted(&self, now: Nanos, peer: &SockAddr, min_credit: u64) -> bool {
+        self.score(now, peer) >= min_credit
     }
 
     /// The peer with the lowest credit among `candidates` (eviction choice).
     pub fn eviction_candidate<'a>(
         &self,
+        now: Nanos,
         candidates: impl IntoIterator<Item = &'a SockAddr>,
     ) -> Option<SockAddr> {
         candidates
             .into_iter()
-            .min_by_key(|p| (self.score(p), **p))
+            .min_by_key(|p| (self.score(now, p), **p))
             .copied()
     }
 }
@@ -332,13 +358,13 @@ mod tests {
     fn good_score_credits_and_trust() {
         let mut g = GoodScoreTracker::new();
         let p = peer(5);
-        assert!(!g.is_trusted(&p, 1));
+        assert!(!g.is_trusted(0, &p, 1));
         for _ in 0..3 {
-            g.credit(p);
+            g.credit(0, p);
         }
-        assert_eq!(g.score(&p), 3);
-        assert!(g.is_trusted(&p, 3));
-        assert!(!g.is_trusted(&p, 4));
+        assert_eq!(g.score(0, &p), 3);
+        assert!(g.is_trusted(0, &p, 3));
+        assert!(!g.is_trusted(0, &p, 4));
     }
 
     #[test]
@@ -346,9 +372,85 @@ mod tests {
         let mut g = GoodScoreTracker::new();
         let a = peer(1);
         let b = peer(2);
-        g.credit(a);
-        g.credit(a);
-        g.credit(b);
-        assert_eq!(g.eviction_candidate([&a, &b]), Some(b));
+        g.credit(0, a);
+        g.credit(0, a);
+        g.credit(0, b);
+        assert_eq!(g.eviction_candidate(0, [&a, &b]), Some(b));
+    }
+
+    #[test]
+    fn good_score_credit_is_capped() {
+        // Regression: credit used to grow without bound, so a long-lived
+        // peer held eviction immunity forever.
+        let mut g = GoodScoreTracker::new();
+        let p = peer(6);
+        for _ in 0..10 * GOOD_SCORE_CAP {
+            g.credit(0, p);
+        }
+        assert_eq!(g.score(0, &p), GOOD_SCORE_CAP);
+    }
+
+    #[test]
+    fn good_score_decays_on_sim_time() {
+        let mut g = GoodScoreTracker::new();
+        let p = peer(7);
+        for _ in 0..8 {
+            g.credit(0, p);
+        }
+        assert_eq!(g.score(0, &p), 8);
+        // Within one half-life: unchanged.
+        assert_eq!(g.score(GOOD_SCORE_HALF_LIFE - 1, &p), 8);
+        // One halving per elapsed half-life, down to zero.
+        assert_eq!(g.score(GOOD_SCORE_HALF_LIFE, &p), 4);
+        assert_eq!(g.score(2 * GOOD_SCORE_HALF_LIFE, &p), 2);
+        assert_eq!(g.score(3 * GOOD_SCORE_HALF_LIFE, &p), 1);
+        assert_eq!(g.score(4 * GOOD_SCORE_HALF_LIFE, &p), 0);
+        // A credit after decay rebuilds from the decayed value, and a
+        // huge gap cannot shift past the integer width.
+        g.credit(2 * GOOD_SCORE_HALF_LIFE, p);
+        assert_eq!(g.score(2 * GOOD_SCORE_HALF_LIFE, &p), 3);
+        assert_eq!(g.score(Nanos::MAX, &p), 0);
+    }
+
+    #[test]
+    fn good_score_time_never_runs_backwards() {
+        // Out-of-order queries (now < last update) must not underflow or
+        // inflate the score: the tracker clamps to the last-update time.
+        let mut g = GoodScoreTracker::new();
+        let p = peer(8);
+        g.credit(5 * GOOD_SCORE_HALF_LIFE, p);
+        assert_eq!(g.score(0, &p), 1);
+        g.credit(0, p);
+        assert_eq!(g.score(5 * GOOD_SCORE_HALF_LIFE, &p), 2);
+    }
+
+    #[test]
+    fn penalize_saturates_near_u32_max() {
+        // Regression (satellite audit): repeated large strikes must pin at
+        // u32::MAX instead of wrapping back below the threshold.
+        let mut t = MisbehaviorTracker::new(CoreVersion::V0_20, BanPolicy::NeverBan);
+        let p = peer(9);
+        t.penalize(0, p, u32::MAX - 50);
+        assert_eq!(t.score(&p), u32::MAX - 50);
+        assert_eq!(t.penalize(1, p, 100), Verdict::Scored { total: u32::MAX });
+        assert_eq!(t.penalize(2, p, u32::MAX), Verdict::Scored { total: u32::MAX });
+        assert_eq!(t.score(&p), u32::MAX);
+    }
+
+    #[test]
+    fn misbehaving_saturates_near_u32_max() {
+        let mut t = MisbehaviorTracker::new(CoreVersion::V0_20, BanPolicy::Standard);
+        let p = peer(10);
+        t.penalize(0, p, u32::MAX - 50);
+        // A 100-point strike on top of MAX-50 saturates and still bans;
+        // further strikes stay pinned at MAX (no wrap past the threshold).
+        assert_eq!(
+            t.misbehaving(1, p, true, Misbehavior::BlockMutated),
+            Verdict::Ban { total: u32::MAX }
+        );
+        assert_eq!(
+            t.misbehaving(2, p, true, Misbehavior::BlockMutated),
+            Verdict::Ban { total: u32::MAX }
+        );
     }
 }

@@ -35,8 +35,11 @@ pub mod peer;
 
 pub use addrman::AddrMan;
 pub use banman::BanMan;
-pub use banscore::{BanPolicy, CoreVersion, Misbehavior, MisbehaviorTracker};
+pub use banscore::{
+    BanPolicy, CoreVersion, Misbehavior, MisbehaviorTracker, ReputationConfig, ReputationEngine,
+    Tier,
+};
 pub use chain::Chain;
 pub use mempool::Mempool;
-pub use node::{Node, NodeConfig};
+pub use node::{Node, NodeConfig, PeerPolicy};
 pub use peer::Peer;

@@ -9,6 +9,8 @@
 use btc_netsim::packet::SockAddr;
 use btc_netsim::time::Nanos;
 
+use crate::banscore::Tier;
+
 /// Compact message-type index (position in
 /// [`btc_wire::message::ALL_COMMANDS`]).
 pub type MsgTypeId = u8;
@@ -50,6 +52,13 @@ pub enum TelemetryEventKind {
     Message(MsgTypeId),
     /// An outbound reconnection was initiated after losing the peer.
     Reconnect,
+    /// The trust-tier reputation engine moved the peer between tiers.
+    TierChange {
+        /// Tier before the transition.
+        from: Tier,
+        /// Tier after the transition.
+        to: Tier,
+    },
 }
 
 /// One event of the merged telemetry stream: the per-peer feed the
@@ -75,6 +84,19 @@ pub struct ReconnectRecord {
     pub lost: SockAddr,
 }
 
+/// One tier-transition record from the trust-tier reputation engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TierChangeRecord {
+    /// When the transition happened.
+    pub time: Nanos,
+    /// The peer that moved.
+    pub peer: SockAddr,
+    /// Tier before the transition.
+    pub from: Tier,
+    /// Tier after the transition.
+    pub to: Tier,
+}
+
 /// The full telemetry log of a node.
 #[derive(Clone, Debug, Default)]
 pub struct Telemetry {
@@ -82,6 +104,9 @@ pub struct Telemetry {
     pub messages: Vec<MsgRecord>,
     /// Outbound reconnection events.
     pub reconnects: Vec<ReconnectRecord>,
+    /// Tier transitions from the trust-tier reputation engine (empty under
+    /// the stock policy).
+    pub tier_changes: Vec<TierChangeRecord>,
     /// Frames dropped for a bad Bitcoin-header checksum.
     pub bad_checksum_frames: u64,
     /// Frames dropped as undecodable/unknown.
@@ -90,6 +115,10 @@ pub struct Telemetry {
     pub bans: u64,
     /// Inbound connections refused because the identifier was banned.
     pub refused_banned: u64,
+    /// Peers moved into the graylist soft-ban (trust-tier policy only).
+    pub graylists: u64,
+    /// Frames dropped by the graylist service rate limit.
+    pub graylist_dropped: u64,
 }
 
 impl Telemetry {
@@ -106,6 +135,24 @@ impl Telemetry {
     /// Records an outbound reconnection.
     pub fn record_reconnect(&mut self, time: Nanos, lost: SockAddr) {
         self.reconnects.push(ReconnectRecord { time, lost });
+    }
+
+    /// Records a tier transition.
+    pub fn record_tier_change(&mut self, time: Nanos, peer: SockAddr, from: Tier, to: Tier) {
+        self.tier_changes.push(TierChangeRecord {
+            time,
+            peer,
+            from,
+            to,
+        });
+    }
+
+    /// Tier transitions within `[start, end)`.
+    pub fn tier_changes_in_window(&self, start: Nanos, end: Nanos) -> u64 {
+        self.tier_changes
+            .iter()
+            .filter(|t| t.time >= start && t.time < end)
+            .count() as u64
     }
 
     /// Counts messages per type within `[start, end)`, indexed by
@@ -141,10 +188,11 @@ impl Telemetry {
     /// The merged, time-ordered event stream within `[start, end)`: the
     /// recorded traffic a streaming detector replays message by message.
     ///
-    /// Both source logs are already in arrival order (the node appends as
+    /// All source logs are already in arrival order (the node appends as
     /// simulation time advances); the merge keeps that order and breaks
-    /// exact-timestamp ties deterministically (messages before
-    /// reconnections), so replaying the stream is reproducible.
+    /// exact-timestamp ties deterministically (messages, then
+    /// reconnections, then tier changes), so replaying the stream is
+    /// reproducible.
     pub fn events_in_window(&self, start: Nanos, end: Nanos) -> Vec<TelemetryEvent> {
         let msgs = self
             .messages
@@ -164,9 +212,21 @@ impl Telemetry {
                 peer: r.lost,
                 kind: TelemetryEventKind::Reconnect,
             });
-        let mut out: Vec<TelemetryEvent> = msgs.chain(recs).collect();
-        // Stable sort: same-timestamp events keep message-before-reconnect
-        // order from the chain above.
+        let tiers = self
+            .tier_changes
+            .iter()
+            .filter(|t| t.time >= start && t.time < end)
+            .map(|t| TelemetryEvent {
+                time: t.time,
+                peer: t.peer,
+                kind: TelemetryEventKind::TierChange {
+                    from: t.from,
+                    to: t.to,
+                },
+            });
+        let mut out: Vec<TelemetryEvent> = msgs.chain(recs).chain(tiers).collect();
+        // Stable sort: same-timestamp events keep message-before-reconnect-
+        // before-tier-change order from the chain above.
         out.sort_by_key(|e| e.time);
         out
     }
@@ -237,5 +297,27 @@ mod tests {
         assert_eq!(events[3].peer, from(2));
         // Window end is exclusive.
         assert_eq!(t.events_in_window(0, 11 * SECS).len(), 5);
+    }
+
+    #[test]
+    fn tier_changes_merge_after_same_time_events() {
+        let mut t = Telemetry::default();
+        let ping = msg_type_id("ping").unwrap();
+        t.record_message(SECS, ping, 8, from(1));
+        t.record_tier_change(SECS, from(1), Tier::Normal, Tier::Probation);
+        t.record_tier_change(5 * SECS, from(1), Tier::Probation, Tier::Graylist);
+        let events = t.events_in_window(0, 10 * SECS);
+        assert_eq!(events.len(), 3);
+        // Same timestamp: the message sorts before the tier change.
+        assert_eq!(events[0].kind, TelemetryEventKind::Message(ping));
+        assert_eq!(
+            events[1].kind,
+            TelemetryEventKind::TierChange {
+                from: Tier::Normal,
+                to: Tier::Probation,
+            }
+        );
+        assert_eq!(t.tier_changes_in_window(0, 5 * SECS), 1);
+        assert_eq!(t.tier_changes_in_window(0, 6 * SECS), 2);
     }
 }

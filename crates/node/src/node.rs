@@ -14,7 +14,10 @@
 
 use crate::addrman::{AddrMan, AddrSource};
 use crate::banman::BanMan;
-use crate::banscore::{BanPolicy, CoreVersion, GoodScoreTracker, Misbehavior, MisbehaviorTracker, Verdict};
+use crate::banscore::{
+    BanPolicy, CoreVersion, GoodScoreTracker, Misbehavior, MisbehaviorTracker, ReputationConfig,
+    ReputationEngine, StrikeOutcome, Tier, Verdict,
+};
 use crate::chain::{BlockVerdict, Chain, HeaderVerdict};
 use crate::cost::CostModel;
 use crate::mempool::{Mempool, TxVerdict};
@@ -50,6 +53,23 @@ mod timers {
     pub const PING: u64 = 3;
 }
 
+/// Which reputation mechanism governs peer misbehavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PeerPolicy {
+    /// The stock banscore mechanism: Table-I points, 100 → 24 h hard ban.
+    #[default]
+    Stock,
+    /// Stock banscore plus the paper's §VII detection engine. The node
+    /// itself behaves exactly like [`PeerPolicy::Stock`]; the detection
+    /// loop runs scenario-side over telemetry windows (`btc_detect`), and
+    /// this label routes the three-way `repro reputation` sweep.
+    Detector,
+    /// The trust-tier reputation engine
+    /// ([`crate::banscore::ReputationEngine`]): weighted penalties, decay,
+    /// graylist soft-bans, hard ban only as a last resort.
+    TrustTiers,
+}
+
 /// Node configuration.
 #[derive(Clone, Debug)]
 pub struct NodeConfig {
@@ -59,6 +79,12 @@ pub struct NodeConfig {
     pub core_version: CoreVersion,
     /// Ban policy (§VIII countermeasures).
     pub ban_policy: BanPolicy,
+    /// Which reputation mechanism handles misbehavior.
+    pub peer_policy: PeerPolicy,
+    /// Tuning for the trust-tier engine (used only under
+    /// [`PeerPolicy::TrustTiers`]; its `version` field is overridden with
+    /// [`NodeConfig::core_version`] at node construction).
+    pub reputation: ReputationConfig,
     /// Ban threshold (default 100).
     pub ban_threshold: u32,
     /// Ban duration (default 24 h).
@@ -122,6 +148,8 @@ impl Default for NodeConfig {
             network: Network::Regtest,
             core_version: CoreVersion::V0_20,
             ban_policy: BanPolicy::Standard,
+            peer_policy: PeerPolicy::Stock,
+            reputation: ReputationConfig::default(),
             ban_threshold: btc_wire::constants::DEFAULT_BANSCORE_THRESHOLD,
             ban_duration: btc_wire::constants::DEFAULT_BANTIME_SECS * SECS,
             listen_port: btc_wire::types::DEFAULT_PORT,
@@ -162,6 +190,8 @@ pub struct PeerInfo {
     pub ban_score: u32,
     /// Current good-score credit.
     pub good_score: u64,
+    /// Current trust tier (always `Normal` under the stock policy).
+    pub tier: Tier,
 }
 
 /// The node application.
@@ -175,6 +205,9 @@ pub struct Node {
     pub banman: BanMan,
     /// Good-score credits (§VIII).
     pub goodscore: GoodScoreTracker,
+    /// Trust-tier reputation engine (consulted only under
+    /// [`PeerPolicy::TrustTiers`]).
+    pub reputation: ReputationEngine,
     /// Chain state.
     pub chain: Chain,
     /// Mempool.
@@ -211,10 +244,15 @@ impl Node {
         for a in &config.outbound_targets {
             addrman.add(0, *a, AddrSource::Seed);
         }
+        let reputation = ReputationEngine::new(ReputationConfig {
+            version: config.core_version,
+            ..config.reputation
+        });
         Node {
             tracker,
             banman,
             goodscore: GoodScoreTracker::new(),
+            reputation,
             chain: Chain::new(),
             mempool: Mempool::default(),
             telemetry: Telemetry::default(),
@@ -264,7 +302,12 @@ impl Node {
                 handshake_complete: p.handshake_complete(),
                 messages_received: p.messages_received,
                 ban_score: self.tracker.score(&p.addr),
-                good_score: self.goodscore.score(&p.addr),
+                good_score: self.goodscore.score(self.now, &p.addr),
+                tier: if self.config.peer_policy == PeerPolicy::TrustTiers {
+                    self.reputation.tier(self.now, &p.addr)
+                } else {
+                    Tier::Normal
+                },
             })
             .collect()
     }
@@ -341,6 +384,42 @@ impl Node {
         self.send_message(ctx, conn, &Message::Version(v));
     }
 
+    /// Whether the trust-tier engine governs this node's peers.
+    fn tiers_active(&self) -> bool {
+        self.config.peer_policy == PeerPolicy::TrustTiers
+    }
+
+    /// Forwards tier transitions recorded by the engine since the last
+    /// call into telemetry (so `events_in_window` carries them).
+    fn note_tier_events(&mut self) {
+        for t in self.reputation.take_transitions() {
+            self.telemetry.record_tier_change(t.time, t.peer, t.from, t.to);
+        }
+    }
+
+    /// Applies a tier-engine strike outcome against the connection:
+    /// telemetry for graylist entry, `BanMan` + disconnect for a hard ban.
+    /// Returns `true` when the peer was hard-banned.
+    fn apply_tier_outcome(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: ConnId,
+        addr: SockAddr,
+        outcome: &StrikeOutcome,
+    ) -> bool {
+        self.note_tier_events();
+        if outcome.graylisted() {
+            self.telemetry.graylists += 1;
+        }
+        if outcome.banned() {
+            self.telemetry.bans += 1;
+            self.banman.ban(self.now, addr);
+            self.disconnect(ctx, conn, true);
+            return true;
+        }
+        false
+    }
+
     /// Ablation hook: applies a raw score increment outside Table I (used
     /// by `punish_bad_checksum_score`).
     fn punish_raw(&mut self, ctx: &mut Ctx<'_>, conn: ConnId, points: u32) {
@@ -348,10 +427,15 @@ impl Node {
             return;
         };
         let addr = peer.addr;
+        if self.tiers_active() {
+            let outcome = self.reputation.strike_raw(self.now, addr, points);
+            self.apply_tier_outcome(ctx, conn, addr, &outcome);
+            return;
+        }
         if self.config.good_score
             && self
                 .goodscore
-                .is_trusted(&addr, self.config.good_score_min_credit)
+                .is_trusted(self.now, &addr, self.config.good_score_min_credit)
         {
             return;
         }
@@ -369,12 +453,16 @@ impl Node {
             return false;
         };
         let (addr, inbound) = (peer.addr, peer.inbound);
+        if self.tiers_active() {
+            let outcome = self.reputation.on_misbehavior(self.now, addr, inbound, rule);
+            return self.apply_tier_outcome(ctx, conn, addr, &outcome);
+        }
         // Good-score shield (§VIII): peers with earned credit are exempt
         // from identifier banning.
         if self.config.good_score
             && self
                 .goodscore
-                .is_trusted(&addr, self.config.good_score_min_credit)
+                .is_trusted(self.now, &addr, self.config.good_score_min_credit)
         {
             return false;
         }
@@ -437,7 +525,7 @@ impl Node {
         if want == 0 {
             return;
         }
-        let candidates: Vec<SockAddr> = self
+        let mut candidates: Vec<SockAddr> = self
             .addrman
             .usable(self.now, &self.banman)
             .filter(|a| !connected.contains(a) && !self.pending_outbound.contains(a))
@@ -449,6 +537,12 @@ impl Node {
                         .map_or(true, |&(_, next_ok)| next_ok <= self.now)
             })
             .collect();
+        if self.tiers_active() {
+            // Deprioritize graylisted addresses: they are only dialed when
+            // no better candidate remains (stable sort keeps the addrman
+            // order within each group).
+            candidates.sort_by_key(|a| self.reputation.deprioritized(self.now, a));
+        }
         for addr in candidates {
             if want == 0 {
                 break;
@@ -460,10 +554,14 @@ impl Node {
     }
 
     fn broadcast_inv(&mut self, ctx: &mut Ctx<'_>, inv: Inventory, except: Option<ConnId>) {
+        let tiers = self.tiers_active();
         let targets: Vec<(ConnId, bool)> = self
             .peers
             .values()
             .filter(|p| p.handshake_complete() && Some(p.conn) != except)
+            // Graylisted peers are dropped from relay for the duration of
+            // the soft-ban.
+            .filter(|p| !tiers || !self.reputation.deprioritized(self.now, &p.addr))
             .map(|p| (p.conn, p.cmpct_announce))
             .collect();
         // BIP152 high-bandwidth mode: peers that negotiated it get new
@@ -854,9 +952,15 @@ impl Node {
         let hash = block.hash();
         match self.chain.accept_block(block) {
             BlockVerdict::Accepted { .. } => {
-                if self.config.good_score {
-                    if let Some(p) = self.peers.get(&conn) {
-                        self.goodscore.credit(p.addr);
+                if let Some(addr) = self.peers.get(&conn).map(|p| p.addr) {
+                    if self.config.good_score {
+                        self.goodscore.credit(self.now, addr);
+                    }
+                    if self.tiers_active() {
+                        // Good behaviour: credit promotion + strike
+                        // forgiveness in the tier engine.
+                        self.reputation.on_good_block(self.now, addr);
+                        self.note_tier_events();
                     }
                 }
                 for tx in &block.txs {
@@ -964,10 +1068,11 @@ impl App for Node {
         // Count half-open accepts too: a burst of SYNs must not overshoot
         // the slot limit before any handshake completes.
         if self.inbound_count() + self.half_open_inbound >= self.config.max_inbound {
-            // Under the good-score countermeasure the node runs CKB-style
-            // eviction instead of refusing: accept, then evict the
-            // lowest-credit inbound peer (§IX-A).
-            if !self.config.good_score {
+            // Under the good-score countermeasure (and the trust-tier
+            // policy) the node runs CKB-style eviction instead of
+            // refusing: accept, then evict the worst-standing inbound peer
+            // (§IX-A).
+            if !self.config.good_score && self.config.peer_policy != PeerPolicy::TrustTiers {
                 return false;
             }
         }
@@ -982,18 +1087,35 @@ impl App for Node {
         self.peers.insert(conn, state);
         if inbound {
             self.half_open_inbound = self.half_open_inbound.saturating_sub(1);
-            if self.config.good_score && self.inbound_count() > self.config.max_inbound {
+            let evicting = self.config.good_score || self.tiers_active();
+            if evicting && self.inbound_count() > self.config.max_inbound {
                 // Slot pressure: evict the inbound peer with the least
                 // earned credit (ties broken deterministically). A fresh
                 // zero-credit connection evicts itself before it can push
-                // out anyone with history.
+                // out anyone with history. Under the trust-tier policy
+                // graylisted peers are the first eviction choice, then
+                // lowest engine credit.
                 let candidates: Vec<SockAddr> = self
                     .peers
                     .values()
                     .filter(|p| p.inbound)
                     .map(|p| p.addr)
                     .collect();
-                if let Some(victim) = self.goodscore.eviction_candidate(candidates.iter()) {
+                let victim = if self.tiers_active() {
+                    candidates
+                        .iter()
+                        .min_by_key(|a| {
+                            (
+                                !self.reputation.deprioritized(self.now, a),
+                                self.reputation.credit_tracker().score(self.now, a),
+                                **a,
+                            )
+                        })
+                        .copied()
+                } else {
+                    self.goodscore.eviction_candidate(self.now, candidates.iter())
+                };
+                if let Some(victim) = victim {
                     if let Some(victim_conn) =
                         self.peers.values().find(|p| p.addr == victim).map(|p| p.conn)
                     {

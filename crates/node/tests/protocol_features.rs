@@ -412,7 +412,7 @@ fn good_score_eviction_protects_peers_with_history() {
             .collect();
         assert_eq!(addrs.len(), 2);
         for a in addrs {
-            node.goodscore.credit(a);
+            node.goodscore.credit(2 * SECS, a);
         }
     }
     // A Sybil wave tries to take the slots.

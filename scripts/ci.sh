@@ -39,12 +39,19 @@ BANSCORE_BENCH_SAMPLES=2 BANSCORE_BENCH_WARMUP_MS=1 BANSCORE_BENCH_SAMPLE_MS=1 \
 BANSCORE_BENCH_SAMPLES=2 BANSCORE_BENCH_WARMUP_MS=1 BANSCORE_BENCH_SAMPLE_MS=1 \
   BANSCORE_BENCH_JSON="$smoke_json" \
   cargo bench --offline -p btc-bench --bench msgpath
+BANSCORE_BENCH_SAMPLES=2 BANSCORE_BENCH_WARMUP_MS=1 BANSCORE_BENCH_SAMPLE_MS=1 \
+  BANSCORE_BENCH_JSON="$smoke_json" \
+  cargo bench --offline -p btc-bench --bench reputation
 if ! grep -q '"median_ns"' "$smoke_json"; then
   echo "ERROR: bench smoke produced no JSON records (BANSCORE_BENCH_JSON broken?)" >&2
   exit 1
 fi
 if ! grep -q '"group":"msgpath"' "$smoke_json"; then
   echo "ERROR: msgpath bench emitted no records" >&2
+  exit 1
+fi
+if ! grep -q '"group":"reputation"' "$smoke_json"; then
+  echo "ERROR: reputation bench emitted no records" >&2
   exit 1
 fi
 echo "    $(wc -l < "$smoke_json") bench records OK"
@@ -58,10 +65,12 @@ echo "==> jobs matrix: repro output must be byte-identical at --jobs 1 vs --jobs
 # loss, jitter and churn with fixed seeds, so any nondeterminism in the
 # fault layer, the retransmission path or the reconnect backoff shows up
 # as a diff here. (The single-point bit-equality contract is also a
-# test: crates/core/tests/parallel_equivalence.rs.)
+# test: crates/core/tests/parallel_equivalence.rs.) `reputation` runs the
+# three-way trust-tier sweep, so the tier engine's decay/graylist float
+# arithmetic is held to the same bit-identity bar.
 out1=$(mktemp) out4=$(mktemp)
 trap 'rm -f "$smoke_json" "$out1" "$out4"' EXIT
-deterministic="table1 fig6 table3 fig8 fig10 evasion faults counter"
+deterministic="table1 fig6 table3 fig8 fig10 evasion faults reputation counter"
 cargo run --release --offline -p btc-bench --bin repro -- \
   --quick --jobs 1 $deterministic > "$out1"
 cargo run --release --offline -p btc-bench --bin repro -- \
