@@ -230,6 +230,7 @@ fn serve_case(
     let mut reference: Option<ServeOutput> = None;
     let mut digests_agree = true;
     for shards in SHARDS {
+        // lint:allow(wallclock): bench timing only; verdict digests are compared across shard counts below
         let (out, bench) = bench_service(streaming, &trace, span, shards);
         runs.push(ShardRun {
             shards,
@@ -244,12 +245,14 @@ fn serve_case(
     let reference = reference.expect("at least one shard count");
 
     // ---- The batch pipeline on the same trace.
+    // lint:allow(wallclock): bench timing only; batch verdicts feed the digest-checked agreement
     let (batch, batch_bench) = bench_batch(&streaming.profile, engine, &trace, span, cfg.window);
     let agreement = verdict_agreement(&reference.verdicts, &batch);
 
     // ---- Node-aggregate: one pseudo-peer, one window, Figure-10 profile.
     let agg_trace: Vec<TraceEvent> = trace.iter().map(|e| TraceEvent { peer: 0, ..*e }).collect();
     let agg_engine = StreamingEngine::new(node_profile.clone(), end - SETTLE);
+    // lint:allow(wallclock): run_service times internally for its bench stats; verdicts are deterministic
     let agg = run_service(&agg_engine, &agg_trace, span, 1);
     let aggregate_streaming = agg
         .verdicts

@@ -102,6 +102,7 @@ impl StreamingWindow {
         self.sq_sum += 2 * *slot + 1;
         *slot += 1;
         self.total += 1;
+        // lint:allow(panic-path): the get_mut above already proved msg_type in range for the same-size table
         self.ref_dot += refs.reference[msg_type as usize];
     }
 
@@ -185,6 +186,7 @@ pub struct EwmaRate {
 impl EwmaRate {
     /// A zero-rate estimator with time constant `tau_minutes`.
     pub fn new(tau_minutes: f64, start: Nanos) -> Self {
+        // lint:allow(panic-path): constructor config validation; tau comes from the profile, not a peer
         assert!(tau_minutes > 0.0, "EWMA needs a positive time constant");
         EwmaRate {
             tau_minutes,
@@ -241,6 +243,7 @@ impl StreamingEngine {
     /// default to the profile's semantics only in length — pass the same
     /// `window_len` the batch pipeline cuts at to get matching verdicts.
     pub fn new(profile: Profile, window_len: Nanos) -> Self {
+        // lint:allow(panic-path): constructor config validation; window length comes from training, not a peer
         assert!(window_len > 0, "zero window length");
         let refs = ReferenceStats::new(profile.reference);
         StreamingEngine {

@@ -1,4 +1,4 @@
-//! Finding representation and ordering.
+//! Finding representation, ordering, and machine-readable output.
 
 use std::fmt;
 
@@ -13,23 +13,83 @@ pub struct Finding {
     pub rule: &'static str,
     /// What is wrong and what to do about it.
     pub message: String,
+    /// Reachability chain for transitive findings (`file.rs:fn` labels,
+    /// root first); empty for direct findings.
+    pub chain: Vec<String>,
 }
 
 impl Finding {
-    /// Creates a finding.
+    /// Creates a direct finding (empty chain).
     pub fn new(file: &str, line: u32, rule: &'static str, message: impl Into<String>) -> Self {
         Finding {
             file: file.to_owned(),
             line,
             rule,
             message: message.into(),
+            chain: Vec::new(),
         }
     }
+
+    /// Creates a transitive finding carrying its reachability chain.
+    pub fn with_chain(
+        file: &str,
+        line: u32,
+        rule: &'static str,
+        message: impl Into<String>,
+        chain: Vec<String>,
+    ) -> Self {
+        Finding { chain, ..Finding::new(file, line, rule, message) }
+    }
+
+    /// Renders the finding as one JSON object (hand-rolled, no deps).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"file\":");
+        json_str(&mut s, &self.file);
+        s.push_str(",\"line\":");
+        s.push_str(&self.line.to_string());
+        s.push_str(",\"rule\":");
+        json_str(&mut s, self.rule);
+        s.push_str(",\"message\":");
+        json_str(&mut s, &self.message);
+        s.push_str(",\"chain\":[");
+        for (i, link) in self.chain.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json_str(&mut s, link);
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Appends `v` to `out` as a JSON string literal.
+pub fn json_str(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}:{}: {}", self.file, self.line, self.rule, self.message)
+        write!(f, "{}:{}:{}: {}", self.file, self.line, self.rule, self.message)?;
+        if !self.chain.is_empty() {
+            write!(f, " [{}]", self.chain.join(" → "))?;
+        }
+        Ok(())
     }
 }
 
@@ -43,6 +103,38 @@ mod tests {
         assert_eq!(
             f.to_string(),
             "crates/x/src/a.rs:7:panic-path: `.unwrap()` on peer input"
+        );
+    }
+
+    #[test]
+    fn display_appends_chain() {
+        let f = Finding::with_chain(
+            "crates/x/src/h.rs",
+            4,
+            "panic-path",
+            "`.unwrap()` reachable from peer input",
+            vec!["recv.rs:process_frames".into(), "h.rs:decode_extra".into(), "unwrap".into()],
+        );
+        assert_eq!(
+            f.to_string(),
+            "crates/x/src/h.rs:4:panic-path: `.unwrap()` reachable from peer input \
+             [recv.rs:process_frames → h.rs:decode_extra → unwrap]"
+        );
+    }
+
+    #[test]
+    fn json_escapes() {
+        let f = Finding::with_chain(
+            "a.rs",
+            1,
+            "rule",
+            "has \"quotes\" and \\slash",
+            vec!["x.rs:f".into()],
+        );
+        assert_eq!(
+            f.to_json(),
+            "{\"file\":\"a.rs\",\"line\":1,\"rule\":\"rule\",\
+             \"message\":\"has \\\"quotes\\\" and \\\\slash\",\"chain\":[\"x.rs:f\"]}"
         );
     }
 }

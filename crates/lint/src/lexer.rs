@@ -255,6 +255,16 @@ fn scan_comment(
     let Some(text) = src.get(start..end) else {
         return;
     };
+    // Doc comments describe the marker syntax without *being* markers;
+    // harvesting them would feed phantom entries to the stale-exemption
+    // audit.
+    if text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/**")
+        || text.starts_with("/*!")
+    {
+        return;
+    }
     let Some(pos) = text.find("lint:allow(") else {
         return;
     };
@@ -592,6 +602,17 @@ mod tests {
         assert!(sf.allowed("unordered-map", 2));
         assert!(!sf.allowed("unordered-map", 3));
         assert!(!sf.allowed("panic-path", 1));
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_markers() {
+        let sf = lex(
+            "t.rs",
+            "/// lint:allow(panic-path): documented syntax, not a marker\n\
+             //! lint:allow(wallclock): module docs\nx();\n",
+        );
+        assert!(sf.markers.is_empty());
+        assert!(sf.bad_marker_lines.is_empty());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub fn hot_path_alloc(sf: &SourceFile, out: &mut Vec<Finding>) {
             }
             _ => continue,
         };
-        if !sf.reportable(HOT_PATH_ALLOC, t.line) {
+        if sf.in_test(t.line) {
             continue;
         }
         out.push(Finding::new(
@@ -101,11 +101,13 @@ mod tests {
     }
 
     #[test]
-    fn marker_suppresses() {
+    fn marker_left_to_driver() {
+        // The driver suppresses marked findings and tracks marker usage for
+        // the stale-exemption audit; the rule reports regardless.
         let f = run(
             "// lint:allow(hot-path-alloc): one-time setup, not per frame\nlet v = Vec::new();\n",
         );
-        assert!(f.is_empty());
+        assert_eq!(f.len(), 1);
     }
 
     #[test]

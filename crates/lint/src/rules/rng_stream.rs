@@ -1,0 +1,186 @@
+//! `rng-stream`: functions reachable from a declared RNG stream root may
+//! only draw from that root's salted stream.
+//!
+//! Bit-identical replay holds because every consumer owns a private salted
+//! `SimRng` stream (`FAULT_RNG_SALT`, `SHARD_STREAM_SALT`, …): adding or
+//! removing a draw in one subsystem must not shift another subsystem's
+//! sequence. A fault-path helper that quietly pulls from the host stream
+//! breaks that isolation one call level deep, where the old per-file rules
+//! never looked. Three checks:
+//!
+//! 1. **Cross-stream draws** — in any function reachable from a fn-level
+//!    root in [`crate::scope::RNG_ROOTS`], a draw whose receiver is not in
+//!    the root's allowed set is a finding (with the call chain).
+//! 2. **Unsalted constructions** — `SimRng::new(..)` in sim-deterministic
+//!    crates must mention a `*_SALT`/`salt` ident in its arguments, so every
+//!    derived stream is visibly salted off the run seed.
+//! 3. **Orphan streams** — a draw on a named stream receiver (`rng` or
+//!    `*_rng`) outside every declared root is a finding: the stream exists
+//!    but nobody declared who owns it.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::parse::CallKind;
+use crate::rules::Workspace;
+use crate::scope::{self, RngRoot};
+use std::collections::BTreeSet;
+
+/// Rule name for RNG stream findings.
+pub const RNG_STREAM: &str = "rng-stream";
+
+/// Runs all three RNG-stream checks.
+pub fn rng_stream(ws: &Workspace, out: &mut Vec<Finding>) {
+    let whole_file_roots: Vec<&RngRoot> =
+        scope::RNG_ROOTS.iter().filter(|r| r.func == "*").collect();
+    let is_exempt_file =
+        |rel: &str| whole_file_roots.iter().any(|r| r.file == rel);
+
+    // Defs covered by check 1 (roots + everything reachable from them):
+    // check 3 skips these so a bad draw is reported once, with its chain.
+    let mut covered: BTreeSet<usize> = BTreeSet::new();
+
+    // Check 1: cross-stream draws in root-reachable functions.
+    for root in scope::RNG_ROOTS.iter().filter(|r| r.func != "*") {
+        let roots: Vec<usize> = ws
+            .defs_in_file(root.file)
+            .into_iter()
+            .filter(|&d| ws.fn_of(d).name == root.func)
+            .collect();
+        if roots.is_empty() {
+            continue;
+        }
+        let parents = ws
+            .graph
+            .reach(&roots, &|d| is_exempt_file(ws.rel_of(d)));
+        for (&d, _) in &parents {
+            covered.insert(d);
+            let rel = ws.rel_of(d);
+            if is_exempt_file(rel) || crate::symbols::is_test_tree(rel) {
+                continue;
+            }
+            let f = ws.fn_of(d);
+            for call in &f.calls {
+                let CallKind::Method { recv } = &call.kind else { continue };
+                if !scope::RNG_DRAW_METHODS.contains(&call.name.as_str()) {
+                    continue;
+                }
+                if root.allowed.contains(&recv.as_str()) {
+                    continue;
+                }
+                let mut chain = ws.chain_from(&parents, d);
+                chain.push(format!("{}.{}", recv, call.name));
+                out.push(Finding::with_chain(
+                    rel,
+                    call.line,
+                    RNG_STREAM,
+                    format!(
+                        "draw from `{}` inside the `{}` stream scope (only {} may be drawn \
+                         here); a cross-stream draw shifts both sequences and breaks replay",
+                        recv,
+                        root.stream,
+                        allowed_list(root.allowed),
+                    ),
+                    chain,
+                ));
+            }
+        }
+    }
+
+    // Checks 2 and 3: per-file scans over the sim-deterministic crates.
+    for (fi, rel) in ws.rels.iter().enumerate() {
+        if !scope::in_sim_deterministic(rel)
+            || crate::symbols::is_test_tree(rel)
+            || is_exempt_file(rel)
+        {
+            continue;
+        }
+        for (item, f) in ws.parsed[fi].fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let def = ws.index.def_id(fi, item);
+            for call in &f.calls {
+                // Check 2: unsalted SimRng::new.
+                if call.name == "new" {
+                    if let CallKind::Path { segments } = &call.kind {
+                        if segments.last().map(String::as_str) == Some("SimRng")
+                            && !args_mention_salt(ws, fi, call.tok)
+                        {
+                            out.push(Finding::new(
+                                rel,
+                                call.line,
+                                RNG_STREAM,
+                                "`SimRng::new(..)` without a salt: derive every stream as \
+                                 `SimRng::new(seed ^ <STREAM>_SALT)` so streams stay isolated, \
+                                 or justify the base stream with `lint:allow(rng-stream): <reason>`",
+                            ));
+                        }
+                    }
+                }
+                // Check 3: orphan named-stream draws.
+                if def.is_some_and(|d| covered.contains(&d)) {
+                    continue;
+                }
+                let CallKind::Method { recv } = &call.kind else { continue };
+                if !scope::RNG_DRAW_METHODS.contains(&call.name.as_str()) {
+                    continue;
+                }
+                if recv == "rng" || recv.ends_with("_rng") {
+                    out.push(Finding::new(
+                        rel,
+                        call.line,
+                        RNG_STREAM,
+                        format!(
+                            "draw from undeclared RNG stream `{recv}`: declare an owning root \
+                             in scope::RNG_ROOTS (with its salted stream), draw via `ctx.rng()`, \
+                             or allowlist a non-replay stream with a reason"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn allowed_list(allowed: &[&str]) -> String {
+    allowed
+        .iter()
+        .map(|a| format!("`{a}`"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Whether the call's argument list (from the name token at `tok`) contains
+/// an ident mentioning a salt.
+fn args_mention_salt(ws: &Workspace, file: usize, tok: usize) -> bool {
+    let toks = &ws.files[file].tokens;
+    let mut j = tok + 1;
+    // Find the opening paren (possibly past a turbofish).
+    while j < toks.len() && toks[j].text != "(" {
+        if toks[j].text == ";" || toks[j].text == "{" {
+            return false;
+        }
+        j += 1;
+    }
+    let mut depth = 0usize;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            _ => {
+                if toks[j].kind == TokKind::Ident
+                    && (toks[j].text.contains("SALT") || toks[j].text.contains("salt"))
+                {
+                    return true;
+                }
+            }
+        }
+        j += 1;
+    }
+    false
+}

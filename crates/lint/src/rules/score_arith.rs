@@ -1,0 +1,205 @@
+//! `score-arith`: ban-score/credit/sim-time arithmetic in
+//! `crates/node/src/banscore/` must be explicit about overflow.
+//!
+//! PR 9 fixed an integer-overflow bug class in `tracker.rs` by hand
+//! (`score + points` wrapping past `i64::MAX` under a crafted flood); this
+//! rule pins the fix as a contract. Flagged: compound `+=`/`-=`/`*=` whose
+//! left-hand side is a score field, and plain assignments to a score field
+//! whose right-hand side contains bare binary `+`/`-`/`*`. Use
+//! `saturating_*`/`checked_*` instead, or justify clamped/decaying float
+//! arithmetic with `lint:allow(score-arith): <reason>`.
+
+use crate::findings::Finding;
+use crate::lexer::{SourceFile, TokKind, Token};
+use crate::scope::is_score_field;
+
+/// Rule name for score-arithmetic findings.
+pub const SCORE_ARITH: &str = "score-arith";
+
+/// Flags bare arithmetic on score/sim-time fields.
+pub fn score_arith(sf: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &sf.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Punct || sf.in_test(t.line) {
+            continue;
+        }
+        match t.text.as_str() {
+            // Compound assignment: `field += x`, `-=`, `*=`.
+            op @ ("+" | "-" | "*")
+                if toks.get(i + 1).map(|n| n.text.as_str()) == Some("=")
+                    && toks.get(i + 2).map(|n| n.text.as_str()) != Some("=") =>
+            {
+                let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) else { continue };
+                if prev.kind == TokKind::Ident && is_score_field(&prev.text) {
+                    out.push(Finding::new(
+                        &sf.path,
+                        t.line,
+                        SCORE_ARITH,
+                        arith_message(op, &prev.text),
+                    ));
+                }
+            }
+            // Plain assignment: `field = <expr with bare + - *>;`.
+            "=" if is_plain_assign(toks, i) => {
+                let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) else { continue };
+                if prev.kind != TokKind::Ident || !is_score_field(&prev.text) {
+                    continue;
+                }
+                if let Some(op) = bare_arith_in_rhs(toks, i + 1) {
+                    // Anchor at the assignment so a marker on (or above) the
+                    // statement head covers a multi-line right-hand side.
+                    out.push(Finding::new(
+                        &sf.path,
+                        prev.line,
+                        SCORE_ARITH,
+                        arith_message(op, &prev.text),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn arith_message(op: &str, field: &str) -> String {
+    format!(
+        "bare `{op}` on score/sim-time field `{field}` can wrap under adversarial input; \
+         use `saturating_*`/`checked_*`, or justify clamped float arithmetic with \
+         `lint:allow(score-arith): <reason>`"
+    )
+}
+
+/// Whether the `=` at `i` is a plain assignment (not `==`, `!=`, `<=`, `>=`,
+/// or the tail of a compound operator).
+fn is_plain_assign(toks: &[Token], i: usize) -> bool {
+    if toks.get(i + 1).map(|n| n.text.as_str()) == Some("=") {
+        return false;
+    }
+    let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) else {
+        return false;
+    };
+    !(prev.kind == TokKind::Punct
+        && matches!(
+            prev.text.as_str(),
+            "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^" | "<" | ">" | "!" | "="
+        ))
+}
+
+/// Scans the right-hand side from `start` to the terminating `;` for a
+/// *binary* `+`/`-`/`*` (previous token is a value: ident, number, `)` or
+/// `]`), skipping `->` arrows. Returns the operator.
+fn bare_arith_in_rhs(toks: &[Token], start: usize) -> Option<&'static str> {
+    let mut depth = 0i32;
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return None; // statement ended via enclosing block
+                }
+            }
+            ";" if depth == 0 => return None,
+            op @ ("+" | "-" | "*") if t.kind == TokKind::Punct => {
+                let binary = j > start
+                    && matches!(
+                        (toks[j - 1].kind, toks[j - 1].text.as_str()),
+                        (TokKind::Ident, text) if !is_keywordish(text)
+                    )
+                    || matches!(toks[j - 1].kind, TokKind::Num)
+                    || matches!(toks[j - 1].text.as_str(), ")" | "]");
+                let arrow = op == "-" && toks.get(j + 1).map(|n| n.text.as_str()) == Some(">");
+                let compound = toks.get(j + 1).map(|n| n.text.as_str()) == Some("=");
+                if binary && !arrow && !compound {
+                    let op_static = match op {
+                        "+" => "+",
+                        "-" => "-",
+                        _ => "*",
+                    };
+                    return Some(op_static);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Idents that end an expression *syntactically* but are not values.
+fn is_keywordish(text: &str) -> bool {
+    matches!(text, "return" | "as" | "in" | "if" | "else" | "match")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let sf = lex("t.rs", src);
+        let mut out = Vec::new();
+        score_arith(&sf, &mut out);
+        out
+    }
+
+    #[test]
+    fn compound_ops_on_score_fields_flagged() {
+        let f = run("rep.strikes += points;\nself.tokens -= 1.0;\nrep.credit *= 2;\n");
+        assert_eq!(f.len(), 3);
+        assert!(f[0].message.contains("`+`"));
+        assert!(f[1].message.contains("`-`"));
+        assert!(f[2].message.contains("`*`"));
+    }
+
+    #[test]
+    fn compound_on_other_fields_not_flagged() {
+        let f = run("self.count += 1;\nbuf_len -= n;\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn plain_assign_with_bare_addition_flagged() {
+        let f = run("rep.graylist_until = now + cfg.graylist_duration;\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("graylist_until"));
+    }
+
+    #[test]
+    fn saturating_forms_not_flagged() {
+        let f = run(
+            "rep.strikes = rep.strikes.saturating_add(points);\n\
+             rep.graylist_until = now.saturating_add(cfg.graylist_duration);\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unary_minus_and_comparisons_not_flagged() {
+        let f = run("score = -1;\nlet hot = score == a;\nif score <= b { }\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn assignment_to_non_field_not_flagged() {
+        let f = run("let x = score + 1;\ntotal_len = a + b;\n");
+        // `x` is not a score field; `total_len` is not either (suffix match
+        // is only for the `until` deadline family).
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn until_suffix_family_flagged() {
+        let f = run("rep.banned_until = now + secs;\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let f = run("#[cfg(test)]\nmod tests {\n    fn t() { rep.strikes += 1; }\n}\n");
+        assert!(f.is_empty());
+    }
+}

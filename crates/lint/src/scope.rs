@@ -10,14 +10,17 @@ use crate::findings::Finding;
 use std::path::Path;
 
 /// Crates whose simulation output must be bit-identical across runs and job
-/// counts (PR 3/4 determinism contract). `wallclock` findings here are never
-/// file-allowlisted; `unordered-map` runs only here.
+/// counts (PR 3/4 determinism contract, extended to the detector in PR 10 —
+/// its streaming verdicts are digest-gated in CI). `unordered-map` runs only
+/// here; `wallclock` leaks out of allowlisted measurement files are caught by
+/// the transitive pass.
 pub const SIM_DETERMINISTIC_CRATES: &[&str] = &[
     "crates/wire",
     "crates/netsim",
     "crates/node",
     "crates/par",
     "crates/core",
+    "crates/detect",
 ];
 
 /// Files that parse or act on peer-controlled bytes: the `panic-path` rule
@@ -43,6 +46,9 @@ pub const PEER_INPUT_FILES: &[&str] = &[
     "crates/node/src/addrman.rs",
     "crates/node/src/banscore/tracker.rs",
     "crates/node/src/banscore/reputation.rs",
+    // detector ingest: both consume peer-derived message streams
+    "crates/detect/src/streaming.rs",
+    "crates/detect/src/serve.rs",
 ];
 
 /// The steady-state receive path: files where a `to_vec()` /
@@ -90,6 +96,151 @@ pub fn is_recv_path(rel: &str) -> bool {
     RECV_PATH_FILES.contains(&rel)
 }
 
+/// Function names the hot-path-alloc transitive pass does not descend
+/// *through*: these are the designed exits from the zero-copy steady state
+/// (full-message handling and decode build owned values by contract), so
+/// allocations behind them are not receive-path regressions.
+pub const HOT_PATH_BOUNDARIES: &[&str] = &[
+    "handle_message", // per-message dispatch: handlers own their allocations
+    "decode",         // Message::decode builds owned payload structures
+    "disconnect",     // teardown path, not steady-state
+    "handshake",      // once-per-connection setup, not per-frame
+];
+
+/// Directory prefix of the ban-score bookkeeping: the `score-arith` scope.
+pub const SCORE_ARITH_SCOPE: &str = "crates/node/src/banscore/";
+
+/// Field names holding ban scores, credits, token-bucket levels or sim-time
+/// deadlines: bare `+`/`-`/`*` assignments to these must be `saturating_*`/
+/// `checked_*` (or carry a justified marker, e.g. for clamped floats).
+pub const SCORE_FIELDS: &[&str] =
+    &["score", "strikes", "credit", "tokens", "gray_allowance", "total"];
+
+/// Whether `name` is a score/sim-time field for the `score-arith` rule.
+/// `*until` catches the `graylist_until`/`banned_until` deadline family.
+pub fn is_score_field(name: &str) -> bool {
+    SCORE_FIELDS.contains(&name) || name.ends_with("until")
+}
+
+/// A declared RNG stream root: inside `func` (or the whole file when `func`
+/// is `"*"`), draws may only come from receivers in `allowed` — the salted
+/// stream this root owns. Any function *reachable from* a fn-level root
+/// inherits the restriction (the fault path must never consume host-stream
+/// randomness, or replay breaks bit-for-bit).
+pub struct RngRoot {
+    /// Workspace-relative file.
+    pub file: &'static str,
+    /// Function name, or `"*"` for every fn in the file.
+    pub func: &'static str,
+    /// Stream name (display only).
+    pub stream: &'static str,
+    /// Allowed draw receivers inside the root's scope.
+    pub allowed: &'static [&'static str],
+}
+
+/// The declared RNG stream roots.
+pub const RNG_ROOTS: &[RngRoot] = &[
+    RngRoot {
+        file: "crates/netsim/src/sim.rs",
+        func: "send_packet",
+        stream: "fault",
+        allowed: &["fault_rng"],
+    },
+    RngRoot {
+        file: "crates/netsim/src/shard.rs",
+        func: "send_packet",
+        stream: "fault",
+        allowed: &["fault_rng"],
+    },
+    RngRoot {
+        file: "crates/netsim/src/prop.rs",
+        func: "*",
+        stream: "proptest",
+        allowed: &["rng"],
+    },
+    // The SimRng implementation itself is stream-neutral: its methods draw
+    // on whatever stream instance the caller invoked them on, so `self`
+    // draws inside rng.rs belong to the caller's stream by construction.
+    RngRoot {
+        file: "crates/netsim/src/rng.rs",
+        func: "*",
+        stream: "rng-impl",
+        allowed: &["self"],
+    },
+];
+
+/// Draw methods of the seeded RNGs (`SimRng` and shims with its surface).
+pub const RNG_DRAW_METHODS: &[&str] =
+    &["next_u64", "gen_range", "gen_f64", "gen_bool", "exponential"];
+
+/// A declared Mutex identity: `.lock()` receivers in `file` matching one of
+/// `recvs` acquire the named lock. Receivers in lock-scope files that match
+/// no declaration are findings — every lock must have a rank.
+pub struct LockDecl {
+    /// Workspace-relative file.
+    pub file: &'static str,
+    /// Receiver idents (as rendered by `parse::receiver_of`).
+    pub recvs: &'static [&'static str],
+    /// Lock name; must appear in [`LOCK_ORDER`].
+    pub lock: &'static str,
+}
+
+/// The declared lock identities.
+pub const LOCK_DECLS: &[LockDecl] = &[
+    LockDecl {
+        file: "crates/netsim/src/shard.rs",
+        recvs: &["regions", "reg", "r"],
+        lock: "netsim.region",
+    },
+    LockDecl {
+        file: "crates/netsim/src/sim.rs",
+        recvs: &["self", "0"],
+        lock: "netsim.tap",
+    },
+    LockDecl {
+        file: "crates/par/src/lib.rs",
+        recvs: &["deques"],
+        lock: "par.deque",
+    },
+    LockDecl {
+        file: "crates/par/src/lib.rs",
+        recvs: &["pending"],
+        lock: "par.pending",
+    },
+    LockDecl {
+        file: "crates/par/src/lib.rs",
+        recvs: &["slots"],
+        lock: "par.slot",
+    },
+    LockDecl {
+        file: "crates/par/src/lib.rs",
+        recvs: &["first_panic"],
+        lock: "par.panic-slot",
+    },
+];
+
+/// The declared total lock order: a lock may only be acquired while holding
+/// locks that appear strictly *earlier* in this list. Region locks come
+/// first (the shard runtime holds one across a whole event window), the tap
+/// inside it, and the pool's bookkeeping locks are leaves acquired alone.
+pub const LOCK_ORDER: &[&str] = &[
+    "netsim.region",
+    "netsim.tap",
+    "par.deque",
+    "par.pending",
+    "par.slot",
+    "par.panic-slot",
+];
+
+/// Files the `lock-order` rule scans.
+pub const LOCK_SCOPE_FILES: &[&str] = &[
+    "crates/par/src/lib.rs",
+    "crates/par/src/phase.rs",
+    "crates/detect/src/serve.rs",
+    "crates/netsim/src/sim.rs",
+    "crates/netsim/src/shard.rs",
+];
+
 /// One entry of the allowlist file.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AllowEntry {
@@ -99,6 +250,8 @@ pub struct AllowEntry {
     pub path: String,
     /// Mandatory justification.
     pub reason: String,
+    /// 1-based line in the allowlist file (stale-exemption audit anchor).
+    pub line: u32,
 }
 
 /// The parsed allowlist file (`crates/lint/lint-allow.txt`).
@@ -153,6 +306,7 @@ impl Allowlist {
                 rule: rule.to_owned(),
                 path: path.to_owned(),
                 reason: reason.to_owned(),
+                line: lineno,
             });
         }
         (Allowlist { entries }, findings)
@@ -188,7 +342,7 @@ mod tests {
     fn scope_membership() {
         assert!(in_sim_deterministic("crates/wire/src/message.rs"));
         assert!(in_sim_deterministic("crates/node/src/banscore/tracker.rs"));
-        assert!(!in_sim_deterministic("crates/detect/src/latency.rs"));
+        assert!(in_sim_deterministic("crates/detect/src/latency.rs"));
         assert!(!in_sim_deterministic("crates/wireless/src/x.rs"));
         assert!(is_peer_input("crates/wire/src/encode.rs"));
         assert!(is_peer_input("crates/node/src/banscore/reputation.rs"));

@@ -1,0 +1,114 @@
+//! Workspace symbol index: which functions exist, under which impl types,
+//! and which of them are legitimate call-resolution targets.
+//!
+//! Test functions and files under `tests/`, `examples/` or `benches/` trees
+//! are indexed as graph *nodes* (so their own bodies can still be scanned)
+//! but excluded from name resolution: a test helper named `decode` must not
+//! hijack the edges of the production `Message::decode`.
+
+use crate::parse::ParsedFile;
+use std::collections::BTreeMap;
+
+/// One function definition: `(file index, index into that file's `fns`)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Def {
+    /// Index into the driver's file list.
+    pub file: usize,
+    /// Index into that file's [`ParsedFile::fns`].
+    pub item: usize,
+}
+
+/// The workspace symbol index.
+#[derive(Debug, Default)]
+pub struct Index {
+    /// Every function in the workspace, in (file, source) order. Def ids
+    /// used throughout the call-graph passes are indices into this vec.
+    pub defs: Vec<Def>,
+    /// Resolution-eligible defs by bare function name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Resolution-eligible defs by `(impl type, function name)`.
+    pub by_qual: BTreeMap<(String, String), Vec<usize>>,
+    /// `(file, item) → def id` reverse map.
+    pub def_ids: BTreeMap<(usize, usize), usize>,
+}
+
+/// Whether `rel` sits in a test/example/bench tree (excluded from name
+/// resolution; its fns are never transitive-scope targets).
+pub fn is_test_tree(rel: &str) -> bool {
+    rel.split('/')
+        .any(|seg| seg == "tests" || seg == "examples" || seg == "benches")
+}
+
+impl Index {
+    /// Builds the index over `(workspace-relative path, parsed file)` pairs,
+    /// in the driver's (sorted, deterministic) file order.
+    pub fn build<'a, I>(files: I) -> Index
+    where
+        I: IntoIterator<Item = (&'a str, &'a ParsedFile)>,
+    {
+        let mut idx = Index::default();
+        for (file_i, (rel, parsed)) in files.into_iter().enumerate() {
+            let resolvable_file = !is_test_tree(rel);
+            for (item_i, f) in parsed.fns.iter().enumerate() {
+                let id = idx.defs.len();
+                idx.defs.push(Def { file: file_i, item: item_i });
+                idx.def_ids.insert((file_i, item_i), id);
+                if !resolvable_file || f.is_test {
+                    continue;
+                }
+                idx.by_name.entry(f.name.clone()).or_default().push(id);
+                if let Some(ty) = &f.impl_type {
+                    idx.by_qual
+                        .entry((ty.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                }
+            }
+        }
+        idx
+    }
+
+    /// Def id for a `(file, item)` pair.
+    pub fn def_id(&self, file: usize, item: usize) -> Option<usize> {
+        self.def_ids.get(&(file, item)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn ws(files: &[(&str, &str)]) -> (Vec<String>, Vec<ParsedFile>) {
+        let rels: Vec<String> = files.iter().map(|(r, _)| (*r).to_owned()).collect();
+        let parsed: Vec<ParsedFile> =
+            files.iter().map(|(r, s)| parse(&lex(r, s))).collect();
+        (rels, parsed)
+    }
+
+    #[test]
+    fn test_tree_paths() {
+        assert!(is_test_tree("crates/node/tests/recv_path.rs"));
+        assert!(is_test_tree("tests/end_to_end.rs"));
+        assert!(is_test_tree("examples/quickstart.rs"));
+        assert!(!is_test_tree("crates/node/src/node.rs"));
+    }
+
+    #[test]
+    fn index_excludes_test_fns_and_trees() {
+        let (rels, parsed) = ws(&[
+            ("crates/a/src/lib.rs", "impl T { fn go(&self) {} }\n#[test]\nfn check() {}\n"),
+            ("crates/a/tests/it.rs", "fn go() {}\n"),
+        ]);
+        let idx = Index::build(rels.iter().map(String::as_str).zip(parsed.iter()));
+        assert_eq!(idx.defs.len(), 3);
+        // Only the production `T::go` resolves by name.
+        assert_eq!(idx.by_name.get("go").map(Vec::len), Some(1));
+        assert!(idx.by_name.get("check").is_none());
+        assert_eq!(
+            idx.by_qual.get(&("T".into(), "go".into())).map(Vec::len),
+            Some(1)
+        );
+    }
+}

@@ -1,5 +1,5 @@
 //! Fixture: wall-clock use covered by the fixture allowlist.
 
-pub fn stamp() -> std::time::Instant {
+pub fn probe() -> std::time::Instant {
     std::time::Instant::now()
 }

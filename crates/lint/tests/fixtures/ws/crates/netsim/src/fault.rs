@@ -1,0 +1,11 @@
+//! Fixture: fault helpers. `fault_delay` is reached from the send_packet
+//! RNG root and draws from the wrong stream; `orphan_noise` draws from a
+//! stream nobody declared.
+
+pub fn fault_delay(host_rng: &mut SimRng) -> u64 {
+    host_rng.next_u64()
+}
+
+pub fn orphan_noise(noise_rng: &mut SimRng) -> u64 {
+    noise_rng.next_u64()
+}

@@ -1,0 +1,19 @@
+//! Fixture: the RNG implementation file — declared stream-neutral in
+//! scope::RNG_ROOTS, so its `self` draws belong to the caller's stream.
+
+pub struct SimRng(pub u64);
+
+impl SimRng {
+    pub fn new(seed: u64) -> SimRng {
+        SimRng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(1);
+        self.0
+    }
+
+    pub fn gen_bool(&mut self, _p: f64) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: score-arithmetic seeds — bare compound ops and deadline sums
+//! must be flagged, saturating forms and justified floats must not.
+
+pub fn strike(rep: &mut Rep, points: i64, now: u64, dur: u64) {
+    rep.score += points;
+    rep.banned_until = now + dur;
+    rep.total = rep.total.saturating_add(points);
+    // lint:allow(score-arith): fixture float clamped by the caller
+    rep.tokens -= 1.0;
+}

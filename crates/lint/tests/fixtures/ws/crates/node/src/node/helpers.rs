@@ -1,0 +1,6 @@
+//! Fixture: not a peer-input file itself — panics here are only caught by
+//! the transitive pass, via the call from recv.rs.
+
+pub fn decode_extra(b: &[u8]) -> u8 {
+    b.first().copied().unwrap()
+}

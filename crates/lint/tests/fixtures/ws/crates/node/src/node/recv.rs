@@ -5,6 +5,8 @@ pub fn per_frame(payload: &[u8], scratch: &mut [u8]) {
     let mut frames: Vec<u8> = Vec::new();
     scratch.copy_from_slice(&copy);
     frames.extend_from_slice(&copy);
+    let tag = decode_extra(payload);
+    stage_remainder(payload, tag);
 }
 
 pub fn setup() -> Vec<u8> {

@@ -1,0 +1,6 @@
+//! Fixture: not a receive-path file itself — allocations here are only
+//! caught by the transitive pass, via the call from recv.rs.
+
+pub fn stage_remainder(payload: &[u8], _tag: u8) -> Vec<u8> {
+    payload.to_vec()
+}

@@ -1,0 +1,30 @@
+//! Fixture: lock-order seeds over the declared par pool locks
+//! (par.deque < par.pending in the total order).
+
+pub fn ordered(deques: &Lk, pending: &Lk) {
+    let d = deques.lock();
+    let p = pending.lock();
+    let _ = (d, p);
+}
+
+pub fn inverted(deques: &Lk, pending: &Lk) {
+    let p = pending.lock();
+    let d = deques.lock();
+    let _ = (d, p);
+}
+
+pub fn held_into_callee(pending: &Lk, deques: &Lk) {
+    let p = pending.lock();
+    grab_deque(deques);
+    let _ = p;
+}
+
+pub fn grab_deque(deques: &Lk) {
+    let d = deques.lock();
+    let _ = d;
+}
+
+pub fn rogue(mystery: &Lk) {
+    let g = mystery.lock();
+    let _ = g;
+}

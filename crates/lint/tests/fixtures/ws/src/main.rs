@@ -1,0 +1,5 @@
+//! Fixture: the root `src/` tree is scanned too (not just `crates/`).
+
+fn main() {
+    let _ = std::time::Instant::now();
+}

@@ -503,6 +503,7 @@ impl Simulator {
             hosts: Vec::new(),
             host_index: Vec::new(),
             taps: Vec::new(),
+            // lint:allow(rng-stream): the base host stream; every other stream salts off this seed
             rng: SimRng::new(config.seed),
             fault_rng: SimRng::new(config.seed ^ FAULT_RNG_SALT),
             plan: FaultPlan::none(),

@@ -524,6 +524,7 @@ impl ReputationEngine {
         let credit = self.credit.score(now, &peer);
         let score = match self.peers.get_mut(&peer) {
             Some(rep) => {
+                // lint:allow(score-arith): f64 strikes saturate to +inf rather than wrap; ban fires at the threshold long before
                 rep.strikes += points;
                 rep.strikes
             }
@@ -568,7 +569,7 @@ impl ReputationEngine {
         if let Some(rep) = self.peers.get_mut(&peer) {
             rep.tier = to;
             if enter_graylist {
-                rep.graylist_until = now + cfg.graylist_duration;
+                rep.graylist_until = now.saturating_add(cfg.graylist_duration);
                 rep.gray_allowance = cfg.graylist_msgs_per_sec;
                 rep.gray_at = now;
             }
@@ -645,10 +646,12 @@ impl ReputationEngine {
         if let Some(rep) = self.peers.get_mut(&peer) {
             if cfg.pressure_enabled {
                 let dt = now.saturating_sub(rep.tokens_at);
+                // lint:allow(score-arith): f64 token refill clamped by the min() to the bucket capacity
                 rep.tokens = (rep.tokens + dt as f64 / SECS as f64 * cfg.pressure_refill_per_sec)
                     .min(cfg.pressure_capacity);
                 rep.tokens_at = now;
                 if rep.tokens >= 1.0 {
+                    // lint:allow(score-arith): guarded by the >= 1.0 branch; cannot underflow
                     rep.tokens -= 1.0;
                 } else {
                     let cooled = !rep.pressure_struck
@@ -663,11 +666,13 @@ impl ReputationEngine {
             }
             if rep.tier == Tier::Graylist {
                 let dt = now.saturating_sub(rep.gray_at);
+                // lint:allow(score-arith): f64 refill clamped by the min() to the configured ceiling
                 rep.gray_allowance = (rep.gray_allowance
                     + dt as f64 / SECS as f64 * cfg.graylist_msgs_per_sec)
                     .min(cfg.graylist_msgs_per_sec.max(1.0));
                 rep.gray_at = now;
                 if rep.gray_allowance >= 1.0 {
+                    // lint:allow(score-arith): guarded by the >= 1.0 branch; cannot underflow
                     rep.gray_allowance -= 1.0;
                 } else {
                     deliver = false;
@@ -697,6 +702,7 @@ impl ReputationEngine {
         let credit = self.credit.score(now, &peer);
         let mut score = 0.0;
         if let Some(rep) = self.peers.get_mut(&peer) {
+            // lint:allow(score-arith): f64 strikes clamped at 0.0 by the max(); floats cannot wrap
             rep.strikes = (rep.strikes - cfg.credit_forgiveness).max(0.0);
             score = rep.strikes;
         }

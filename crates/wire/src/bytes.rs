@@ -74,6 +74,7 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len,
         };
+        // lint:allow(panic-path): documented slice() contract — callers on the decode path derive ranges from already-validated lengths
         assert!(start <= end && end <= self.len, "slice {start}..{end} out of range for Bytes of length {}", self.len);
         Bytes {
             data: Arc::clone(&self.data),

@@ -14,6 +14,7 @@ pub fn murmur3_32(seed: u32, data: &[u8]) -> u32 {
     let mut h = seed;
     let mut chunks = data.chunks_exact(4);
     for chunk in &mut chunks {
+        // lint:allow(panic-path): chunks_exact(4) guarantees exactly 4 bytes; structurally infallible
         let mut k = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
         k = k.wrapping_mul(C1);
         k = k.rotate_left(15);

@@ -392,6 +392,7 @@ impl Midstate {
     ///
     /// Panics if `blocks.len()` is not a multiple of 64.
     pub fn absorb(&mut self, blocks: &[u8]) {
+        // lint:allow(panic-path): documented alignment precondition; callers pass compile-time-sized prefixes, never peer bytes
         assert!(
             blocks.len() % 64 == 0,
             "midstate prefix must be block-aligned (got {} bytes)",

@@ -21,8 +21,26 @@ echo "==> release build (offline, warnings are errors)"
 RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 
 echo "==> btc-lint: determinism / panic-safety / ban-exhaustiveness gate"
-# Same RUSTFLAGS as the build step so the release cache is reused.
-RUSTFLAGS="-D warnings" cargo run --release --offline -q -p btc-lint
+# Same RUSTFLAGS as the build step so the release cache is reused. The gate
+# consumes the machine-readable --json output: the findings array must be
+# empty, and the call-graph stats must show the analyzer actually resolved a
+# workspace-sized graph (a lexer/parser regression that silently dropped all
+# functions would otherwise pass as "clean").
+lint_json="target/lint.json"
+RUSTFLAGS="-D warnings" cargo run --release --offline -q -p btc-lint -- --json \
+  > "$lint_json" || true
+if ! grep -q '"findings":\[\]' "$lint_json"; then
+  echo "ERROR: btc-lint reported findings:" >&2
+  RUSTFLAGS="-D warnings" cargo run --release --offline -q -p btc-lint >&2 || true
+  exit 1
+fi
+fn_count=$(sed -n 's/.*"functions":\([0-9]*\).*/\1/p' "$lint_json")
+edge_count=$(sed -n 's/.*"edges":\([0-9]*\).*/\1/p' "$lint_json")
+if [ -z "$fn_count" ] || [ "$fn_count" -lt 100 ] || [ "$edge_count" -lt 100 ]; then
+  echo "ERROR: btc-lint call graph implausibly small (functions=$fn_count edges=$edge_count)" >&2
+  exit 1
+fi
+echo "    lint clean: call graph $fn_count functions / $edge_count edges OK"
 
 echo "==> tests (offline)"
 cargo test -q --offline --workspace
